@@ -1,0 +1,375 @@
+// Benchmarks regenerating the paper's tables and figures at reduced,
+// go-test-friendly sizes. One Benchmark per figure of the PPoPP'17
+// evaluation (the full, paper-scale sweeps live in cmd/ppopp17bench;
+// see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured results).
+//
+// Conventions: each iteration of a benchmark executes one complete
+// workload run; the custom metric "ops/s/core" is the paper's y-axis
+// (counter operations per second per worker), and the stall-model
+// benchmarks report "stalls/op", the contention quantity of Theorem
+// 4.9.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/counter"
+	"repro/internal/nested"
+	"repro/internal/sched"
+	"repro/internal/snzi"
+	"repro/internal/stallsim"
+	"repro/internal/workload"
+)
+
+const benchN = 1 << 14 // fanin leaves per iteration
+
+func procsAxis() []int {
+	return []int{1, 2}
+}
+
+func newRT(b *testing.B, procs int, algo counter.Algorithm) *nested.Runtime {
+	b.Helper()
+	rt := nested.New(nested.Config{Workers: procs, Algorithm: algo, Seed: 1})
+	b.Cleanup(rt.Close)
+	return rt
+}
+
+func reportFanin(b *testing.B, res workload.Result) {
+	b.ReportMetric(res.OpsPerSecPerCore(), "ops/s/core")
+	b.ReportMetric(float64(res.FinalNodes), "incounter-nodes")
+}
+
+// BenchmarkFig08Fanin — Figure 8: fanin across counter algorithms and
+// core counts.
+func BenchmarkFig08Fanin(b *testing.B) {
+	algos := []string{"fetchadd", "snzi-1", "snzi-4", "snzi-8", "dyn"}
+	for _, algo := range algos {
+		for _, p := range procsAxis() {
+			b.Run(fmt.Sprintf("%s/p=%d", algo, p), func(b *testing.B) {
+				alg, err := counter.Parse(algo, nested.DefaultThreshold(p))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rt := newRT(b, p, alg)
+				var res workload.Result
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res = workload.Fanin(rt, benchN)
+				}
+				b.StopTimer()
+				reportFanin(b, res)
+			})
+		}
+	}
+}
+
+// BenchmarkFig09SizeInvariance — Figure 9: in-counter throughput per
+// core across input sizes.
+func BenchmarkFig09SizeInvariance(b *testing.B) {
+	for _, n := range []uint64{benchN / 4, benchN, benchN * 4} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rt := newRT(b, 0, nil)
+			var res workload.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res = workload.Fanin(rt, n)
+			}
+			b.StopTimer()
+			reportFanin(b, res)
+		})
+	}
+}
+
+// BenchmarkFig10Indegree2 — Figure 10: the indegree2 benchmark across
+// algorithms (per-finish-block allocation stress).
+func BenchmarkFig10Indegree2(b *testing.B) {
+	for _, algo := range []string{"fetchadd", "snzi-2", "snzi-4", "dyn"} {
+		b.Run(algo, func(b *testing.B) {
+			alg, err := counter.Parse(algo, nested.DefaultThreshold(2))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rt := newRT(b, 0, alg)
+			var res workload.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res = workload.Indegree2(rt, benchN)
+			}
+			b.StopTimer()
+			reportFanin(b, res)
+		})
+	}
+}
+
+// BenchmarkFig11Threshold — Figure 11: the grow-probability threshold
+// study.
+func BenchmarkFig11Threshold(b *testing.B) {
+	for _, th := range []uint64{10, 100, 1000, 100000} {
+		b.Run(fmt.Sprintf("th=%d", th), func(b *testing.B) {
+			rt := newRT(b, 0, counter.Dynamic{Threshold: th})
+			var res workload.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res = workload.Fanin(rt, benchN)
+			}
+			b.StopTimer()
+			reportFanin(b, res)
+		})
+	}
+}
+
+// BenchmarkFig12SnziRepro — Figure 12 (appendix C.1): the original
+// SNZI paper's raw arrive/depart stress test.
+func BenchmarkFig12SnziRepro(b *testing.B) {
+	const ops = 1 << 14
+	for _, cfg := range []struct {
+		name  string
+		depth int
+	}{{"fetchadd", -1}, {"snzi-2", 2}, {"snzi-5", 5}} {
+		for _, p := range procsAxis() {
+			b.Run(fmt.Sprintf("%s/p=%d", cfg.name, p), func(b *testing.B) {
+				var res workload.Result
+				for i := 0; i < b.N; i++ {
+					res = workload.SnziStress(p, cfg.depth, ops)
+				}
+				b.ReportMetric(res.OpsPerSecPerCore(), "ops/s/core")
+			})
+		}
+	}
+}
+
+// BenchmarkFig13Numa — Figure 13 (appendix C.2): the NUMA placement
+// study through the simulated-penalty proxy; the check is a null
+// result (policy must not reorder algorithms).
+func BenchmarkFig13Numa(b *testing.B) {
+	for _, policy := range []workload.NumaPolicy{workload.NumaOff, workload.NumaRoundRobin, workload.NumaFirstTouch} {
+		for _, algo := range []string{"fetchadd", "dyn"} {
+			b.Run(fmt.Sprintf("%s/%s", policy, algo), func(b *testing.B) {
+				alg, err := counter.Parse(algo, nested.DefaultThreshold(2))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rt := newRT(b, 0, alg)
+				var res workload.Result
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res = workload.FaninNUMA(rt, benchN, policy)
+				}
+				b.StopTimer()
+				reportFanin(b, res)
+			})
+		}
+	}
+}
+
+// BenchmarkFig14Granularity — Figure 14 (appendix C.3): fanin with
+// calibrated dummy work per task.
+func BenchmarkFig14Granularity(b *testing.B) {
+	workload.CalibrateWork()
+	for _, work := range []int{1, 100, 10000} {
+		for _, algo := range []string{"fetchadd", "snzi-4", "dyn"} {
+			b.Run(fmt.Sprintf("work=%dns/%s", work, algo), func(b *testing.B) {
+				alg, err := counter.Parse(algo, nested.DefaultThreshold(2))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rt := newRT(b, 0, alg)
+				var res workload.Result
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res = workload.FaninWork(rt, benchN/4, work)
+				}
+				b.StopTimer()
+				reportFanin(b, res)
+			})
+		}
+	}
+}
+
+// BenchmarkFig15SpeedupCurves — Figures 15a-e: cores sweep at a fixed
+// work level (speedups are computed across the reported times).
+func BenchmarkFig15SpeedupCurves(b *testing.B) {
+	workload.CalibrateWork()
+	const work = 1000
+	for _, algo := range []string{"fetchadd", "dyn"} {
+		for _, p := range procsAxis() {
+			b.Run(fmt.Sprintf("%s/p=%d", algo, p), func(b *testing.B) {
+				alg, err := counter.Parse(algo, nested.DefaultThreshold(p))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rt := newRT(b, p, alg)
+				var res workload.Result
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res = workload.FaninWork(rt, benchN/4, work)
+				}
+				b.StopTimer()
+				reportFanin(b, res)
+			})
+		}
+	}
+}
+
+// BenchmarkStallModel — the Theorem 4.8/4.9 experiment: contention
+// (stalls per counter op) in the simulated shared-memory model, with
+// simulated processor counts far beyond the host.
+func BenchmarkStallModel(b *testing.B) {
+	algos := []struct {
+		name string
+		alg  stallsim.SimAlgorithm
+	}{
+		{"fetchadd", stallsim.FetchAdd{}},
+		{"snzi-4", stallsim.FixedSNZI{Depth: 4}},
+		{"dyn", stallsim.Dynamic{Threshold: 1}},
+	}
+	for _, a := range algos {
+		for _, p := range []int{4, 32, 128} {
+			b.Run(fmt.Sprintf("%s/P=%d", a.name, p), func(b *testing.B) {
+				var res stallsim.FaninResult
+				for i := 0; i < b.N; i++ {
+					res = stallsim.RunFanin(stallsim.FaninConfig{
+						Threads: p, N: 512, Algorithm: a.alg, Seed: uint64(i)})
+				}
+				b.ReportMetric(res.StallsPerOp(), "stalls/op")
+				b.ReportMetric(res.StepsPerOp(), "steps/op")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationGrowProbability — DESIGN.md A1: p = 1 vs
+// probabilistic growth (contention vs allocation trade).
+func BenchmarkAblationGrowProbability(b *testing.B) {
+	for _, th := range []uint64{1, 50, 5000} {
+		b.Run(fmt.Sprintf("th=%d", th), func(b *testing.B) {
+			rt := newRT(b, 0, counter.Dynamic{Threshold: th})
+			var res workload.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res = workload.Fanin(rt, benchN)
+			}
+			b.StopTimer()
+			reportFanin(b, res)
+		})
+	}
+}
+
+// BenchmarkAblationDecOrder — DESIGN.md A2: the ordered shared
+// decrement pairs vs the naive (reversed) order.
+func BenchmarkAblationDecOrder(b *testing.B) {
+	for _, v := range []struct {
+		name    string
+		variant core.Variant
+	}{{"paper", core.VariantPaper}, {"naive", core.VariantNaiveDecOrder}} {
+		b.Run(v.name, func(b *testing.B) {
+			rt := newRT(b, 0, counter.Dynamic{Threshold: 1, Variant: v.variant})
+			var res workload.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res = workload.Fanin(rt, benchN)
+			}
+			b.StopTimer()
+			reportFanin(b, res)
+		})
+	}
+}
+
+// BenchmarkAblationArriveTarget — DESIGN.md A3: arrive at the freshly
+// grown child (leaves-only-zero invariant) vs at the handle node.
+func BenchmarkAblationArriveTarget(b *testing.B) {
+	for _, v := range []struct {
+		name    string
+		variant core.Variant
+	}{{"paper", core.VariantPaper}, {"at-handle", core.VariantArriveAtHandle}} {
+		b.Run(v.name, func(b *testing.B) {
+			rt := newRT(b, 0, counter.Dynamic{Threshold: 1, Variant: v.variant})
+			var res workload.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res = workload.Fanin(rt, benchN)
+			}
+			b.StopTimer()
+			reportFanin(b, res)
+		})
+	}
+}
+
+// BenchmarkSNZIArriveDepart — microbenchmark of the raw SNZI
+// protocol (single thread, no runtime).
+func BenchmarkSNZIArriveDepart(b *testing.B) {
+	tree := snzi.NewTree(1)
+	leaf, _ := tree.Root().Grow(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		leaf.Arrive()
+		leaf.Depart()
+	}
+}
+
+// BenchmarkInCounterIncDec — microbenchmark of one in-counter
+// increment + decrement pair through the core API.
+func BenchmarkInCounterIncDec(b *testing.B) {
+	c := core.New(1)
+	s := c.RootState()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, r := s.Increment(true)
+		r.Decrement()
+		s = l
+	}
+}
+
+// BenchmarkFetchAddIncDec — the baseline pair for comparison.
+func BenchmarkFetchAddIncDec(b *testing.B) {
+	c := counter.FetchAdd{}.New(1)
+	s := c.RootState()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, _ := s.Increment(nil)
+		l.Decrement()
+	}
+}
+
+// BenchmarkAblationPruning — §B space management on vs off: the cost
+// of reclaiming quiesced subtrees and its effect on live tree size.
+func BenchmarkAblationPruning(b *testing.B) {
+	for _, prune := range []bool{false, true} {
+		name := "off"
+		if prune {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			rt := newRT(b, 0, counter.Dynamic{Threshold: 1, Prune: prune})
+			var res workload.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res = workload.Fanin(rt, benchN)
+			}
+			b.StopTimer()
+			reportFanin(b, res)
+		})
+	}
+}
+
+// BenchmarkSchedulerPolicy compares the two stealing mechanisms —
+// concurrent Chase-Lev deques vs the paper's private deques with
+// receiver-initiated communication ([2]) — on the fanin workload.
+func BenchmarkSchedulerPolicy(b *testing.B) {
+	for _, policy := range []sched.Policy{sched.ChaseLev, sched.PrivateDeques} {
+		b.Run(policy.String(), func(b *testing.B) {
+			rt := nested.New(nested.Config{Workers: 0, Seed: 1, Policy: policy})
+			b.Cleanup(rt.Close)
+			var res workload.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res = workload.Fanin(rt, benchN)
+			}
+			b.StopTimer()
+			reportFanin(b, res)
+		})
+	}
+}

@@ -1,0 +1,93 @@
+// Command ppopp17bench regenerates the evaluation figures of the
+// PPoPP'17 paper "Contention in Structured Concurrency" (Acar,
+// Ben-David, Rainey): Figures 8-15 of the paper and its appendices,
+// the stall-model contention experiment, and the design ablations.
+//
+// Usage:
+//
+//	ppopp17bench -fig all                 # every figure, host-scaled defaults
+//	ppopp17bench -fig 8,9 -n 8388608      # paper-scale fanin figures
+//	ppopp17bench -fig stalls -quick       # contention in the stall model
+//	ppopp17bench -fig 8 -format artifact  # artifact-style result records
+//	ppopp17bench -fig 8 -out results/     # write per-figure files
+//
+// Output is one text table per figure (same rows/series as the paper's
+// plots); -format artifact additionally emits the key-value record
+// format of the paper's artifact (appendix D.5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		figs     = flag.String("fig", "all", "comma-separated figure ids ("+strings.Join(harness.FigureOrder(), ",")+") or 'all'")
+		n        = flag.Uint64("n", 0, "problem size override (0 = per-figure default)")
+		runs     = flag.Int("runs", 0, "measured repetitions per point (0 = default: 3, artifact used 30)")
+		maxProcs = flag.Int("maxprocs", 0, "top of the cores sweep (0 = GOMAXPROCS)")
+		quick    = flag.Bool("quick", false, "shrink sweeps and sizes for a fast smoke run")
+		format   = flag.String("format", "table", "output format: table | artifact | both")
+		outDir   = flag.String("out", "", "directory to write per-figure result files (default: stdout only)")
+		verbose  = flag.Bool("v", false, "print progress for every measurement point")
+	)
+	flag.Parse()
+
+	opt := harness.Options{N: *n, MaxProcs: *maxProcs, Runs: *runs, Quick: *quick}
+	if *verbose {
+		opt.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ... "+s) }
+	}
+
+	var ids []string
+	if *figs == "all" {
+		ids = harness.FigureOrder()
+	} else {
+		ids = strings.Split(*figs, ",")
+	}
+	registry := harness.Figures()
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		driver := registry[id]
+		if driver == nil {
+			fmt.Fprintf(os.Stderr, "ppopp17bench: unknown figure %q (known: %s)\n",
+				id, strings.Join(harness.FigureOrder(), ", "))
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "running figure %s...\n", id)
+		rep, err := driver(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppopp17bench: figure %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		var out strings.Builder
+		if *format == "table" || *format == "both" {
+			out.WriteString(rep.Render())
+			out.WriteString("\n")
+		}
+		if *format == "artifact" || *format == "both" {
+			if _, err := rep.Artifact().WriteTo(&out); err != nil {
+				fmt.Fprintf(os.Stderr, "ppopp17bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Print(out.String())
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "ppopp17bench: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outDir, "figure_"+id+".txt")
+			if err := os.WriteFile(path, []byte(out.String()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "ppopp17bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Quickstart: the smallest useful program against the public API.
+//
+// It creates a runtime (work-stealing scheduler + sp-dag + in-counter
+// dependency tracking), doubles a slice in parallel, sums it with a
+// parallel divide-and-conquer reduction, and prints runtime
+// statistics. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	rt := repro.NewRuntime(repro.Config{}) // GOMAXPROCS workers, in-counter with the paper's threshold
+	defer rt.Close()
+
+	const n = 1 << 20
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(i)
+	}
+
+	// Parallel map: double every element. ParallelFor splits the index
+	// range recursively down to the grain and joins before returning
+	// control past the finish block.
+	rt.Run(func(c *repro.Ctx) {
+		c.ParallelFor(0, n, 4096, func(i int) { xs[i] *= 2 })
+	})
+
+	// Parallel reduction: divide-and-conquer sum with ForkJoin.
+	var sum func(c *repro.Ctx, lo, hi int, out *int64)
+	sum = func(c *repro.Ctx, lo, hi int, out *int64) {
+		if hi-lo <= 4096 {
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += xs[i]
+			}
+			*out = s
+			return
+		}
+		mid := (lo + hi) / 2
+		var a, b int64
+		c.ForkJoinThen(
+			func(c *repro.Ctx) { sum(c, lo, mid, &a) },
+			func(c *repro.Ctx) { sum(c, mid, hi, &b) },
+			func(*repro.Ctx) { *out = a + b },
+		)
+	}
+	var total int64
+	rt.Run(func(c *repro.Ctx) { sum(c, 0, n, &total) })
+
+	want := int64(n) * int64(n-1) // sum of 2i for i in [0,n)
+	if total != want {
+		log.Fatalf("sum = %d, want %d", total, want)
+	}
+	st := rt.Scheduler().Stats()
+	fmt.Printf("sum of doubled [0,%d) = %d\n", n, total)
+	fmt.Printf("workers=%d vertices=%d steals=%d\n", rt.Workers(), rt.Dag().VertexCount(), st.Steals)
+}

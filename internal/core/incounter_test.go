@@ -1,0 +1,463 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/snzi"
+)
+
+func TestMakeAndSignalRoot(t *testing.T) {
+	c := New(1)
+	if c.IsZero() {
+		t.Fatal("fresh New(1) counter reads zero")
+	}
+	s := c.RootState()
+	if !s.Valid() {
+		t.Fatal("root state invalid")
+	}
+	if !s.Decrement() {
+		t.Fatal("sole decrement did not report zero")
+	}
+	if !c.IsZero() {
+		t.Fatal("counter not zero after sole decrement")
+	}
+}
+
+func TestMakeZero(t *testing.T) {
+	c := New(0)
+	if !c.IsZero() {
+		t.Fatal("New(0) should be zero")
+	}
+	if c.NodeCount() != 1 {
+		t.Fatalf("NodeCount = %d, want 1", c.NodeCount())
+	}
+}
+
+func TestSpawnSignalPair(t *testing.T) {
+	c := New(1)
+	root := c.RootState()
+	left, right := root.Increment(true) // root vertex spawns
+	if c.IsZero() {
+		t.Fatal("zero after increment")
+	}
+	if left.Decrement() {
+		t.Fatal("first of two signals reported zero")
+	}
+	if c.IsZero() {
+		t.Fatal("zero with one live vertex remaining")
+	}
+	if !right.Decrement() {
+		t.Fatal("last signal did not report zero")
+	}
+	if !c.IsZero() {
+		t.Fatal("not zero at end")
+	}
+}
+
+func TestDecPairOrdering(t *testing.T) {
+	c := New(1)
+	a, b := c.Tree().Root().Grow(true)
+	p := NewDecPair(a, b)
+	if p.Claimed() {
+		t.Fatal("fresh pair claimed")
+	}
+	if h := p.Claim(); h != a {
+		t.Fatal("first claim did not return first handle")
+	}
+	if !p.Claimed() {
+		t.Fatal("pair not marked claimed")
+	}
+	if h := p.Claim(); h != b {
+		t.Fatal("second claim did not return second handle")
+	}
+}
+
+func TestDecPairConcurrentClaims(t *testing.T) {
+	for iter := 0; iter < 200; iter++ {
+		c := New(1)
+		a, b := c.Tree().Root().Grow(true)
+		p := NewDecPair(a, b)
+		var got [2]Handle
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				got[i] = p.Claim()
+			}(i)
+		}
+		wg.Wait()
+		if got[0] == got[1] {
+			t.Fatal("both claimers got the same handle")
+		}
+	}
+}
+
+// TestIncrementHandleSides checks the Figure 5 line 22 rule: the
+// arrive lands on the fresh child on the same side as the caller.
+func TestIncrementHandleSides(t *testing.T) {
+	c := New(1)
+	root := c.RootState()
+	// Root state counts as left, so its increment arrives at the left child.
+	l, r := root.Increment(true)
+	la, _ := l.IncHandle().Surplus()
+	ra, _ := r.IncHandle().Surplus()
+	if la != 1 || ra != 0 {
+		t.Fatalf("after left-side increment: left surplus %d (want 1), right %d (want 0)", la, ra)
+	}
+	// The right child's increment must arrive on ITS right child.
+	rl, rr := r.Increment(true)
+	s1, _ := rl.IncHandle().Surplus()
+	s2, _ := rr.IncHandle().Surplus()
+	if s1 != 0 || s2 != 1 {
+		t.Fatalf("after right-side increment: left surplus %d (want 0), right %d (want 1)", s1, s2)
+	}
+	// Clean up: balanced signals.
+	for _, s := range []State{l, rl, rr} {
+		s.Decrement()
+	}
+	if !c.IsZero() {
+		t.Fatal("not zero after balanced signals")
+	}
+}
+
+// validExecution drives a random, sequentially-executed but
+// interleaving-shaped valid execution (Definition 1): a pool of live
+// states starts with the root state; each step either spawns (replacing
+// one live state with two) or signals (removing one). It returns the
+// counter and the number of zero-reports observed, checking the
+// zero-report happens exactly at the end.
+func validExecution(t *testing.T, seed uint64, steps int, threshold uint64, opts ...Option) *InCounter {
+	t.Helper()
+	g := rng.NewXoshiro(seed)
+	c := New(1, opts...)
+	live := []State{c.RootState()}
+	zeroReports := 0
+	for i := 0; i < steps && len(live) > 0; i++ {
+		j := int(g.Uint64n(uint64(len(live))))
+		if g.Uint64n(3) != 0 { // bias toward spawning to build structure
+			l, r := live[j].Increment(g.Flip(threshold))
+			live[j] = l
+			live = append(live, r)
+		} else {
+			if live[j].Decrement() {
+				zeroReports++
+			}
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if c.IsZero() != (len(live) == 0) {
+			t.Fatalf("step %d: IsZero=%v but %d live vertices", i, c.IsZero(), len(live))
+		}
+	}
+	for len(live) > 0 {
+		j := int(g.Uint64n(uint64(len(live))))
+		zero := live[j].Decrement()
+		live[j] = live[len(live)-1]
+		live = live[:len(live)-1]
+		if zero != (len(live) == 0) {
+			t.Fatalf("drain: zero=%v with %d live", zero, len(live))
+		}
+		if zero {
+			zeroReports++
+		}
+	}
+	if zeroReports != 1 {
+		t.Fatalf("zero reported %d times, want exactly 1", zeroReports)
+	}
+	if !c.IsZero() {
+		t.Fatal("counter not zero at end")
+	}
+	return c
+}
+
+func TestRandomValidExecutions(t *testing.T) {
+	f := func(seed uint64, steps uint16) bool {
+		validExecution(t, seed, int(steps)%400+20, 1)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomValidExecutionsProbabilistic(t *testing.T) {
+	for _, threshold := range []uint64{2, 8, 64, 1 << 20} {
+		for seed := uint64(0); seed < 8; seed++ {
+			validExecution(t, seed*7+1, 300, threshold)
+		}
+	}
+}
+
+func TestRandomValidExecutionsVariants(t *testing.T) {
+	for _, v := range []Variant{VariantNaiveDecOrder, VariantArriveAtHandle,
+		VariantNaiveDecOrder | VariantArriveAtHandle} {
+		for seed := uint64(0); seed < 8; seed++ {
+			validExecution(t, seed*13+3, 300, 1, WithVariant(v))
+		}
+	}
+}
+
+// TestLemma43HandleUniqueness: with growth probability 1, at most one
+// increment handle and one decrement handle ever point to any SNZI
+// node.
+func TestLemma43HandleUniqueness(t *testing.T) {
+	g := rng.NewXoshiro(99)
+	c := New(1)
+	live := []State{c.RootState()}
+	incSeen := map[Handle]int{live[0].IncHandle(): 1}
+	decSeen := map[Handle]int{}
+	for i := 0; i < 2000; i++ {
+		j := int(g.Uint64n(uint64(len(live))))
+		l, r := live[j].Increment(true)
+		live[j] = l
+		live = append(live, r)
+		incSeen[l.IncHandle()]++
+		incSeen[r.IncHandle()]++
+		// The fresh decrement handle of the new pair is its second.
+		decSeen[l.DecHandles().second]++
+	}
+	for h, n := range incSeen {
+		if n > 1 && h != c.Tree().Root() {
+			t.Fatalf("node at depth %d received %d increment handles", h.Depth(), n)
+		}
+	}
+	for h, n := range decSeen {
+		if n > 1 {
+			t.Fatalf("node at depth %d received %d fresh decrement handles", h.Depth(), n)
+		}
+	}
+	for _, s := range live {
+		s.Decrement()
+	}
+}
+
+// TestLemma45LeavesOnlyZero: with growth probability 1 and no
+// decrements, every non-leaf node of the SNZI tree has surplus.
+func TestLemma45LeavesOnlyZero(t *testing.T) {
+	g := rng.NewXoshiro(7)
+	c := New(1)
+	live := []State{c.RootState()}
+	for i := 0; i < 3000; i++ {
+		j := int(g.Uint64n(uint64(len(live))))
+		l, r := live[j].Increment(true)
+		live[j] = l
+		live = append(live, r)
+	}
+	violations := 0
+	c.Tree().Root().Walk(func(n *snzi.Node) {
+		if _, _, hasChildren := n.Children(); hasChildren && !n.HasSurplus() {
+			violations++
+		}
+	})
+	if violations != 0 {
+		t.Fatalf("%d non-leaf nodes with zero surplus", violations)
+	}
+	for _, s := range live {
+		s.Decrement()
+	}
+}
+
+// TestCorollary47ArriveBound: in valid executions with growth
+// probability 1, no increment performs more than 3 node-level arrives,
+// even with decrements interleaved.
+func TestCorollary47ArriveBound(t *testing.T) {
+	for seed := uint64(1); seed < 30; seed++ {
+		g := rng.NewXoshiro(seed)
+		c := New(1)
+		live := []State{c.RootState()}
+		for i := 0; i < 500 && len(live) > 0; i++ {
+			j := int(g.Uint64n(uint64(len(live))))
+			if g.Uint64n(3) != 0 {
+				l, r, depth := live[j].IncrementDepth(true)
+				if depth > 3 {
+					t.Fatalf("seed %d step %d: increment performed %d arrives (bound 3)", seed, i, depth)
+				}
+				live[j] = l
+				live = append(live, r)
+			} else {
+				live[j].Decrement()
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		for _, s := range live {
+			s.Decrement()
+		}
+	}
+}
+
+// TestTheorem49NodeAccessBound: over an entire valid execution with
+// growth probability 1, at most 6 operations access any single SNZI
+// node (the stronger claim inside the Theorem 4.9 proof).
+func TestTheorem49NodeAccessBound(t *testing.T) {
+	for seed := uint64(1); seed < 12; seed++ {
+		c := validExecution(t, seed, 600, 1, WithInstrumentation())
+		max, nodes := c.Tree().MaxOpsPerNode()
+		if max > 6 {
+			t.Fatalf("seed %d: a node was accessed %d times (bound 6, %d nodes)", seed, max, nodes)
+		}
+	}
+}
+
+// TestSpaceBoundNodesVsVertices: the in-counter never allocates more
+// SNZI nodes than 1 + 2·(number of increments), i.e. no more nodes
+// than dag vertices created (§B).
+func TestSpaceBoundNodesVsVertices(t *testing.T) {
+	g := rng.NewXoshiro(5)
+	c := New(1)
+	live := []State{c.RootState()}
+	increments := int64(0)
+	for i := 0; i < 2000; i++ {
+		j := int(g.Uint64n(uint64(len(live))))
+		l, r := live[j].Increment(true)
+		increments++
+		live[j] = l
+		live = append(live, r)
+	}
+	if c.NodeCount() > 1+2*increments {
+		t.Fatalf("nodes %d > 1+2·increments %d", c.NodeCount(), 1+2*increments)
+	}
+	for _, s := range live {
+		s.Decrement()
+	}
+}
+
+// TestConcurrentFanin runs the fanin pattern through the raw in-counter
+// API: a binary tree of spawns executed by real goroutines, then all
+// leaves signal concurrently. Exactly one signal must report zero.
+func TestConcurrentFanin(t *testing.T) {
+	const depth = 10 // 1024 leaves
+	for _, threshold := range []uint64{1, 4, 128} {
+		c := New(1)
+		zeros := int64(0)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		var rec func(s State, d int, g *rng.Xoshiro256ss)
+		rec = func(s State, d int, g *rng.Xoshiro256ss) {
+			defer wg.Done()
+			if d == 0 {
+				if s.Decrement() {
+					mu.Lock()
+					zeros++
+					mu.Unlock()
+				}
+				return
+			}
+			l, r := s.Increment(g.Flip(threshold))
+			wg.Add(2)
+			go rec(l, d-1, rng.NewXoshiro(g.Next()))
+			go rec(r, d-1, rng.NewXoshiro(g.Next()))
+		}
+		wg.Add(1)
+		rec(c.RootState(), depth, rng.NewXoshiro(threshold))
+		wg.Wait()
+		if zeros != 1 {
+			t.Fatalf("threshold %d: %d zero reports, want 1", threshold, zeros)
+		}
+		if !c.IsZero() {
+			t.Fatalf("threshold %d: counter not zero at end", threshold)
+		}
+	}
+}
+
+// TestConcurrentRandomPrograms runs many random concurrent
+// spawn/signal programs and checks the single-zero-report property.
+func TestConcurrentRandomPrograms(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		c := New(1)
+		zeros := int64(0)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		var run func(s State, budget int, g *rng.Xoshiro256ss)
+		run = func(s State, budget int, g *rng.Xoshiro256ss) {
+			defer wg.Done()
+			for budget > 0 && g.Uint64n(3) != 0 {
+				var r State
+				s, r = s.Increment(g.Flip(8))
+				budget--
+				wg.Add(1)
+				go run(r, budget/2, rng.NewXoshiro(g.Next()))
+			}
+			if s.Decrement() {
+				mu.Lock()
+				zeros++
+				mu.Unlock()
+			}
+		}
+		wg.Add(1)
+		go run(c.RootState(), 64, rng.NewXoshiro(uint64(trial)*31+7))
+		wg.Wait()
+		if zeros != 1 {
+			t.Fatalf("trial %d: %d zero reports", trial, zeros)
+		}
+		if !c.IsZero() {
+			t.Fatalf("trial %d: not zero at end", trial)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	var zero State
+	if zero.String() != "core.State{invalid}" {
+		t.Fatalf("zero state string = %q", zero.String())
+	}
+	if zero.Valid() {
+		t.Fatal("zero state is valid")
+	}
+	c := New(1)
+	if c.RootState().String() == "" {
+		t.Fatal("empty string for root state")
+	}
+	if c.RootState().Counter() != c {
+		t.Fatal("Counter() mismatch")
+	}
+	c.RootState().Decrement()
+}
+
+// TestSpaceManagementPruning (§B): with growth probability 1 and
+// pruning enabled, the SNZI tree shrinks as subcomputations finish; at
+// quiescence only the root remains, even though allocation grew with
+// the computation.
+func TestSpaceManagementPruning(t *testing.T) {
+	c := New(1, WithPruning(), WithInstrumentation())
+	g := rng.NewXoshiro(17)
+	live := []State{c.RootState()}
+	for i := 0; i < 1500; i++ {
+		j := int(g.Uint64n(uint64(len(live))))
+		if g.Uint64n(3) != 0 {
+			l, r := live[j].Increment(true)
+			live[j] = l
+			live = append(live, r)
+		} else if len(live) > 1 {
+			live[j].Decrement()
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	allocatedMid := c.Tree().AllocatedNodes()
+	for len(live) > 0 {
+		live[len(live)-1].Decrement()
+		live = live[:len(live)-1]
+	}
+	if !c.IsZero() {
+		t.Fatal("not zero at end")
+	}
+	if c.NodeCount() != 1 {
+		t.Fatalf("live nodes at quiescence = %d, want 1", c.NodeCount())
+	}
+	if c.Tree().AllocatedNodes() < allocatedMid || allocatedMid < 100 {
+		t.Fatalf("allocation accounting wrong: mid=%d end=%d", allocatedMid, c.Tree().AllocatedNodes())
+	}
+}
+
+// TestPruningValidExecutions: pruning must not change observable
+// behaviour of valid executions.
+func TestPruningValidExecutions(t *testing.T) {
+	for seed := uint64(1); seed < 10; seed++ {
+		validExecution(t, seed, 400, 1, WithPruning())
+	}
+}

@@ -1,0 +1,82 @@
+// Package counter defines the dependency-counter abstraction that the
+// sp-dag runtime is parameterized over, and implements the three
+// algorithms compared in the paper's evaluation (§5):
+//
+//   - Dynamic: the paper's in-counter (package core) — "dyn" in the
+//     artifact's result files;
+//   - FetchAdd: a single fetch-and-add cell — optimal at one core,
+//     heavily contended beyond;
+//   - FixedSNZI: a statically allocated complete SNZI tree of a given
+//     depth, with operations hashed across the leaves.
+//
+// A Counter tracks the unsatisfied dependencies of one finish vertex.
+// A State is one dag vertex's capability to add a dependency
+// (Increment, used by spawn) or discharge one (Decrement, used by
+// signal). The call discipline matches PPoPP'17 Definition 1 and is
+// enforced structurally by package spdag: each State is owned by one
+// vertex, and Increment/Decrement is the owner's final use of it.
+package counter
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/rng"
+)
+
+// State is a dag vertex's view into the dependency counter of its
+// finish vertex.
+type State interface {
+	// Increment registers one new dependency and splits the vertex's
+	// capability into states for its two spawn children. g is the
+	// caller's (typically worker-local) randomness source, used for the
+	// dynamic algorithm's grow coin and the fixed algorithm's leaf
+	// hashing; it must not be shared between concurrent callers.
+	Increment(g *rng.Xoshiro256ss) (left, right State)
+	// Decrement discharges one dependency; it returns true iff this
+	// call brought the counter to zero, in which case the caller is the
+	// unique party responsible for scheduling the finish vertex.
+	Decrement() bool
+}
+
+// Counter is the dependency counter of a single finish vertex.
+type Counter interface {
+	// IsZero reports whether the counter is zero. It is a read-only
+	// probe; readiness detection should use Decrement's return value.
+	IsZero() bool
+	// RootState returns the capability held by the single vertex the
+	// finish vertex initially depends on. It must be called at most
+	// once per counter.
+	RootState() State
+	// NodeCount reports how many memory cells (SNZI nodes, or 1 for a
+	// flat cell) back this counter — the artifact's nb_incounter_nodes.
+	NodeCount() int64
+}
+
+// Algorithm is a factory for dependency counters; it is the unit the
+// evaluation sweeps over.
+type Algorithm interface {
+	Name() string
+	New(initial int) Counter
+}
+
+// Parse maps an artifact-style algorithm name to an Algorithm:
+// "fetchadd", "dyn" (with the given grow threshold), or "snzi-D" for a
+// fixed-depth tree of depth D.
+func Parse(name string, threshold uint64) (Algorithm, error) {
+	switch {
+	case name == "fetchadd":
+		return FetchAdd{}, nil
+	case name == "dyn":
+		return Dynamic{Threshold: threshold}, nil
+	case strings.HasPrefix(name, "snzi-"):
+		d, err := strconv.Atoi(strings.TrimPrefix(name, "snzi-"))
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("counter: bad fixed SNZI depth in %q", name)
+		}
+		return FixedSNZI{Depth: d}, nil
+	default:
+		return nil, fmt.Errorf("counter: unknown algorithm %q (want fetchadd, dyn, or snzi-D)", name)
+	}
+}

@@ -1,0 +1,67 @@
+package counter
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// Dynamic is the paper's in-counter algorithm (package core) behind
+// the Algorithm interface. Threshold is the denominator of the grow
+// probability p = 1/Threshold; 0 or 1 grows on every increment (the
+// p = 1 setting of the paper's analysis). The paper's evaluation uses
+// Threshold = 25 · cores.
+type Dynamic struct {
+	Threshold  uint64
+	Variant    core.Variant
+	Instrument bool
+	// Prune enables the §B space management (subtree reclamation on
+	// phase change to zero); its space guarantee holds at Threshold 1.
+	Prune bool
+}
+
+// Name implements Algorithm. The artifact calls this algorithm "dyn".
+func (d Dynamic) Name() string { return "dyn" }
+
+// String includes the tuning for logs.
+func (d Dynamic) String() string { return fmt.Sprintf("dyn(threshold=%d)", d.Threshold) }
+
+// New implements Algorithm.
+func (d Dynamic) New(initial int) Counter {
+	opts := []core.Option{core.WithVariant(d.Variant)}
+	if d.Instrument {
+		opts = append(opts, core.WithInstrumentation())
+	}
+	if d.Prune {
+		opts = append(opts, core.WithPruning())
+	}
+	return &dynCounter{c: core.New(initial, opts...), threshold: d.Threshold}
+}
+
+type dynCounter struct {
+	c         *core.InCounter
+	threshold uint64
+}
+
+func (dc *dynCounter) IsZero() bool     { return dc.c.IsZero() }
+func (dc *dynCounter) NodeCount() int64 { return dc.c.NodeCount() }
+
+func (dc *dynCounter) RootState() State {
+	return &dynState{s: dc.c.RootState(), owner: dc}
+}
+
+// Unwrap exposes the underlying in-counter for invariant tests.
+func (dc *dynCounter) Unwrap() *core.InCounter { return dc.c }
+
+type dynState struct {
+	s     core.State
+	owner *dynCounter
+}
+
+func (ds *dynState) Increment(g *rng.Xoshiro256ss) (State, State) {
+	l, r := ds.s.Increment(g.Flip(ds.owner.threshold))
+	return &dynState{s: l, owner: ds.owner}, &dynState{s: r, owner: ds.owner}
+}
+
+func (ds *dynState) Decrement() bool { return ds.s.Decrement() }

@@ -1,0 +1,57 @@
+package counter
+
+import (
+	"sync/atomic"
+
+	"repro/internal/rng"
+)
+
+// FetchAdd is the single-cell atomic counter baseline of the paper's
+// evaluation: every increment and decrement is a fetch-and-add on one
+// memory word. It is the optimal algorithm at one core and the worst
+// performer at every higher core count (PPoPP'17 Figure 8), because
+// all operations of a finish block contend on the same cache line.
+type FetchAdd struct{}
+
+// Name implements Algorithm.
+func (FetchAdd) Name() string { return "fetchadd" }
+
+// New implements Algorithm.
+func (FetchAdd) New(initial int) Counter {
+	c := &faCounter{}
+	c.v.Store(int64(initial))
+	c.state.c = c
+	return c
+}
+
+type faCounter struct {
+	v     atomic.Int64
+	_     [56]byte // keep the hot word on its own cache line
+	state faState
+}
+
+type faState struct{ c *faCounter }
+
+func (c *faCounter) IsZero() bool     { return c.v.Load() == 0 }
+func (c *faCounter) NodeCount() int64 { return 1 }
+func (c *faCounter) RootState() State { return &c.state }
+
+// Increment implements State. Fetch-and-add needs no per-vertex
+// capability, so the shared state is handed to both children without
+// allocation.
+func (s *faState) Increment(*rng.Xoshiro256ss) (State, State) {
+	s.c.v.Add(1)
+	return s, s
+}
+
+// Decrement implements State. The unique caller whose add reaches zero
+// reports readiness; under the structured discipline the counter value
+// always dominates the number of undischarged vertices, so zero is hit
+// exactly once, by the final signal.
+func (s *faState) Decrement() bool {
+	n := s.c.v.Add(-1)
+	if n < 0 {
+		panic("counter: fetch-and-add counter went negative (unbalanced decrement)")
+	}
+	return n == 0
+}

@@ -1,0 +1,125 @@
+// Package deque implements the Chase–Lev lock-free work-stealing
+// deque (Chase & Lev, SPAA 2005) on sync/atomic primitives. It is the
+// substrate under the work-stealing scheduler (internal/sched), which
+// is the execution environment the paper's sp-dag runtime assumes
+// (reference [2] of the paper).
+//
+// The owner pushes and pops at the bottom in LIFO order without
+// synchronization in the common case; thieves steal from the top with
+// a single CAS. Go's sync/atomic operations are sequentially
+// consistent, which is (more than) the fencing the published algorithm
+// requires.
+package deque
+
+import "sync/atomic"
+
+// Deque is a work-stealing deque holding values of type *T.
+//
+// PushBottom and PopBottom may be called only by the owner goroutine;
+// Steal may be called by any goroutine. The zero value is ready to
+// use.
+type Deque[T any] struct {
+	top    atomic.Int64 // next index to steal from
+	bottom atomic.Int64 // next index to push at
+	array  atomic.Pointer[ring[T]]
+}
+
+// ring is a power-of-two circular buffer. Grown copies leave the old
+// ring intact so that a thief holding a stale pointer still reads
+// valid entries for any index it can win with its CAS on top.
+type ring[T any] struct {
+	mask int64
+	buf  []atomic.Pointer[T]
+}
+
+func newRing[T any](size int64) *ring[T] {
+	return &ring[T]{mask: size - 1, buf: make([]atomic.Pointer[T], size)}
+}
+
+func (r *ring[T]) get(i int64) *T    { return r.buf[i&r.mask].Load() }
+func (r *ring[T]) put(i int64, x *T) { r.buf[i&r.mask].Store(x) }
+func (r *ring[T]) size() int64       { return r.mask + 1 }
+
+const initialSize = 64
+
+// PushBottom adds x at the bottom of the deque. Owner-only.
+func (d *Deque[T]) PushBottom(x *T) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	a := d.array.Load()
+	if a == nil {
+		a = newRing[T](initialSize)
+		d.array.Store(a)
+	}
+	if b-t >= a.size() {
+		a = d.grow(a, b, t)
+	}
+	a.put(b, x)
+	d.bottom.Store(b + 1)
+}
+
+func (d *Deque[T]) grow(a *ring[T], b, t int64) *ring[T] {
+	bigger := newRing[T](a.size() * 2)
+	for i := t; i < b; i++ {
+		bigger.put(i, a.get(i))
+	}
+	d.array.Store(bigger)
+	return bigger
+}
+
+// PopBottom removes and returns the most recently pushed value, or nil
+// if the deque is empty. Owner-only.
+func (d *Deque[T]) PopBottom() *T {
+	b := d.bottom.Load() - 1
+	a := d.array.Load()
+	if a == nil {
+		return nil
+	}
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore the canonical state.
+		d.bottom.Store(t)
+		return nil
+	}
+	x := a.get(b)
+	if t == b {
+		// Last element: race thieves for it.
+		if !d.top.CompareAndSwap(t, t+1) {
+			x = nil // a thief got it
+		}
+		d.bottom.Store(t + 1)
+	}
+	return x
+}
+
+// Steal removes and returns the oldest value. It returns (nil, true)
+// when the deque looked empty, and (nil, false) when the steal lost a
+// race and may be retried immediately.
+func (d *Deque[T]) Steal() (x *T, empty bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil, true
+	}
+	a := d.array.Load()
+	if a == nil {
+		return nil, true
+	}
+	x = a.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil, false
+	}
+	return x, false
+}
+
+// Size returns a snapshot of the number of elements. It is exact only
+// when no operations are concurrent; use it for monitoring and tests.
+func (d *Deque[T]) Size() int64 {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b < t {
+		return 0
+	}
+	return b - t
+}

@@ -1,0 +1,259 @@
+package deque
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestLIFOOwner(t *testing.T) {
+	var d Deque[int]
+	vals := []int{1, 2, 3, 4, 5}
+	for i := range vals {
+		d.PushBottom(&vals[i])
+	}
+	if d.Size() != 5 {
+		t.Fatalf("size = %d, want 5", d.Size())
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		got := d.PopBottom()
+		if got == nil || *got != vals[i] {
+			t.Fatalf("pop %d: got %v, want %d", i, got, vals[i])
+		}
+	}
+	if d.PopBottom() != nil {
+		t.Fatal("pop on empty deque returned a value")
+	}
+}
+
+func TestFIFOSteal(t *testing.T) {
+	var d Deque[int]
+	vals := []int{10, 20, 30}
+	for i := range vals {
+		d.PushBottom(&vals[i])
+	}
+	for i := 0; i < len(vals); i++ {
+		x, empty := d.Steal()
+		if empty || x == nil || *x != vals[i] {
+			t.Fatalf("steal %d: got %v (empty=%v), want %d", i, x, empty, vals[i])
+		}
+	}
+	if _, empty := d.Steal(); !empty {
+		t.Fatal("steal on empty deque did not report empty")
+	}
+}
+
+func TestEmptyOps(t *testing.T) {
+	var d Deque[int]
+	if d.PopBottom() != nil {
+		t.Fatal("pop on fresh deque")
+	}
+	if _, empty := d.Steal(); !empty {
+		t.Fatal("steal on fresh deque")
+	}
+	if d.Size() != 0 {
+		t.Fatal("size on fresh deque")
+	}
+}
+
+func TestGrowth(t *testing.T) {
+	var d Deque[int]
+	const n = 10_000 // forces several growths from the 64-slot initial ring
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+	}
+	if d.Size() != n {
+		t.Fatalf("size = %d, want %d", d.Size(), n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		got := d.PopBottom()
+		if got == nil || *got != i {
+			t.Fatalf("pop: got %v, want %d", got, i)
+		}
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	f := func(ops []bool) bool {
+		var d Deque[int]
+		var model []int
+		vals := make([]int, len(ops))
+		for i, push := range ops {
+			if push || len(model) == 0 {
+				vals[i] = i
+				d.PushBottom(&vals[i])
+				model = append(model, i)
+			} else {
+				got := d.PopBottom()
+				want := model[len(model)-1]
+				model = model[:len(model)-1]
+				if got == nil || *got != want {
+					return false
+				}
+			}
+		}
+		return int(d.Size()) == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoLossNoDuplication is the central correctness property: with an
+// owner pushing/popping and many concurrent thieves, every pushed
+// element is consumed exactly once.
+func TestNoLossNoDuplication(t *testing.T) {
+	const (
+		thieves = 4
+		total   = 200_000
+	)
+	var d Deque[int64]
+	seen := make([]atomic.Int32, total)
+	var consumed atomic.Int64
+
+	consume := func(x *int64) {
+		if x == nil {
+			return
+		}
+		if seen[*x].Add(1) != 1 {
+			t.Errorf("element %d consumed twice", *x)
+		}
+		consumed.Add(1)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				x, _ := d.Steal()
+				if x != nil {
+					consume(x)
+					continue
+				}
+				select {
+				case <-stop:
+					// Drain anything left after the owner finished.
+					for {
+						x, empty := d.Steal()
+						if x != nil {
+							consume(x)
+						} else if empty {
+							return
+						}
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	vals := make([]int64, total)
+	for i := int64(0); i < total; i++ {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+		if i%3 == 0 {
+			consume(d.PopBottom())
+		}
+	}
+	// Owner drains what it can.
+	for {
+		x := d.PopBottom()
+		if x == nil {
+			break
+		}
+		consume(x)
+	}
+	close(stop)
+	wg.Wait()
+	// Anything left (thieves raced with final pops) — deque must be empty.
+	if x := d.PopBottom(); x != nil {
+		consume(x)
+	}
+	if consumed.Load() != total {
+		t.Fatalf("consumed %d of %d elements", consumed.Load(), total)
+	}
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("element %d consumed %d times", i, seen[i].Load())
+		}
+	}
+}
+
+// TestStealContention has thieves only (owner idle after filling), so
+// every element leaves via the CAS path.
+func TestStealContention(t *testing.T) {
+	const total = 100_000
+	const thieves = 8
+	var d Deque[int64]
+	vals := make([]int64, total)
+	for i := range vals {
+		vals[i] = int64(i)
+		d.PushBottom(&vals[i])
+	}
+	var consumed atomic.Int64
+	seen := make([]atomic.Int32, total)
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				x, empty := d.Steal()
+				if x != nil {
+					if seen[*x].Add(1) != 1 {
+						t.Errorf("element %d stolen twice", *x)
+					}
+					consumed.Add(1)
+					continue
+				}
+				if empty {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if consumed.Load() != total {
+		t.Fatalf("stole %d of %d", consumed.Load(), total)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	var d Deque[int]
+	x := 42
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PushBottom(&x)
+		d.PopBottom()
+	}
+}
+
+func BenchmarkStealHalf(b *testing.B) {
+	// Owner pushes; one thief steals concurrently.
+	var d Deque[int]
+	x := 1
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				d.Steal()
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PushBottom(&x)
+		d.PopBottom()
+	}
+	b.StopTimer()
+	close(stop)
+}

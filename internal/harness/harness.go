@@ -1,0 +1,237 @@
+// Package harness drives the paper's experiments: it expands a
+// measurement specification into repeated runs over a configured
+// runtime, averages them, and assembles per-figure reports (one table
+// per figure of PPoPP'17 §5 and the appendices, plus the stall-model
+// contention experiment and the ablations of DESIGN.md).
+package harness
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/counter"
+	"repro/internal/nested"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Spec is one measurement point.
+type Spec struct {
+	Bench     string // fanin | indegree2 | fanin-work | fanin-numa | snzi-stress
+	Algo      string // fetchadd | dyn | snzi-D (counter.Parse syntax)
+	Procs     int
+	N         uint64
+	Threshold uint64              // dyn grow denominator; 0 → 25·Procs (paper default)
+	WorkNs    int                 // dummy work per leaf (fanin-work)
+	Numa      workload.NumaPolicy // placement proxy (fanin-numa)
+	Variant   uint8               // in-counter ablation variant bits
+	Runs      int                 // measured repetitions (≥1)
+	Seed      uint64
+}
+
+// Measurement is the averaged result of one Spec.
+type Measurement struct {
+	Spec             Spec
+	Seconds          stats.Summary // wall-clock seconds per run
+	OpsPerSecPerCore float64
+	CounterOps       uint64
+	Vertices         int64
+	IncounterNodes   int64
+	Steals           uint64
+}
+
+func (m Measurement) String() string {
+	return fmt.Sprintf("%s/%s p=%d n=%d: %.3gs ops/s/core=%.3g",
+		m.Spec.Bench, m.Spec.Algo, m.Spec.Procs, m.Spec.N, m.Seconds.Mean, m.OpsPerSecPerCore)
+}
+
+// Block renders the measurement as an artifact-format record.
+func (m Measurement) Block() *report.Block {
+	b := report.NewBlock().
+		In("bench", m.Spec.Bench).
+		In("algo", m.Spec.Algo).
+		In("proc", m.Spec.Procs).
+		In("threshold", m.Spec.Threshold).
+		In("n", m.Spec.N)
+	if m.Spec.WorkNs > 0 {
+		b.In("workload", m.Spec.WorkNs)
+	}
+	if m.Spec.Numa != workload.NumaOff {
+		b.In("numa", m.Spec.Numa.String())
+	}
+	b.Out("exectime", fmt.Sprintf("%.6f", m.Seconds.Mean)).
+		Out("exectime_stddev", fmt.Sprintf("%.6f", m.Seconds.Std)).
+		Out("nb_runs", m.Seconds.N).
+		Out("ops_per_sec_per_core", fmt.Sprintf("%.1f", m.OpsPerSecPerCore)).
+		Out("nb_operations", m.CounterOps).
+		Out("nb_vertices", m.Vertices).
+		Out("nb_steals", m.Steals).
+		Out("nb_incounter_nodes", m.IncounterNodes).
+		Out("killed", 0)
+	return b
+}
+
+// Run executes one Spec: a warmup run followed by Spec.Runs measured
+// runs on a fresh runtime.
+func Run(spec Spec) (Measurement, error) {
+	if spec.Procs < 1 {
+		spec.Procs = 1
+	}
+	if spec.Runs < 1 {
+		spec.Runs = 1
+	}
+	if spec.N < 1 {
+		spec.N = 1
+	}
+	threshold := spec.Threshold
+	if threshold == 0 {
+		threshold = nested.DefaultThreshold(spec.Procs)
+	}
+
+	if spec.Bench == "snzi-stress" {
+		return runStress(spec)
+	}
+
+	alg, err := counter.Parse(spec.Algo, threshold)
+	if err != nil {
+		return Measurement{}, err
+	}
+	if spec.Variant != 0 {
+		d, ok := alg.(counter.Dynamic)
+		if !ok {
+			return Measurement{}, fmt.Errorf("harness: variant bits require algo dyn, got %q", spec.Algo)
+		}
+		switch spec.Variant {
+		case 1:
+			d.Variant = core.VariantNaiveDecOrder
+		case 2:
+			d.Variant = core.VariantArriveAtHandle
+		default:
+			d.Variant = core.VariantNaiveDecOrder | core.VariantArriveAtHandle
+		}
+		alg = d
+	}
+
+	rt := nested.New(nested.Config{Workers: spec.Procs, Algorithm: alg, Seed: spec.Seed})
+	defer rt.Close()
+
+	one := func() workload.Result {
+		switch spec.Bench {
+		case "fanin":
+			return workload.Fanin(rt, spec.N)
+		case "fanin-work":
+			return workload.FaninWork(rt, spec.N, spec.WorkNs)
+		case "fanin-numa":
+			return workload.FaninNUMA(rt, spec.N, spec.Numa)
+		case "indegree2":
+			return workload.Indegree2(rt, spec.N)
+		default:
+			panic(fmt.Sprintf("harness: unknown bench %q", spec.Bench))
+		}
+	}
+	switch spec.Bench {
+	case "fanin", "fanin-work", "fanin-numa", "indegree2":
+	default:
+		return Measurement{}, fmt.Errorf("harness: unknown bench %q", spec.Bench)
+	}
+
+	one() // warmup
+	steals0 := rt.Scheduler().Stats().Steals
+	times := make([]float64, 0, spec.Runs)
+	var last workload.Result
+	for i := 0; i < spec.Runs; i++ {
+		last = one()
+		times = append(times, last.Elapsed.Seconds())
+	}
+	sum := stats.Summarize(times)
+	m := Measurement{
+		Spec:             spec,
+		Seconds:          sum,
+		CounterOps:       last.CounterOps,
+		Vertices:         last.Vertices,
+		IncounterNodes:   last.FinalNodes,
+		Steals:           rt.Scheduler().Stats().Steals - steals0,
+		OpsPerSecPerCore: float64(last.CounterOps) / sum.Mean / float64(spec.Procs),
+	}
+	m.Spec.Threshold = threshold
+	return m, nil
+}
+
+func runStress(spec Spec) (Measurement, error) {
+	depth := -1
+	if spec.Algo != "fetchadd" {
+		var d int
+		if _, err := fmt.Sscanf(spec.Algo, "snzi-%d", &d); err != nil {
+			return Measurement{}, fmt.Errorf("harness: snzi-stress algo must be fetchadd or snzi-D, got %q", spec.Algo)
+		}
+		depth = d
+	}
+	workload.SnziStress(spec.Procs, depth, int(spec.N)/8) // warmup
+	times := make([]float64, 0, spec.Runs)
+	var last workload.Result
+	for i := 0; i < spec.Runs; i++ {
+		last = workload.SnziStress(spec.Procs, depth, int(spec.N))
+		times = append(times, last.Elapsed.Seconds())
+	}
+	sum := stats.Summarize(times)
+	return Measurement{
+		Spec:             spec,
+		Seconds:          sum,
+		CounterOps:       last.CounterOps,
+		OpsPerSecPerCore: float64(last.CounterOps) / sum.Mean / float64(spec.Procs),
+	}, nil
+}
+
+// ProcsSweep returns the list of worker counts to sweep: 1..max with
+// at most 8 distinct points (all of 1..max when max ≤ 8).
+func ProcsSweep(max int) []int {
+	if max < 1 {
+		max = runtime.GOMAXPROCS(0)
+	}
+	if max <= 8 {
+		out := make([]int, max)
+		for i := range out {
+			out[i] = i + 1
+		}
+		return out
+	}
+	out := []int{1}
+	step := max / 7
+	for p := step; p < max; p += step {
+		out = append(out, p)
+	}
+	return append(out, max)
+}
+
+// Report is the output of one figure driver: formatted tables plus the
+// raw measurements behind them.
+type Report struct {
+	Figure       string
+	Title        string
+	Tables       []*stats.Table
+	Measurements []Measurement
+	Notes        []string
+}
+
+// Render formats the full report as text.
+func (r *Report) Render() string {
+	out := fmt.Sprintf("== %s: %s ==\n", r.Figure, r.Title)
+	for _, n := range r.Notes {
+		out += "note: " + n + "\n"
+	}
+	for _, t := range r.Tables {
+		out += "\n" + t.Render()
+	}
+	return out
+}
+
+// Artifact renders every measurement in the artifact format.
+func (r *Report) Artifact() *report.Collection {
+	var c report.Collection
+	for _, m := range r.Measurements {
+		c.Add(m.Block())
+	}
+	return &c
+}

@@ -1,0 +1,153 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFaninSpec(t *testing.T) {
+	m, err := Run(Spec{Bench: "fanin", Algo: "dyn", Procs: 2, N: 4096, Runs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Seconds.N != 2 || m.Seconds.Mean <= 0 {
+		t.Fatalf("timing summary: %+v", m.Seconds)
+	}
+	if m.OpsPerSecPerCore <= 0 || m.CounterOps == 0 || m.Vertices == 0 {
+		t.Fatalf("measurement: %+v", m)
+	}
+	if m.Spec.Threshold != 50 { // 25·2 default
+		t.Fatalf("default threshold = %d, want 50", m.Spec.Threshold)
+	}
+	if m.String() == "" {
+		t.Fatal("empty String")
+	}
+	blk := m.Block().String()
+	for _, want := range []string{"bench fanin", "algo dyn", "proc 2", "nb_incounter_nodes", "exectime "} {
+		if !strings.Contains(blk, want) {
+			t.Fatalf("artifact block missing %q:\n%s", want, blk)
+		}
+	}
+}
+
+func TestRunAllBenches(t *testing.T) {
+	for _, bench := range []string{"fanin", "indegree2", "fanin-work", "fanin-numa"} {
+		m, err := Run(Spec{Bench: bench, Algo: "fetchadd", Procs: 1, N: 1024, WorkNs: 5, Runs: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", bench, err)
+		}
+		if m.OpsPerSecPerCore <= 0 {
+			t.Fatalf("%s: no throughput", bench)
+		}
+	}
+}
+
+func TestRunStress(t *testing.T) {
+	for _, algo := range []string{"fetchadd", "snzi-2"} {
+		m, err := Run(Spec{Bench: "snzi-stress", Algo: algo, Procs: 2, N: 4096, Runs: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.OpsPerSecPerCore <= 0 {
+			t.Fatalf("%s: no throughput", algo)
+		}
+	}
+	if _, err := Run(Spec{Bench: "snzi-stress", Algo: "dyn", Procs: 1, N: 64, Runs: 1}); err == nil {
+		t.Fatal("snzi-stress with dyn must error")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Spec{Bench: "bogus", Algo: "dyn", Procs: 1, N: 16, Runs: 1}); err == nil {
+		t.Fatal("unknown bench accepted")
+	}
+	if _, err := Run(Spec{Bench: "fanin", Algo: "bogus", Procs: 1, N: 16, Runs: 1}); err == nil {
+		t.Fatal("unknown algo accepted")
+	}
+	if _, err := Run(Spec{Bench: "fanin", Algo: "fetchadd", Variant: 1, Procs: 1, N: 16, Runs: 1}); err == nil {
+		t.Fatal("variant on fetchadd accepted")
+	}
+}
+
+func TestRunVariants(t *testing.T) {
+	for v := uint8(0); v <= 3; v++ {
+		m, err := Run(Spec{Bench: "fanin", Algo: "dyn", Variant: v, Procs: 1, N: 512, Threshold: 1, Runs: 1})
+		if err != nil {
+			t.Fatalf("variant %d: %v", v, err)
+		}
+		if m.OpsPerSecPerCore <= 0 {
+			t.Fatalf("variant %d: no throughput", v)
+		}
+	}
+}
+
+func TestProcsSweep(t *testing.T) {
+	if got := ProcsSweep(2); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("ProcsSweep(2) = %v", got)
+	}
+	if got := ProcsSweep(1); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("ProcsSweep(1) = %v", got)
+	}
+	got := ProcsSweep(40)
+	if got[0] != 1 || got[len(got)-1] != 40 || len(got) > 9 {
+		t.Fatalf("ProcsSweep(40) = %v", got)
+	}
+	if len(ProcsSweep(0)) == 0 {
+		t.Fatal("ProcsSweep(0) empty")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	if got := distinct([]int{2, 1, 2, 0, 4}); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 4 {
+		t.Fatalf("distinct = %v", got)
+	}
+}
+
+func TestFigureRegistry(t *testing.T) {
+	figs := Figures()
+	for _, id := range FigureOrder() {
+		if figs[id] == nil {
+			t.Fatalf("figure %q missing from registry", id)
+		}
+	}
+	if len(figs) != len(FigureOrder()) {
+		t.Fatal("registry and order out of sync")
+	}
+}
+
+// TestAllFiguresQuick executes every figure driver end to end in quick
+// mode on a tiny problem size, checking tables materialize.
+func TestAllFiguresQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure drivers take seconds")
+	}
+	var progress []string
+	opt := Options{Quick: true, N: 1 << 11, MaxProcs: 2, Runs: 1,
+		Progress: func(s string) { progress = append(progress, s) }}
+	for _, id := range FigureOrder() {
+		rep, err := Figures()[id](opt)
+		if err != nil {
+			t.Fatalf("figure %s: %v", id, err)
+		}
+		if len(rep.Tables) == 0 {
+			t.Fatalf("figure %s: no tables", id)
+		}
+		for _, tbl := range rep.Tables {
+			if tbl.NumRows() == 0 {
+				t.Fatalf("figure %s: empty table", id)
+			}
+		}
+		out := rep.Render()
+		if !strings.Contains(out, rep.Figure) {
+			t.Fatalf("figure %s: render missing header", id)
+		}
+		if id != "stalls" && id != "ablations" {
+			if len(rep.Artifact().Blocks) == 0 {
+				t.Fatalf("figure %s: no artifact blocks", id)
+			}
+		}
+	}
+	if len(progress) == 0 {
+		t.Fatal("no progress callbacks")
+	}
+}

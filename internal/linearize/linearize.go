@@ -1,0 +1,196 @@
+// Package linearize implements a Wing–Gong style linearizability
+// checker for relaxed-counter (non-zero indicator) histories, and a
+// recorder that captures such histories from concurrent executions of
+// the real SNZI/in-counter implementations.
+//
+// The paper's correctness claim for the in-counter is linearizability
+// with respect to the non-zero-indicator specification (§4, Lemma 4.1
+// and Theorem 4.2). The proofs in the paper are on paper; this package
+// checks the implementation: record a concurrent history of
+// increment/decrement/query operations with their real-time
+// invocation/response order, then search for a legal sequential
+// witness. The search is exponential in the worst case but histories
+// of a few dozen operations check instantly with memoization, which is
+// plenty to exercise the interesting interleavings (the race windows
+// are a handful of instructions wide).
+//
+// # Specification
+//
+// The sequential object is a counter c ≥ 0 with three operations:
+//
+//   - Inc: c' = c + 1, no observable result;
+//   - Dec: requires c ≥ 1; c' = c − 1; observable result: the
+//     "brought it to zero" report, which must equal (c' == 0) — this
+//     checks the paper's readiness-detection return value, not just
+//     the counter;
+//   - Query: c unchanged; observable result (c > 0).
+package linearize
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Kind enumerates counter operations.
+type Kind uint8
+
+const (
+	// Inc is an increment (SNZI arrive).
+	Inc Kind = iota
+	// Dec is a decrement (SNZI depart); Result is its zero-report.
+	Dec
+	// Query is a non-zero probe; Result is its return value.
+	Query
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Inc:
+		return "inc"
+	case Dec:
+		return "dec"
+	default:
+		return "query"
+	}
+}
+
+// Op is one completed operation in a history, stamped with logical
+// invocation/response times (from the recorder's global clock).
+type Op struct {
+	Kind   Kind
+	Result bool // Dec: zero-report; Query: non-zero answer
+	Inv    int64
+	Res    int64
+}
+
+func (o Op) String() string {
+	return fmt.Sprintf("%s=%v[%d,%d]", o.Kind, o.Result, o.Inv, o.Res)
+}
+
+// Check reports whether the history of completed operations is
+// linearizable with respect to the counter specification starting from
+// the given initial count. Histories beyond 64 operations are
+// rejected (the checker is for focused tests, not bulk runs).
+func Check(history []Op, initial int) bool {
+	n := len(history)
+	if n == 0 {
+		return true
+	}
+	if n > 64 {
+		panic("linearize: history too long for the checker (max 64 ops)")
+	}
+	ops := append([]Op(nil), history...)
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Inv < ops[j].Inv })
+
+	type key struct {
+		done  uint64
+		count int
+	}
+	seen := map[key]bool{}
+
+	var dfs func(done uint64, count int) bool
+	dfs = func(done uint64, count int) bool {
+		if done == (uint64(1)<<n)-1 {
+			return true
+		}
+		k := key{done, count}
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+
+		// An operation may be linearized next iff it is pending at a
+		// point before every other remaining operation has responded:
+		// i.e. its invocation precedes the minimum response time of the
+		// remaining operations.
+		minRes := int64(1<<62 - 1)
+		for i := 0; i < n; i++ {
+			if done&(1<<i) == 0 && ops[i].Res < minRes {
+				minRes = ops[i].Res
+			}
+		}
+		for i := 0; i < n; i++ {
+			if done&(1<<i) != 0 {
+				continue
+			}
+			o := ops[i]
+			if o.Inv > minRes {
+				break // ops sorted by Inv: no later op can be eligible
+			}
+			switch o.Kind {
+			case Inc:
+				if dfs(done|1<<i, count+1) {
+					return true
+				}
+			case Dec:
+				if count >= 1 && o.Result == (count == 1) {
+					if dfs(done|1<<i, count-1) {
+						return true
+					}
+				}
+			case Query:
+				if o.Result == (count > 0) {
+					if dfs(done|1<<i, count) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	return dfs(0, initial)
+}
+
+// Recorder stamps operations with a global logical clock. Safe for
+// concurrent use; collect histories with Ops after the run.
+type Recorder struct {
+	clock atomic.Int64
+	ops   []recorded
+	slots atomic.Int64
+}
+
+type recorded struct {
+	op   Op
+	used atomic.Bool
+}
+
+// NewRecorder creates a recorder with capacity for max operations.
+func NewRecorder(max int) *Recorder {
+	return &Recorder{ops: make([]recorded, max)}
+}
+
+// Invoke opens an operation and returns a token carrying its
+// invocation timestamp.
+func (r *Recorder) Invoke(k Kind) Token {
+	return Token{r: r, kind: k, inv: r.clock.Add(1)}
+}
+
+// Token is an open operation awaiting its response.
+type Token struct {
+	r    *Recorder
+	kind Kind
+	inv  int64
+}
+
+// Respond closes the operation with its observable result.
+func (t Token) Respond(result bool) {
+	slot := t.r.slots.Add(1) - 1
+	if int(slot) >= len(t.r.ops) {
+		panic("linearize: recorder capacity exceeded")
+	}
+	t.r.ops[slot].op = Op{Kind: t.kind, Result: result, Inv: t.inv, Res: t.r.clock.Add(1)}
+	t.r.ops[slot].used.Store(true)
+}
+
+// Ops returns the completed history. Call after all operations have
+// responded.
+func (r *Recorder) Ops() []Op {
+	out := make([]Op, 0, r.slots.Load())
+	for i := range r.ops {
+		if r.ops[i].used.Load() {
+			out = append(out, r.ops[i].op)
+		}
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package linearize
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/snzi"
+)
+
+func TestCheckSequentialHistories(t *testing.T) {
+	// inc; query(true); dec(zero=true); query(false) — sequential, valid.
+	h := []Op{
+		{Kind: Inc, Inv: 1, Res: 2},
+		{Kind: Query, Result: true, Inv: 3, Res: 4},
+		{Kind: Dec, Result: true, Inv: 5, Res: 6},
+		{Kind: Query, Result: false, Inv: 7, Res: 8},
+	}
+	if !Check(h, 0) {
+		t.Fatal("valid sequential history rejected")
+	}
+}
+
+func TestCheckRejectsBadZeroReport(t *testing.T) {
+	// Two incs then one dec that claims it zeroed the counter: no
+	// ordering makes the report true.
+	h := []Op{
+		{Kind: Inc, Inv: 1, Res: 2},
+		{Kind: Inc, Inv: 3, Res: 4},
+		{Kind: Dec, Result: true, Inv: 5, Res: 6},
+	}
+	if Check(h, 0) {
+		t.Fatal("impossible zero-report accepted")
+	}
+	h[2].Result = false
+	if !Check(h, 0) {
+		t.Fatal("correct zero-report rejected")
+	}
+}
+
+func TestCheckRejectsStaleQuery(t *testing.T) {
+	// inc completes strictly before a query that returns false:
+	// real-time order forbids linearizing the query first.
+	h := []Op{
+		{Kind: Inc, Inv: 1, Res: 2},
+		{Kind: Query, Result: false, Inv: 3, Res: 4},
+	}
+	if Check(h, 0) {
+		t.Fatal("stale query accepted")
+	}
+	// If the query overlaps the inc, false becomes legal.
+	h[1] = Op{Kind: Query, Result: false, Inv: 1, Res: 4}
+	h[0] = Op{Kind: Inc, Inv: 2, Res: 3}
+	if !Check(h, 0) {
+		t.Fatal("overlapping query rejected")
+	}
+}
+
+func TestCheckUnderflowRejected(t *testing.T) {
+	h := []Op{{Kind: Dec, Result: true, Inv: 1, Res: 2}}
+	if Check(h, 0) {
+		t.Fatal("decrement of empty counter accepted")
+	}
+	if !Check(h, 1) {
+		t.Fatal("decrement of unit counter rejected")
+	}
+}
+
+func TestCheckEmptyAndCapacity(t *testing.T) {
+	if !Check(nil, 0) {
+		t.Fatal("empty history rejected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized history did not panic")
+		}
+	}()
+	Check(make([]Op, 65), 0)
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder(4)
+	tok := r.Invoke(Inc)
+	tok.Respond(false)
+	tok2 := r.Invoke(Query)
+	tok2.Respond(true)
+	ops := r.Ops()
+	if len(ops) != 2 {
+		t.Fatalf("%d ops recorded", len(ops))
+	}
+	for _, o := range ops {
+		if o.Inv >= o.Res {
+			t.Fatalf("bad timestamps: %v", o)
+		}
+		if o.String() == "" {
+			t.Fatal("empty op string")
+		}
+	}
+	if Inc.String() != "inc" || Dec.String() != "dec" || Query.String() != "query" {
+		t.Fatal("kind strings")
+	}
+}
+
+// TestSNZIHistoriesLinearizable records real concurrent histories from
+// the SNZI tree — several worker threads doing balanced arrive/depart
+// on distinct leaves, plus a query thread — and checks each against
+// the counter specification. This is the mechanical counterpart of the
+// paper's Lemma 4.1/Theorem 4.2.
+func TestSNZIHistoriesLinearizable(t *testing.T) {
+	for trial := 0; trial < 60; trial++ {
+		tree := snzi.NewTree(0)
+		l, r := tree.Root().Grow(true)
+		rec := NewRecorder(64)
+		var wg sync.WaitGroup
+		for i, leaf := range []*snzi.Node{l, r} {
+			wg.Add(1)
+			go func(leaf *snzi.Node, seed uint64) {
+				defer wg.Done()
+				for k := 0; k < 4; k++ {
+					tok := rec.Invoke(Inc)
+					leaf.Arrive()
+					tok.Respond(false)
+					tok = rec.Invoke(Dec)
+					zero := leaf.Depart()
+					tok.Respond(zero)
+				}
+			}(leaf, uint64(i))
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 8; k++ {
+				tok := rec.Invoke(Query)
+				tok.Respond(tree.Query())
+			}
+		}()
+		wg.Wait()
+		if !Check(rec.Ops(), 0) {
+			t.Fatalf("trial %d: non-linearizable SNZI history:\n%v", trial, rec.Ops())
+		}
+	}
+}
+
+// TestInCounterHistoriesLinearizable drives the in-counter through a
+// small concurrent fanin while recording, and checks the history.
+func TestInCounterHistoriesLinearizable(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		c := core.New(1)
+		rec := NewRecorder(64)
+		var wg sync.WaitGroup
+		var spawnRec func(s core.State, depth int, g *rng.Xoshiro256ss)
+		spawnRec = func(s core.State, depth int, g *rng.Xoshiro256ss) {
+			defer wg.Done()
+			if depth == 0 {
+				tok := rec.Invoke(Dec)
+				zero := s.Decrement()
+				tok.Respond(zero)
+				return
+			}
+			tok := rec.Invoke(Inc)
+			l, r := s.Increment(g.Flip(2))
+			tok.Respond(false)
+			wg.Add(2)
+			go spawnRec(l, depth-1, rng.NewXoshiro(g.Next()))
+			go spawnRec(r, depth-1, rng.NewXoshiro(g.Next()))
+		}
+		wg.Add(1)
+		go spawnRec(c.RootState(), 3, rng.NewXoshiro(uint64(trial)+1))
+		// A concurrent prober.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 6; k++ {
+				tok := rec.Invoke(Query)
+				tok.Respond(!c.IsZero())
+			}
+		}()
+		wg.Wait()
+		if !Check(rec.Ops(), 1) {
+			t.Fatalf("trial %d: non-linearizable in-counter history:\n%v", trial, rec.Ops())
+		}
+	}
+}
+
+// TestCheckFindsPlantedViolations corrupts recorded histories and
+// verifies the checker notices — guarding against a vacuous checker.
+func TestCheckFindsPlantedViolations(t *testing.T) {
+	tree := snzi.NewTree(0)
+	l, _ := tree.Root().Grow(true)
+	rec := NewRecorder(16)
+	for k := 0; k < 3; k++ {
+		tok := rec.Invoke(Inc)
+		l.Arrive()
+		tok.Respond(false)
+		tok = rec.Invoke(Dec)
+		tok.Respond(l.Depart())
+	}
+	ops := rec.Ops()
+	if !Check(ops, 0) {
+		t.Fatal("clean history rejected")
+	}
+	// Flip one dec's zero-report: 1→0 transitions happen every round
+	// here, so a false report must be caught.
+	for i := range ops {
+		if ops[i].Kind == Dec {
+			bad := append([]Op(nil), ops...)
+			bad[i].Result = !bad[i].Result
+			if Check(bad, 0) {
+				t.Fatalf("flipped zero-report at op %d accepted", i)
+			}
+		}
+	}
+}

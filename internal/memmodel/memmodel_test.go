@@ -1,0 +1,288 @@
+package memmodel
+
+import (
+	"testing"
+)
+
+func TestSingleThreadOps(t *testing.T) {
+	s := New(1)
+	a := s.Alloc(5)
+	b := s.Alloc(0)
+	var reads []uint64
+	s.Spawn(func(e *Env) {
+		reads = append(reads, e.Read(a))
+		e.Write(b, 42)
+		reads = append(reads, e.Read(b))
+		if !e.CAS(a, 5, 6) {
+			t.Error("CAS with correct expected failed")
+		}
+		if e.CAS(a, 5, 7) {
+			t.Error("CAS with stale expected succeeded")
+		}
+		if prev := e.FAA(b, 8); prev != 42 {
+			t.Errorf("FAA returned %d, want 42", prev)
+		}
+	})
+	s.Run()
+	if s.Peek(a) != 6 || s.Peek(b) != 50 {
+		t.Fatalf("final memory a=%d b=%d, want 6, 50", s.Peek(a), s.Peek(b))
+	}
+	if len(reads) != 2 || reads[0] != 5 || reads[1] != 42 {
+		t.Fatalf("reads = %v", reads)
+	}
+	if s.TotalSteps() != 5 { // read, write, cas, cas, faa (+1 more read) — recount below
+		// read a, write b, read b, cas, cas, faa = 6
+		if s.TotalSteps() != 6 {
+			t.Fatalf("steps = %d, want 6", s.TotalSteps())
+		}
+	}
+}
+
+func TestFAACounterManyThreads(t *testing.T) {
+	s := New(7)
+	c := s.Alloc(0)
+	const P = 16
+	const each = 50
+	for i := 0; i < P; i++ {
+		s.Spawn(func(e *Env) {
+			for k := 0; k < each; k++ {
+				e.Begin("inc")
+				e.FAA(c, 1)
+				e.End()
+			}
+		})
+	}
+	s.Run()
+	if s.Peek(c) != P*each {
+		t.Fatalf("counter = %d, want %d", s.Peek(c), P*each)
+	}
+	st := s.StatsFor("inc")
+	if st == nil || st.Count != P*each {
+		t.Fatalf("stats: %v", st)
+	}
+	// All threads hammer one word: stalls per op must be Θ(P). With P
+	// poised threads, each executed op charges ~P−1 stalls in total, so
+	// the average per op is close to P−1 (a bit below because threads
+	// drain at the end).
+	if st.StallsPerOp() < float64(P)/2 {
+		t.Fatalf("single-cell stalls/op = %.2f, want ≥ %d (Θ(P) contention)", st.StallsPerOp(), P/2)
+	}
+	if st.StepsPerOp() != 1 {
+		t.Fatalf("FAA steps/op = %.2f, want 1", st.StepsPerOp())
+	}
+}
+
+func TestDisjointLocationsNoStalls(t *testing.T) {
+	s := New(3)
+	const P = 8
+	locs := make([]Addr, P)
+	for i := range locs {
+		locs[i] = s.Alloc(0)
+	}
+	for i := 0; i < P; i++ {
+		loc := locs[i]
+		s.Spawn(func(e *Env) {
+			for k := 0; k < 30; k++ {
+				e.Begin("w")
+				e.Write(loc, uint64(k))
+				e.End()
+			}
+		})
+	}
+	s.Run()
+	st := s.StatsFor("w")
+	if st.Stalls != 0 {
+		t.Fatalf("disjoint writers incurred %d stalls", st.Stalls)
+	}
+}
+
+func TestReadsAreFree(t *testing.T) {
+	s := New(5)
+	a := s.Alloc(1)
+	const P = 8
+	for i := 0; i < P; i++ {
+		s.Spawn(func(e *Env) {
+			for k := 0; k < 30; k++ {
+				e.Begin("r")
+				e.Read(a)
+				e.End()
+			}
+		})
+	}
+	s.Run()
+	if st := s.StatsFor("r"); st.Stalls != 0 {
+		t.Fatalf("readers incurred %d stalls", st.Stalls)
+	}
+}
+
+func TestCASRaceExactlyOneWinner(t *testing.T) {
+	s := New(11)
+	a := s.Alloc(0)
+	const P = 10
+	wins := make([]bool, P)
+	for i := 0; i < P; i++ {
+		i := i
+		s.Spawn(func(e *Env) {
+			wins[i] = e.CAS(a, 0, uint64(i)+1)
+		})
+	}
+	s.Run()
+	count := 0
+	winner := -1
+	for i, w := range wins {
+		if w {
+			count++
+			winner = i
+		}
+	}
+	if count != 1 {
+		t.Fatalf("%d CAS winners, want 1", count)
+	}
+	if s.Peek(a) != uint64(winner)+1 {
+		t.Fatalf("memory %d does not match winner %d", s.Peek(a), winner)
+	}
+}
+
+func TestYieldAllowsProgress(t *testing.T) {
+	s := New(13)
+	flag := s.Alloc(0)
+	order := []int{}
+	s.Spawn(func(e *Env) {
+		for e.Read(flag) == 0 {
+			e.Yield()
+		}
+		order = append(order, 1)
+	})
+	s.Spawn(func(e *Env) {
+		for i := 0; i < 5; i++ {
+			e.Yield()
+		}
+		e.Write(flag, 1)
+		order = append(order, 0)
+	})
+	s.Run()
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestThreadLocalAllocVisibleViaMemory(t *testing.T) {
+	s := New(17)
+	ptr := s.Alloc(0) // will hold an address, 0 = null
+	got := uint64(0)
+	s.Spawn(func(e *Env) {
+		a := e.Alloc(99)
+		e.Write(ptr, uint64(a)+1) // +1 so 0 stays "null"
+	})
+	s.Spawn(func(e *Env) {
+		for {
+			p := e.Read(ptr)
+			if p != 0 {
+				got = e.Read(Addr(p - 1))
+				return
+			}
+			e.Yield()
+		}
+	})
+	s.Run()
+	if got != 99 {
+		t.Fatalf("read %d through shared pointer, want 99", got)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	run := func(seed uint64) (uint64, uint64) {
+		s := New(seed)
+		a := s.Alloc(0)
+		for i := 0; i < 4; i++ {
+			s.Spawn(func(e *Env) {
+				for k := 0; k < 20; k++ {
+					v := e.Read(a)
+					e.CAS(a, v, v+1)
+				}
+			})
+		}
+		s.Run()
+		return s.Peek(a), s.TotalStalls()
+	}
+	v1, s1 := run(123)
+	v2, s2 := run(123)
+	if v1 != v2 || s1 != s2 {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", v1, s1, v2, s2)
+	}
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	s := New(1)
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Run did not panic")
+		}
+	}()
+	s.Run()
+}
+
+func TestOpStatsString(t *testing.T) {
+	s := New(1)
+	a := s.Alloc(0)
+	s.Spawn(func(e *Env) {
+		e.Begin("x")
+		e.Write(a, 1)
+		e.End()
+	})
+	s.Run()
+	if s.StatsFor("x").String() == "" {
+		t.Fatal("empty stats string")
+	}
+	if s.StatsFor("nope") != nil {
+		t.Fatal("stats for unknown label")
+	}
+	if len(s.Stats()) != 1 {
+		t.Fatal("stats count")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	for k, want := range map[OpKind]string{OpRead: "read", OpWrite: "write", OpCAS: "cas", OpFAA: "faa", opYield: "yield"} {
+		if k.String() != want {
+			t.Errorf("OpKind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if RandomPolicy.String() != "random" || AdversarialPolicy.String() != "adversarial" {
+		t.Fatal("policy names")
+	}
+}
+
+func TestAdversarialPolicyDeterministicAndBalanced(t *testing.T) {
+	run := func() (uint64, uint64) {
+		s := NewWithPolicy(33, AdversarialPolicy)
+		cell := s.Alloc(0)
+		other := s.Alloc(0)
+		for i := 0; i < 8; i++ {
+			i := i
+			s.Spawn(func(e *Env) {
+				for k := 0; k < 40; k++ {
+					if i%2 == 0 {
+						e.FAA(cell, 1)
+					} else {
+						e.FAA(other, 1)
+					}
+				}
+			})
+		}
+		s.Run()
+		if s.Peek(cell) != 160 || s.Peek(other) != 160 {
+			t.Fatalf("cells %d/%d, want 160/160", s.Peek(cell), s.Peek(other))
+		}
+		return s.TotalSteps(), s.TotalStalls()
+	}
+	a1, b1 := run()
+	a2, b2 := run()
+	if a1 != a2 || b1 != b2 {
+		t.Fatal("adversarial policy not deterministic under a fixed seed")
+	}
+}

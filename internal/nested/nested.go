@@ -1,0 +1,235 @@
+// Package nested provides the structured nested-parallelism frontend
+// — async/finish and fork/join — on top of the sp-dag runtime and the
+// work-stealing scheduler. It is the programming interface the paper's
+// benchmarks are written in (PPoPP'17 Figures 6 and 7), and the
+// "public API" a downstream user of this library programs against
+// (re-exported at the module root).
+//
+// The mapping to sp-dag operations (§3.1) is:
+//
+//   - Async(f) — parallel composition: the current vertex Spawns; the
+//     new right vertex runs f, the left vertex is the caller's
+//     continuation (the calling code keeps executing as it). The
+//     async'd task joins at the innermost enclosing finish.
+//   - FinishThen(f, then) — serial composition: the current vertex
+//     Chains; f runs inside a fresh finish block (with its own
+//     dependency counter), and then runs after every async spawned
+//     inside f (transitively) has completed.
+//   - Finish(f) — FinishThen in tail position: the task ends when the
+//     finish block completes.
+//
+// Every Run executes a top-level implicit finish: Run(f) returns when
+// f and all asyncs it created have completed.
+//
+// A Ctx is a capability for the current task and is consumed by tail
+// operations (Finish, ForkJoin); structured misuse — using a Ctx after
+// its task ended, or from a spawned sibling — panics deterministically
+// rather than corrupting counters.
+package nested
+
+import (
+	"runtime"
+
+	"repro/internal/counter"
+	"repro/internal/sched"
+	"repro/internal/spdag"
+)
+
+// Task is user code executing as one fine-grained thread.
+type Task func(c *Ctx)
+
+// Runtime owns a scheduler and a dag configuration; it can execute
+// many computations sequentially or concurrently.
+type Runtime struct {
+	sched  *sched.Scheduler
+	dag    *spdag.Dag
+	shared bool // scheduler provided by caller: do not shut down
+}
+
+// Config tunes a Runtime.
+type Config struct {
+	// Workers is the number of scheduler workers (the evaluation's
+	// `proc` axis); ≤ 0 means GOMAXPROCS.
+	Workers int
+	// Algorithm is the dependency-counter algorithm; nil means the
+	// paper's in-counter with threshold 25·Workers (§5).
+	Algorithm counter.Algorithm
+	// Seed fixes scheduler randomness for reproducible tests.
+	Seed uint64
+	// Recorder optionally observes dag construction (validation runs).
+	Recorder spdag.Recorder
+	// Policy selects the stealing mechanism (default: concurrent
+	// Chase-Lev deques; the paper's own runtime uses PrivateDeques).
+	Policy sched.Policy
+}
+
+// DefaultThreshold returns the paper's growth-probability denominator
+// for p workers: 25·p, clamped to at least 1 (§5: "p := 1/(25c)").
+func DefaultThreshold(workers int) uint64 {
+	if workers < 1 {
+		workers = 1
+	}
+	return uint64(25 * workers)
+}
+
+// New creates and starts a Runtime.
+func New(cfg Config) *Runtime {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	alg := cfg.Algorithm
+	if alg == nil {
+		alg = counter.Dynamic{Threshold: DefaultThreshold(workers)}
+	}
+	sopts := []sched.Option{sched.WithPolicy(cfg.Policy)}
+	if cfg.Seed != 0 {
+		sopts = append(sopts, sched.WithSeed(cfg.Seed))
+	}
+	s := sched.New(workers, sopts...)
+	dopts := []spdag.Option{spdag.WithScheduler(s.Submit)}
+	if cfg.Recorder != nil {
+		dopts = append(dopts, spdag.WithRecorder(cfg.Recorder))
+	}
+	r := &Runtime{sched: s, dag: spdag.New(alg, dopts...)}
+	s.Start()
+	return r
+}
+
+// Close shuts the scheduler down. The Runtime must be quiescent.
+func (r *Runtime) Close() {
+	if !r.shared {
+		r.sched.Shutdown()
+	}
+}
+
+// Scheduler exposes the underlying scheduler (for stats).
+func (r *Runtime) Scheduler() *sched.Scheduler { return r.sched }
+
+// Dag exposes the underlying dag (for stats and validation).
+func (r *Runtime) Dag() *spdag.Dag { return r.dag }
+
+// Workers returns the worker count.
+func (r *Runtime) Workers() int { return r.sched.NumWorkers() }
+
+// Run executes f under a top-level finish and blocks the calling
+// goroutine (which is not a worker) until f and everything it spawned
+// have completed.
+func (r *Runtime) Run(f Task) { r.RunMeasured(f) }
+
+// RunMeasured is Run, additionally returning the dependency counter of
+// the computation's final vertex — the top-level finish block. Its
+// NodeCount is the artifact's nb_incounter_nodes statistic.
+func (r *Runtime) RunMeasured(f Task) counter.Counter {
+	root, final := r.dag.Make()
+	done := make(chan struct{})
+	final.SetBody(func(*spdag.Vertex) { close(done) })
+	root.SetBody(wrap(f))
+	if !root.TrySchedule() {
+		panic("nested: fresh root failed to schedule")
+	}
+	<-done
+	return final.Counter()
+}
+
+// Ctx is the capability of the currently executing task. It is not
+// safe for concurrent use and must not escape into async'd siblings
+// (each Task receives its own).
+type Ctx struct {
+	v    *spdag.Vertex
+	done bool // a tail operation consumed the task
+}
+
+// wrap adapts a Task to a vertex body: the task's final continuation
+// vertex signals when the user function returns, unless a tail
+// operation already consumed the task.
+func wrap(f Task) spdag.Body {
+	return func(self *spdag.Vertex) {
+		c := Ctx{v: self}
+		if f != nil {
+			f(&c)
+		}
+		if !c.done && !c.v.Dead() {
+			c.v.Signal()
+		}
+	}
+}
+
+// Vertex returns the current continuation vertex (diagnostics).
+func (c *Ctx) Vertex() *spdag.Vertex { return c.v }
+
+func (c *Ctx) check(op string) {
+	if c.done {
+		panic("nested: " + op + " after the task ended (Finish/ForkJoin are tail operations)")
+	}
+}
+
+// Async starts f as a new task joining at the innermost enclosing
+// finish block, and continues the caller as the spawn's continuation.
+func (c *Ctx) Async(f Task) {
+	c.check("Async")
+	v, w := c.v.Spawn()
+	w.SetBody(wrap(f))
+	v.AdoptExecution() // the caller keeps running as v
+	c.v = v
+	w.TrySchedule()
+}
+
+// FinishThen runs body inside a fresh finish block; then runs after
+// body and every async it (transitively) created inside the block have
+// completed. then continues the caller's task: it may Async into the
+// caller's own enclosing finish, and the caller's task ends when then
+// returns (the Ctx passed to then is a fresh one; c is consumed).
+func (c *Ctx) FinishThen(body, then Task) {
+	c.check("FinishThen")
+	v, w := c.v.Chain()
+	v.SetBody(wrap(body))
+	w.SetBody(wrap(then))
+	c.done = true
+	v.TrySchedule()
+}
+
+// Finish is FinishThen in tail position: the caller's task ends when
+// the finish block completes.
+func (c *Ctx) Finish(body Task) { c.FinishThen(body, nil) }
+
+// ForkJoinThen runs f and g in parallel and calls then when both have
+// completed (fork-join, the two-way special case of async-finish).
+func (c *Ctx) ForkJoinThen(f, g, then Task) {
+	c.FinishThen(func(c *Ctx) {
+		c.Async(f)
+		g(c)
+	}, then)
+}
+
+// ForkJoin is ForkJoinThen in tail position.
+func (c *Ctx) ForkJoin(f, g Task) { c.ForkJoinThen(f, g, nil) }
+
+// ParallelForThen runs fn(i) for every i in [lo, hi) with parallel
+// recursive splitting down to the given grain (iterations per task,
+// minimum 1), then runs then once all iterations complete.
+func (c *Ctx) ParallelForThen(lo, hi, grain int, fn func(i int), then Task) {
+	if grain < 1 {
+		grain = 1
+	}
+	c.FinishThen(func(c *Ctx) {
+		parforRec(c, lo, hi, grain, fn)
+	}, then)
+}
+
+// ParallelFor is ParallelForThen in tail position.
+func (c *Ctx) ParallelFor(lo, hi, grain int, fn func(i int)) {
+	c.ParallelForThen(lo, hi, grain, fn, nil)
+}
+
+func parforRec(c *Ctx, lo, hi, grain int, fn func(i int)) {
+	for hi-lo > grain {
+		mid := lo + (hi-lo)/2
+		lo2, hi2 := lo, mid
+		c.Async(func(c *Ctx) { parforRec(c, lo2, hi2, grain, fn) })
+		lo = mid
+	}
+	for i := lo; i < hi; i++ {
+		fn(i)
+	}
+}

@@ -1,0 +1,321 @@
+package nested
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/counter"
+	"repro/internal/spdag"
+)
+
+func testAlgorithms() []counter.Algorithm {
+	return []counter.Algorithm{
+		nil, // default (dyn with paper threshold)
+		counter.Dynamic{Threshold: 1},
+		counter.FetchAdd{},
+		counter.FixedSNZI{Depth: 2},
+	}
+}
+
+func newRuntime(t *testing.T, workers int, alg counter.Algorithm) *Runtime {
+	t.Helper()
+	r := New(Config{Workers: workers, Algorithm: alg, Seed: 42})
+	t.Cleanup(r.Close)
+	return r
+}
+
+func TestRunTrivial(t *testing.T) {
+	r := newRuntime(t, 2, nil)
+	ran := false
+	r.Run(func(*Ctx) { ran = true })
+	if !ran {
+		t.Fatal("task did not run")
+	}
+	if r.Workers() != 2 {
+		t.Fatal("Workers() mismatch")
+	}
+	if r.Scheduler() == nil || r.Dag() == nil {
+		t.Fatal("accessors returned nil")
+	}
+}
+
+func TestRunNilTask(t *testing.T) {
+	r := newRuntime(t, 1, nil)
+	r.Run(nil) // must complete without deadlock
+}
+
+func TestAsyncAllRun(t *testing.T) {
+	for _, alg := range testAlgorithms() {
+		r := newRuntime(t, 4, alg)
+		var n atomic.Int64
+		r.Run(func(c *Ctx) {
+			for i := 0; i < 100; i++ {
+				c.Async(func(*Ctx) { n.Add(1) })
+			}
+		})
+		if n.Load() != 100 {
+			t.Fatalf("%v: %d asyncs ran, want 100", alg, n.Load())
+		}
+	}
+}
+
+func TestRunWaitsForNestedAsyncs(t *testing.T) {
+	r := newRuntime(t, 4, nil)
+	var n atomic.Int64
+	var rec func(c *Ctx, depth int)
+	rec = func(c *Ctx, depth int) {
+		n.Add(1)
+		if depth == 0 {
+			return
+		}
+		c.Async(func(c *Ctx) { rec(c, depth-1) })
+		c.Async(func(c *Ctx) { rec(c, depth-1) })
+	}
+	r.Run(func(c *Ctx) { rec(c, 10) })
+	want := int64(1<<11 - 1)
+	if n.Load() != want {
+		t.Fatalf("Run returned before all asyncs: %d of %d", n.Load(), want)
+	}
+}
+
+func TestFinishThenOrdering(t *testing.T) {
+	r := newRuntime(t, 4, nil)
+	var inBlock atomic.Int64
+	var observed int64 = -1
+	r.Run(func(c *Ctx) {
+		c.FinishThen(func(c *Ctx) {
+			for i := 0; i < 50; i++ {
+				c.Async(func(*Ctx) { inBlock.Add(1) })
+			}
+		}, func(*Ctx) {
+			observed = inBlock.Load()
+		})
+	})
+	if observed != 50 {
+		t.Fatalf("then saw %d of 50 asyncs complete", observed)
+	}
+}
+
+func TestNestedFinishes(t *testing.T) {
+	r := newRuntime(t, 4, nil)
+	var order []string
+	var mu atomic.Int32
+	push := func(s string) {
+		for !mu.CompareAndSwap(0, 1) {
+		}
+		order = append(order, s)
+		mu.Store(0)
+	}
+	r.Run(func(c *Ctx) {
+		c.FinishThen(func(c *Ctx) {
+			c.Finish(func(c *Ctx) {
+				c.Async(func(*Ctx) { push("inner") })
+			})
+		}, func(c *Ctx) {
+			push("outer-then")
+		})
+	})
+	if len(order) != 2 || order[0] != "inner" || order[1] != "outer-then" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestForkJoin(t *testing.T) {
+	r := newRuntime(t, 4, nil)
+	var a, b atomic.Bool
+	joined := false
+	r.Run(func(c *Ctx) {
+		c.ForkJoinThen(
+			func(*Ctx) { a.Store(true) },
+			func(*Ctx) { b.Store(true) },
+			func(*Ctx) { joined = a.Load() && b.Load() },
+		)
+	})
+	if !joined {
+		t.Fatal("join ran before both branches")
+	}
+}
+
+func TestForkJoinTail(t *testing.T) {
+	r := newRuntime(t, 2, nil)
+	var a, b atomic.Bool
+	r.Run(func(c *Ctx) {
+		c.ForkJoin(
+			func(*Ctx) { a.Store(true) },
+			func(*Ctx) { b.Store(true) },
+		)
+	})
+	if !a.Load() || !b.Load() {
+		t.Fatal("fork-join branches incomplete after Run")
+	}
+}
+
+func TestParallelFor(t *testing.T) {
+	for _, grain := range []int{1, 7, 100, 100000} {
+		r := newRuntime(t, 4, nil)
+		const n = 10_000
+		marks := make([]atomic.Int32, n)
+		r.Run(func(c *Ctx) {
+			c.ParallelFor(0, n, grain, func(i int) { marks[i].Add(1) })
+		})
+		for i := range marks {
+			if marks[i].Load() != 1 {
+				t.Fatalf("grain %d: index %d visited %d times", grain, i, marks[i].Load())
+			}
+		}
+	}
+}
+
+func TestParallelForThen(t *testing.T) {
+	r := newRuntime(t, 4, nil)
+	var sum atomic.Int64
+	var total int64 = -1
+	r.Run(func(c *Ctx) {
+		c.ParallelForThen(1, 101, 5, func(i int) { sum.Add(int64(i)) },
+			func(*Ctx) { total = sum.Load() })
+	})
+	if total != 5050 {
+		t.Fatalf("sum = %d, want 5050", total)
+	}
+}
+
+func TestParallelForEmptyRange(t *testing.T) {
+	r := newRuntime(t, 2, nil)
+	calls := 0
+	r.Run(func(c *Ctx) {
+		c.ParallelFor(5, 5, 0, func(int) { calls++ })
+	})
+	if calls != 0 {
+		t.Fatalf("%d calls on empty range", calls)
+	}
+}
+
+func TestCtxMisusePanics(t *testing.T) {
+	r := newRuntime(t, 1, nil)
+	panicked := make(chan bool, 1)
+	r.Run(func(c *Ctx) {
+		c.Finish(func(*Ctx) {})
+		func() {
+			defer func() { panicked <- recover() != nil }()
+			c.Async(func(*Ctx) {})
+		}()
+	})
+	if !<-panicked {
+		t.Fatal("Async after Finish did not panic")
+	}
+}
+
+// FaninRec is the paper's Figure 6 benchmark kernel.
+func faninRec(c *Ctx, n int64, leaves *atomic.Int64) {
+	if n >= 2 {
+		h := n / 2
+		c.Async(func(c *Ctx) { faninRec(c, h, leaves) })
+		c.Async(func(c *Ctx) { faninRec(c, h, leaves) })
+		return
+	}
+	leaves.Add(1)
+}
+
+func TestFaninKernel(t *testing.T) {
+	for _, alg := range testAlgorithms() {
+		for _, p := range []int{1, 2, 4} {
+			r := newRuntime(t, p, alg)
+			var leaves atomic.Int64
+			r.Run(func(c *Ctx) { faninRec(c, 1<<10, &leaves) })
+			if leaves.Load() != 1<<10 {
+				t.Fatalf("alg=%v p=%d: %d leaves, want %d", alg, p, leaves.Load(), 1<<10)
+			}
+		}
+	}
+}
+
+// indegree2Rec is the paper's Figure 7 benchmark kernel: same shape as
+// fanin but each level synchronizes in its own finish block.
+func indegree2Rec(c *Ctx, n int64, leaves *atomic.Int64) {
+	if n >= 2 {
+		h := n / 2
+		c.Finish(func(c *Ctx) {
+			c.Async(func(c *Ctx) { indegree2Rec(c, h, leaves) })
+			c.Async(func(c *Ctx) { indegree2Rec(c, h, leaves) })
+		})
+		return
+	}
+	leaves.Add(1)
+}
+
+func TestIndegree2Kernel(t *testing.T) {
+	for _, alg := range testAlgorithms() {
+		for _, p := range []int{1, 4} {
+			r := newRuntime(t, p, alg)
+			var leaves atomic.Int64
+			r.Run(func(c *Ctx) { indegree2Rec(c, 1<<10, &leaves) })
+			if leaves.Load() != 1<<10 {
+				t.Fatalf("alg=%v p=%d: %d leaves, want %d", alg, p, leaves.Load(), 1<<10)
+			}
+		}
+	}
+}
+
+func fibTask(c *Ctx, n int, dest *int64) {
+	if n <= 1 {
+		*dest = int64(n)
+		return
+	}
+	var a, b int64
+	c.ForkJoinThen(
+		func(c *Ctx) { fibTask(c, n-1, &a) },
+		func(c *Ctx) { fibTask(c, n-2, &b) },
+		func(*Ctx) { *dest = a + b },
+	)
+}
+
+func TestFib(t *testing.T) {
+	for _, alg := range testAlgorithms() {
+		r := newRuntime(t, 4, alg)
+		var result int64
+		r.Run(func(c *Ctx) { fibTask(c, 18, &result) })
+		if result != 2584 {
+			t.Fatalf("alg=%v: fib(18) = %d, want 2584", alg, result)
+		}
+	}
+}
+
+// TestStructuralValidity validates the recorded dag of an async-finish
+// program: acyclic, series-parallel, every vertex executed once.
+func TestStructuralValidity(t *testing.T) {
+	rec := spdag.NewMemRecorder()
+	r := New(Config{Workers: 4, Seed: 9, Recorder: rec,
+		Algorithm: counter.Dynamic{Threshold: 4}})
+	defer r.Close()
+	var leaves atomic.Int64
+	r.Run(func(c *Ctx) {
+		c.FinishThen(func(c *Ctx) {
+			faninRec(c, 64, &leaves)
+		}, func(c *Ctx) {
+			indegree2Rec(c, 32, &leaves)
+		})
+	})
+	if err := rec.CheckAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultThreshold(t *testing.T) {
+	if DefaultThreshold(4) != 100 {
+		t.Fatalf("DefaultThreshold(4) = %d, want 100", DefaultThreshold(4))
+	}
+	if DefaultThreshold(0) != 25 {
+		t.Fatalf("DefaultThreshold(0) = %d, want 25", DefaultThreshold(0))
+	}
+}
+
+func TestManySequentialRuns(t *testing.T) {
+	r := newRuntime(t, 2, nil)
+	for i := 0; i < 30; i++ {
+		var leaves atomic.Int64
+		r.Run(func(c *Ctx) { faninRec(c, 128, &leaves) })
+		if leaves.Load() != 128 {
+			t.Fatalf("run %d: %d leaves", i, leaves.Load())
+		}
+	}
+}

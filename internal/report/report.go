@@ -1,0 +1,156 @@
+// Package report emits benchmark results in the ad-hoc key-value text
+// format of the paper's artifact (appendix D.5), so that output from
+// this reproduction can be eyeballed against the original result files
+// and consumed by the same style of scripts:
+//
+//	==========
+//	machine rainey-Precision-T1700
+//	bench fanin
+//	algo dyn
+//	proc 1
+//	threshold 40000
+//	n 16777216
+//	---
+//	exectime 4.235
+//	nb_steals 0
+//	nb_incounter_nodes 415
+//	==========
+package report
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// KV is one key-value pair; values print with %v.
+type KV struct {
+	Key   string
+	Value interface{}
+}
+
+// Block is one result record: input parameters before the "---"
+// divider, outputs after it.
+type Block struct {
+	Inputs  []KV
+	Outputs []KV
+}
+
+// NewBlock starts a block with the standard machine header.
+func NewBlock() *Block {
+	b := &Block{}
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "unknown"
+	}
+	b.In("machine", host)
+	b.In("prog", "ppopp17bench")
+	return b
+}
+
+// In appends an input parameter and returns the block for chaining.
+func (b *Block) In(key string, value interface{}) *Block {
+	b.Inputs = append(b.Inputs, KV{key, value})
+	return b
+}
+
+// Out appends an output value and returns the block for chaining.
+func (b *Block) Out(key string, value interface{}) *Block {
+	b.Outputs = append(b.Outputs, KV{key, value})
+	return b
+}
+
+// WriteTo renders the block in the artifact format.
+func (b *Block) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	emit := func(format string, args ...interface{}) error {
+		k, err := fmt.Fprintf(w, format, args...)
+		n += int64(k)
+		return err
+	}
+	if err := emit("==========\n"); err != nil {
+		return n, err
+	}
+	for _, kv := range b.Inputs {
+		if err := emit("%s %v\n", kv.Key, kv.Value); err != nil {
+			return n, err
+		}
+	}
+	if err := emit("---\n"); err != nil {
+		return n, err
+	}
+	for _, kv := range b.Outputs {
+		if err := emit("%s %v\n", kv.Key, kv.Value); err != nil {
+			return n, err
+		}
+	}
+	err := emit("==========\n")
+	return n, err
+}
+
+// String renders the block to a string.
+func (b *Block) String() string {
+	var sb writerString
+	b.WriteTo(&sb)
+	return string(sb)
+}
+
+type writerString []byte
+
+func (w *writerString) Write(p []byte) (int, error) {
+	*w = append(*w, p...)
+	return len(p), nil
+}
+
+// Collection accumulates blocks and writes them out together.
+type Collection struct {
+	Blocks []*Block
+}
+
+// Add appends a block.
+func (c *Collection) Add(b *Block) { c.Blocks = append(c.Blocks, b) }
+
+// WriteTo emits all blocks.
+func (c *Collection) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, b := range c.Blocks {
+		k, err := b.WriteTo(w)
+		n += k
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Lookup returns the blocks whose inputs match all the given key=value
+// constraints (values compared by fmt.Sprint equality).
+func (c *Collection) Lookup(constraints map[string]interface{}) []*Block {
+	var out []*Block
+	keys := make([]string, 0, len(constraints))
+	for k := range constraints {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, b := range c.Blocks {
+		match := true
+		for _, k := range keys {
+			found := false
+			for _, kv := range b.Inputs {
+				if kv.Key == k && fmt.Sprint(kv.Value) == fmt.Sprint(constraints[k]) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBlockFormat(t *testing.T) {
+	b := NewBlock().In("bench", "fanin").In("proc", 4).Out("exectime", 1.25).Out("killed", 0)
+	out := b.String()
+	if !strings.HasPrefix(out, "==========\n") || !strings.HasSuffix(out, "==========\n") {
+		t.Fatalf("missing delimiters:\n%s", out)
+	}
+	for _, want := range []string{"machine ", "prog ppopp17bench", "bench fanin", "proc 4", "---", "exectime 1.25", "killed 0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Inputs must precede the divider, outputs follow it.
+	div := strings.Index(out, "\n---\n")
+	if div < 0 {
+		t.Fatal("no divider")
+	}
+	if strings.Index(out, "bench fanin") > div {
+		t.Fatal("input after divider")
+	}
+	if strings.Index(out, "exectime") < div {
+		t.Fatal("output before divider")
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	b := NewBlock().In("n", 128).Out("x", "y")
+	var buf bytes.Buffer
+	n, err := b.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(n) != buf.Len() {
+		t.Fatalf("WriteTo returned %d, wrote %d", n, buf.Len())
+	}
+}
+
+func TestCollection(t *testing.T) {
+	var c Collection
+	c.Add(NewBlock().In("bench", "fanin").In("proc", 1).Out("exectime", 1.0))
+	c.Add(NewBlock().In("bench", "fanin").In("proc", 2).Out("exectime", 0.6))
+	c.Add(NewBlock().In("bench", "indegree2").In("proc", 1).Out("exectime", 2.0))
+
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "==========\n"); got != 6 {
+		t.Fatalf("%d delimiters, want 6", got)
+	}
+
+	if got := len(c.Lookup(map[string]interface{}{"bench": "fanin"})); got != 2 {
+		t.Fatalf("fanin lookup found %d", got)
+	}
+	if got := len(c.Lookup(map[string]interface{}{"bench": "fanin", "proc": 2})); got != 1 {
+		t.Fatalf("fanin/2 lookup found %d", got)
+	}
+	if got := len(c.Lookup(map[string]interface{}{"bench": "nope"})); got != 0 {
+		t.Fatalf("nope lookup found %d", got)
+	}
+}

@@ -1,0 +1,151 @@
+// Package rng provides small, fast, seedable pseudo-random number
+// generators used by the dynamic SNZI grow operation and by the
+// benchmark workload generators.
+//
+// The generators here are deliberately not cryptographic. They exist
+// because the grow coin flip sits on the hot path of every in-counter
+// increment: it must not take a lock (math/rand's global source does)
+// and it must be seedable so that tests of the probabilistic grow
+// behaviour are reproducible. SplitMix64 is used for sequential
+// streams and as the seeding function for per-worker generators.
+package rng
+
+import "sync/atomic"
+
+// SplitMix64 is the 64-bit SplitMix generator of Steele, Lea and
+// Flood. It passes BigCrush, has a full 2^64 period, and every seed
+// yields a distinct sequence, which makes it safe to derive many
+// independent per-worker streams from consecutive seeds.
+//
+// The zero value is a valid generator seeded with 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Seed resets the generator state.
+func (s *SplitMix64) Seed(seed uint64) { s.state = seed }
+
+// Next returns the next 64-bit value in the stream.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 applies the SplitMix64 output permutation to x. It is a
+// high-quality 64-bit mixing function, useful for hashing small
+// integers (the fixed-depth SNZI baseline uses it to map dag vertices
+// to tree leaves).
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Xoshiro256ss is the xoshiro256** generator of Blackman and Vigna.
+// It is the workhorse generator for per-worker streams: one step is a
+// handful of arithmetic instructions and no memory synchronization.
+//
+// Use NewXoshiro to obtain a correctly seeded instance; an all-zero
+// state is a fixed point and must be avoided.
+type Xoshiro256ss struct {
+	s [4]uint64
+}
+
+// NewXoshiro returns a xoshiro256** generator whose state is expanded
+// from seed with SplitMix64, as recommended by the authors.
+func NewXoshiro(seed uint64) *Xoshiro256ss {
+	sm := NewSplitMix64(seed)
+	var x Xoshiro256ss
+	for i := range x.s {
+		x.s[i] = sm.Next()
+	}
+	// Guard against the (astronomically unlikely) all-zero expansion.
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &x
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Next returns the next 64-bit value in the stream.
+func (x *Xoshiro256ss) Next() uint64 {
+	result := rotl(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = rotl(x.s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniformly distributed value in [0, n) using
+// Lemire's multiply-shift rejection method. n must be positive.
+func (x *Xoshiro256ss) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	// Fast path without rejection is fine for benchmark/coin-flip use:
+	// the bias for n << 2^64 is negligible, but we keep one rejection
+	// round to stay principled for larger n.
+	v := x.Next()
+	hi, lo := mul64(v, n)
+	if lo < n {
+		thresh := (-n) % n
+		for lo < thresh {
+			v = x.Next()
+			hi, lo = mul64(v, n)
+		}
+	}
+	return hi
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	t := a0 * b0
+	lo = t & mask32
+	c := t >> 32
+	t = a1*b0 + c
+	c = t >> 32
+	m := t & mask32
+	t = a0*b1 + m
+	lo |= (t & mask32) << 32
+	hi = a1*b1 + c + (t >> 32)
+	return hi, lo
+}
+
+// Flip returns true with probability 1/den. den == 0 or 1 always
+// returns true (a degenerate coin that always lands heads), matching
+// the paper's p = 1 analysis case where every grow call extends the
+// tree.
+func (x *Xoshiro256ss) Flip(den uint64) bool {
+	if den <= 1 {
+		return true
+	}
+	return x.Uint64n(den) == 0
+}
+
+// seedCounter provides process-unique seeds for generators created
+// without an explicit seed.
+var seedCounter atomic.Uint64
+
+// AutoSeed returns a process-unique, well-mixed seed. It is used when
+// callers do not care about reproducibility (e.g. per-worker
+// generators in production schedulers).
+func AutoSeed() uint64 {
+	return Mix64(seedCounter.Add(1) * 0x9e3779b97f4a7c15)
+}

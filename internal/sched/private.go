@@ -1,0 +1,123 @@
+package sched
+
+// This file implements the second stealing policy: work stealing with
+// PRIVATE deques (Acar, Charguéraud, Rainey, PPoPP'13 — the scheduler
+// the paper's own implementation builds on, its reference [2]).
+//
+// Under this policy a worker's deque is a plain, unsynchronized slice:
+// only its owner touches it. Idle workers do not steal directly;
+// they post a steal request into the victim's request cell (one CAS)
+// and wait for the victim to answer through the thief's transfer cell.
+// Busy workers poll their request cell between vertex executions and
+// hand over their oldest task. The communication degenerates to two
+// atomic cells per worker, so the deque operations themselves are free
+// of synchronization — the trade-off is steal latency bounded by the
+// victim's polling interval (one vertex execution).
+
+import (
+	"sync/atomic"
+
+	"repro/internal/spdag"
+)
+
+// noWork is the sentinel a victim answers with when its deque is
+// empty; the thief distinguishes it from "no answer yet" (nil).
+var noWork = &spdag.Vertex{}
+
+const noThief = -1
+
+// privateState is the per-worker state used by the private-deques
+// policy.
+type privateState struct {
+	queue    []*spdag.Vertex // private LIFO; owner-only
+	request  atomic.Int32    // id of a thief awaiting work, or noThief
+	transfer atomic.Pointer[spdag.Vertex]
+}
+
+func (w *worker) pushPrivate(v *spdag.Vertex) {
+	w.pd.queue = append(w.pd.queue, v)
+}
+
+func (w *worker) popPrivate() *spdag.Vertex {
+	q := w.pd.queue
+	if len(q) == 0 {
+		return nil
+	}
+	v := q[len(q)-1]
+	w.pd.queue = q[:len(q)-1]
+	return v
+}
+
+// respond answers at most one pending steal request, handing over the
+// oldest queued vertex (FIFO end, as in concurrent work stealing).
+func (w *worker) respond() {
+	thief := w.pd.request.Load()
+	if thief == noThief {
+		return
+	}
+	v := noWork
+	if len(w.pd.queue) > 0 {
+		v = w.pd.queue[0]
+		w.pd.queue = w.pd.queue[1:]
+	}
+	w.s.workers[thief].pd.transfer.Store(v)
+	w.pd.request.Store(noThief)
+}
+
+// runPrivate is the worker loop for the private-deques policy.
+func (w *worker) runPrivate() {
+	defer w.s.wg.Done()
+	idleRounds := 0
+	for !w.s.stop.Load() {
+		w.respond()
+		v := w.popPrivate()
+		if v == nil {
+			v = w.findWorkPrivate()
+		}
+		if v == nil {
+			idleRounds++
+			w.backoff(idleRounds)
+			continue
+		}
+		idleRounds = 0
+		v.Execute(&w.ctx)
+		w.executed.Add(1)
+	}
+	// Shutdown: release any thief still waiting on us.
+	w.respond()
+}
+
+// findWorkPrivate polls the injector, then posts a steal request to
+// one random victim and waits for the answer (polling its own request
+// cell meanwhile so two idle workers cannot deadlock each other).
+func (w *worker) findWorkPrivate() *spdag.Vertex {
+	if v := w.s.popInjector(); v != nil {
+		return v
+	}
+	n := len(w.s.workers)
+	if n == 1 {
+		return nil
+	}
+	victim := w.s.workers[w.g.Uint64n(uint64(n))]
+	if victim == w {
+		return nil
+	}
+	if !victim.pd.request.CompareAndSwap(noThief, int32(w.id)) {
+		return nil // victim busy with another thief; back off and retry
+	}
+	for {
+		if v := w.pd.transfer.Swap(nil); v != nil {
+			if v == noWork {
+				return nil
+			}
+			w.steals.Add(1)
+			return v
+		}
+		// While waiting, serve thieves targeting us (we have nothing,
+		// but the answer unblocks them) and respect shutdown.
+		w.respond()
+		if w.s.stop.Load() {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/counter"
+	"repro/internal/spdag"
+)
+
+func TestPolicyString(t *testing.T) {
+	if ChaseLev.String() != "chase-lev" || PrivateDeques.String() != "private-deques" {
+		t.Fatal("policy names")
+	}
+	s := New(2, WithPolicy(PrivateDeques))
+	if s.Policy() != PrivateDeques {
+		t.Fatal("policy accessor")
+	}
+	if s.String() != "sched.Scheduler{workers=2, policy=private-deques}" {
+		t.Fatalf("String = %s", s.String())
+	}
+}
+
+func TestPrivateDequesTrivial(t *testing.T) {
+	s := New(2, WithSeed(1), WithPolicy(PrivateDeques))
+	s.Start()
+	defer s.Shutdown()
+	d := spdag.New(counter.Dynamic{Threshold: 1}, spdag.WithScheduler(s.Submit))
+	ran := false
+	s.Run(d, func(*spdag.Vertex) { ran = true })
+	if !ran {
+		t.Fatal("root did not run")
+	}
+}
+
+func TestPrivateDequesSpawnTree(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8} {
+		s := New(p, WithSeed(uint64(p)), WithPolicy(PrivateDeques))
+		s.Start()
+		d := spdag.New(counter.Dynamic{Threshold: 16}, spdag.WithScheduler(s.Submit))
+		var leaves atomic.Int64
+		const depth = 12
+		s.Run(d, func(u *spdag.Vertex) { spawnTree(u, depth, &leaves) })
+		s.Shutdown()
+		if leaves.Load() != 1<<depth {
+			t.Fatalf("p=%d: %d leaves, want %d", p, leaves.Load(), 1<<depth)
+		}
+	}
+}
+
+func TestPrivateDequesStealsHappen(t *testing.T) {
+	s := New(4, WithSeed(3), WithPolicy(PrivateDeques))
+	s.Start()
+	defer s.Shutdown()
+	d := spdag.New(counter.Dynamic{Threshold: 1}, spdag.WithScheduler(s.Submit))
+	var leaves atomic.Int64
+	s.Run(d, func(u *spdag.Vertex) { spawnTree(u, 14, &leaves) })
+	if st := s.Stats(); st.Steals == 0 {
+		t.Fatal("no steals under private deques on a large tree")
+	}
+}
+
+func TestPrivateDequesStructuralValidity(t *testing.T) {
+	rec := spdag.NewMemRecorder()
+	s := New(4, WithSeed(13), WithPolicy(PrivateDeques))
+	s.Start()
+	d := spdag.New(counter.Dynamic{Threshold: 4},
+		spdag.WithScheduler(s.Submit), spdag.WithRecorder(rec))
+	var leaves atomic.Int64
+	s.Run(d, func(u *spdag.Vertex) { spawnTree(u, 9, &leaves) })
+	s.Shutdown()
+	if err := rec.CheckAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrivateDequesManySequentialRuns(t *testing.T) {
+	s := New(3, WithSeed(17), WithPolicy(PrivateDeques))
+	s.Start()
+	defer s.Shutdown()
+	d := spdag.New(counter.FetchAdd{}, spdag.WithScheduler(s.Submit))
+	for i := 0; i < 40; i++ {
+		var leaves atomic.Int64
+		s.Run(d, func(u *spdag.Vertex) { spawnTree(u, 7, &leaves) })
+		if leaves.Load() != 128 {
+			t.Fatalf("run %d: %d leaves", i, leaves.Load())
+		}
+	}
+}
+
+// TestPrivateDequesFib cross-checks computation results under the
+// private-deque policy.
+func TestPrivateDequesFib(t *testing.T) {
+	s := New(4, WithSeed(5), WithPolicy(PrivateDeques))
+	s.Start()
+	defer s.Shutdown()
+	d := spdag.New(counter.Dynamic{Threshold: 8}, spdag.WithScheduler(s.Submit))
+	var fib func(u *spdag.Vertex, n int, dest *int64)
+	fib = func(u *spdag.Vertex, n int, dest *int64) {
+		if n <= 1 {
+			*dest = int64(n)
+			return
+		}
+		res1, res2 := new(int64), new(int64)
+		v, w := u.Chain()
+		v.SetBody(func(v *spdag.Vertex) {
+			w1, w2 := v.Spawn()
+			w1.SetBody(func(x *spdag.Vertex) { fib(x, n-1, res1) })
+			w2.SetBody(func(x *spdag.Vertex) { fib(x, n-2, res2) })
+			w1.TrySchedule()
+			w2.TrySchedule()
+		})
+		w.SetBody(func(*spdag.Vertex) { *dest = *res1 + *res2 })
+		v.TrySchedule()
+	}
+	var result int64
+	s.Run(d, func(u *spdag.Vertex) { fib(u, 18, &result) })
+	if result != 2584 {
+		t.Fatalf("fib(18) = %d", result)
+	}
+}

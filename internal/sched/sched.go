@@ -1,0 +1,270 @@
+// Package sched implements the work-stealing scheduler substrate the
+// paper's runtime builds on (its reference [2]): a fixed pool of
+// workers, each with a Chase–Lev deque of ready sp-dag vertices,
+// executing locally in LIFO order and stealing from random victims in
+// FIFO order when idle.
+//
+// The scheduler is deliberately simple — the subject of the paper is
+// the dependency counter, and the evaluation's `proc` axis only needs
+// a faithful structured-scheduling environment: local pushes from
+// running vertices, randomized stealing, and an external injection
+// path for roots.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/deque"
+	"repro/internal/rng"
+	"repro/internal/spdag"
+)
+
+// Scheduler executes sp-dag vertices on a fixed set of workers.
+type Scheduler struct {
+	workers []*worker
+	policy  Policy
+	stop    atomic.Bool
+	wg      sync.WaitGroup
+	started atomic.Bool
+
+	injector struct {
+		mu sync.Mutex
+		q  []*spdag.Vertex
+	}
+}
+
+// Policy selects the stealing mechanism.
+type Policy int
+
+const (
+	// ChaseLev uses per-worker concurrent Chase-Lev deques: thieves
+	// steal directly with a CAS (the classic design, e.g. Cilk).
+	ChaseLev Policy = iota
+	// PrivateDeques uses unsynchronized per-worker deques with
+	// receiver-initiated steal requests (Acar-Charguéraud-Rainey,
+	// PPoPP'13 — the scheduler the paper's implementation uses).
+	PrivateDeques
+)
+
+func (p Policy) String() string {
+	if p == PrivateDeques {
+		return "private-deques"
+	}
+	return "chase-lev"
+}
+
+// worker is one scheduling thread: a goroutine pinned to a deque.
+type worker struct {
+	s   *Scheduler
+	id  int
+	dq  deque.Deque[spdag.Vertex] // ChaseLev policy
+	pd  privateState              // PrivateDeques policy
+	g   *rng.Xoshiro256ss
+	ctx spdag.ExecContext
+
+	steals   atomic.Uint64 // successful steals
+	executed atomic.Uint64 // vertices executed
+	_        [48]byte      // avoid false sharing of per-worker stats
+}
+
+// Option configures a Scheduler.
+type Option func(*config)
+
+type config struct {
+	seed   uint64
+	policy Policy
+}
+
+// WithSeed fixes the per-worker RNG seeds for reproducible runs.
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithPolicy selects the stealing mechanism (default ChaseLev).
+func WithPolicy(p Policy) Option {
+	return func(c *config) { c.policy = p }
+}
+
+// New creates a scheduler with p workers (p ≤ 0 means GOMAXPROCS).
+// Call Start to launch the workers.
+func New(p int, opts ...Option) *Scheduler {
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	cfg := config{seed: rng.AutoSeed()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := &Scheduler{workers: make([]*worker, p), policy: cfg.policy}
+	for i := range s.workers {
+		w := &worker{s: s, id: i, g: rng.NewXoshiro(cfg.seed + uint64(i)*0x9e37)}
+		w.pd.request.Store(noThief)
+		push := w.push
+		if cfg.policy == PrivateDeques {
+			push = w.pushPrivate
+		}
+		w.ctx = spdag.ExecContext{G: w.g, Push: push}
+		s.workers[i] = w
+	}
+	return s
+}
+
+// Policy returns the stealing mechanism in use.
+func (s *Scheduler) Policy() Policy { return s.policy }
+
+// NumWorkers returns the worker count (the `proc` axis of the
+// evaluation).
+func (s *Scheduler) NumWorkers() int { return len(s.workers) }
+
+// Start launches the worker goroutines. It may be called once.
+func (s *Scheduler) Start() {
+	if s.started.Swap(true) {
+		panic("sched: Start called twice")
+	}
+	for _, w := range s.workers {
+		s.wg.Add(1)
+		if s.policy == PrivateDeques {
+			go w.runPrivate()
+		} else {
+			go w.run()
+		}
+	}
+}
+
+// Shutdown stops the workers and waits for them to exit. Pending
+// vertices are abandoned; callers are expected to have waited for
+// their computation (see Run) first.
+func (s *Scheduler) Shutdown() {
+	s.stop.Store(true)
+	s.wg.Wait()
+}
+
+// Submit injects an external ready vertex (typically a computation
+// root). It is the dag-level fallback schedule callback: vertices
+// scheduled from inside a running vertex take the worker-local push
+// path instead and never touch the injector lock.
+func (s *Scheduler) Submit(v *spdag.Vertex) {
+	s.injector.mu.Lock()
+	s.injector.q = append(s.injector.q, v)
+	s.injector.mu.Unlock()
+}
+
+// Run executes a complete computation: it builds root/final with the
+// dag's Make, installs the provided body on the root, submits it, and
+// blocks until the final vertex has executed. The scheduler must be
+// started. Multiple Runs may proceed concurrently.
+func (s *Scheduler) Run(d *spdag.Dag, body spdag.Body) {
+	root, final := d.Make()
+	done := make(chan struct{})
+	final.SetBody(func(*spdag.Vertex) { close(done) })
+	root.SetBody(body)
+	if !root.TrySchedule() {
+		panic("sched: fresh root failed to schedule")
+	}
+	<-done
+}
+
+// Stats is an aggregate of per-worker counters, mirroring the
+// artifact's nb_steals-style output.
+type Stats struct {
+	Steals   uint64
+	Executed uint64
+}
+
+// Stats sums the per-worker counters. It is exact when the scheduler
+// is quiescent.
+func (s *Scheduler) Stats() Stats {
+	var st Stats
+	for _, w := range s.workers {
+		st.Steals += w.steals.Load()
+		st.Executed += w.executed.Load()
+	}
+	return st
+}
+
+// String describes the scheduler.
+func (s *Scheduler) String() string {
+	return fmt.Sprintf("sched.Scheduler{workers=%d, policy=%s}", len(s.workers), s.policy)
+}
+
+func (w *worker) push(v *spdag.Vertex) { w.dq.PushBottom(v) }
+
+func (w *worker) run() {
+	defer w.s.wg.Done()
+	idleRounds := 0
+	for !w.s.stop.Load() {
+		v := w.dq.PopBottom()
+		if v == nil {
+			v = w.findWork()
+		}
+		if v == nil {
+			idleRounds++
+			w.backoff(idleRounds)
+			continue
+		}
+		idleRounds = 0
+		v.Execute(&w.ctx)
+		w.executed.Add(1)
+	}
+}
+
+// findWork polls the external injector, then attempts a round of
+// random steals.
+func (w *worker) findWork() *spdag.Vertex {
+	if v := w.s.popInjector(); v != nil {
+		return v
+	}
+	n := len(w.s.workers)
+	if n == 1 {
+		return nil
+	}
+	// One full randomized round over the other workers.
+	for attempt := 0; attempt < n; attempt++ {
+		victim := w.s.workers[w.g.Uint64n(uint64(n))]
+		if victim == w {
+			continue
+		}
+		for {
+			v, empty := victim.dq.Steal()
+			if v != nil {
+				w.steals.Add(1)
+				return v
+			}
+			if empty {
+				break
+			}
+			// Lost a race; retry the same victim immediately.
+		}
+	}
+	return nil
+}
+
+func (s *Scheduler) popInjector() *spdag.Vertex {
+	s.injector.mu.Lock()
+	defer s.injector.mu.Unlock()
+	if len(s.injector.q) == 0 {
+		return nil
+	}
+	v := s.injector.q[0]
+	s.injector.q = s.injector.q[1:]
+	return v
+}
+
+// backoff yields progressively harder as idleness persists: brief
+// spinning first (work usually appears within microseconds in a busy
+// computation), then cooperative yields, then short sleeps so an idle
+// scheduler does not saturate the machine.
+func (w *worker) backoff(rounds int) {
+	switch {
+	case rounds < 16:
+		// spin
+	case rounds < 64:
+		runtime.Gosched()
+	default:
+		time.Sleep(20 * time.Microsecond)
+	}
+}

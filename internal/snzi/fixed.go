@@ -1,0 +1,29 @@
+package snzi
+
+// This file builds the static, complete trees used by the fixed-depth
+// SNZI baseline of the paper's evaluation (§5): "The fixed-depth SNZI
+// algorithm allocates for each finish block a SNZI tree of 2^(d+1)−1
+// nodes, for a given depth d."
+
+// NewFixedTree creates a SNZI tree shaped as a complete binary tree of
+// the given depth (depth 0 is a lone root) with the given initial
+// surplus at the root, and returns the tree together with its 2^depth
+// leaves in left-to-right order. Operations are expected to start at
+// the leaves; the paper's baseline maps dag vertices to leaves with a
+// hash function so that arrivals spread evenly across the tree.
+func NewFixedTree(initial, depth int, opts ...Option) (*Tree, []*Node) {
+	if depth < 0 {
+		panic("snzi: negative fixed tree depth")
+	}
+	t := NewTree(initial, opts...)
+	level := []*Node{t.root}
+	for d := 0; d < depth; d++ {
+		next := make([]*Node, 0, 2*len(level))
+		for _, n := range level {
+			l, r := n.Grow(true)
+			next = append(next, l, r)
+		}
+		level = next
+	}
+	return t, level
+}

@@ -1,0 +1,42 @@
+package snzi
+
+// This file implements the dynamic extension of PPoPP'17 §2: the grow
+// operation that lets a SNZI tree expand at run time in response to
+// increasing concurrency.
+
+// Grow returns the children of n, creating and linking them if n has
+// none and heads is true (PPoPP'17 Figure 2). Freshly created children
+// have surplus 0, so linking them does not perturb the tree. If n has
+// no children after the operation (tails was flipped, or the children
+// CAS lost to nobody — i.e. n stays a leaf), Grow returns (n, n),
+// which is the return value the in-counter application wants.
+//
+// heads is the caller's p-biased coin flip. The paper requires the
+// flip to be evaluated before the children pointer is read so that an
+// adversary that cannot see local coin flips cannot force more than
+// 1/p childless returns in expectation; Go's evaluation order (the
+// argument is evaluated at the call site, before the function body
+// reads n.children) preserves this property as long as callers pass a
+// freshly flipped coin rather than a cached value.
+//
+// Grow may be called at any time on any node and is independent of the
+// count/version word, so it does not affect linearizability of
+// Arrive/Depart/Query.
+func (n *Node) Grow(heads bool) (left, right *Node) {
+	if heads && n.children.Load() == nil {
+		l := &Node{tree: n.tree, parent: n, left: true, depth: n.depth + 1}
+		r := &Node{tree: n.tree, parent: n, left: false, depth: n.depth + 1}
+		if n.children.CompareAndSwap(nil, &Children{Left: l, Right: r}) {
+			n.tree.nodes.Add(2)
+			n.tree.allocated.Add(2)
+			if n.tree.instr != nil {
+				n.tree.instr.Grows.Add(1)
+			}
+		}
+	}
+	c := n.children.Load()
+	if c == nil {
+		return n, n
+	}
+	return c.Left, c.Right
+}

@@ -1,0 +1,86 @@
+package snzi
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Instr accumulates shared-memory step statistics for an instrumented
+// tree. CAS failures are the native-execution proxy for contention:
+// a CAS fails only when another process performed a non-trivial step
+// on the same word between the read and the CAS, which is the same
+// event the stalls model charges for (see internal/memmodel for the
+// model-faithful measurement).
+type Instr struct {
+	CASAttempts atomic.Uint64
+	CASFailures atomic.Uint64
+	Arrives     atomic.Uint64
+	Departs     atomic.Uint64
+	Grows       atomic.Uint64
+	Pruned      atomic.Uint64
+}
+
+// Snapshot is a plain-value copy of an Instr at a point in time.
+type Snapshot struct {
+	CASAttempts uint64
+	CASFailures uint64
+	Arrives     uint64
+	Departs     uint64
+	Grows       uint64
+	Pruned      uint64
+}
+
+// Snapshot returns a copy of the current counters.
+func (i *Instr) Snapshot() Snapshot {
+	return Snapshot{
+		CASAttempts: i.CASAttempts.Load(),
+		CASFailures: i.CASFailures.Load(),
+		Arrives:     i.Arrives.Load(),
+		Departs:     i.Departs.Load(),
+		Grows:       i.Grows.Load(),
+		Pruned:      i.Pruned.Load(),
+	}
+}
+
+// Sub returns the counter deltas s − prev.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	return Snapshot{
+		CASAttempts: s.CASAttempts - prev.CASAttempts,
+		CASFailures: s.CASFailures - prev.CASFailures,
+		Arrives:     s.Arrives - prev.Arrives,
+		Departs:     s.Departs - prev.Departs,
+		Grows:       s.Grows - prev.Grows,
+		Pruned:      s.Pruned - prev.Pruned,
+	}
+}
+
+// FailureRate returns the fraction of CAS attempts that failed, the
+// simplest scalar contention proxy for native runs.
+func (s Snapshot) FailureRate() float64 {
+	if s.CASAttempts == 0 {
+		return 0
+	}
+	return float64(s.CASFailures) / float64(s.CASAttempts)
+}
+
+// String formats the snapshot for logs and result files.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("cas=%d casfail=%d arrives=%d departs=%d grows=%d",
+		s.CASAttempts, s.CASFailures, s.Arrives, s.Departs, s.Grows)
+}
+
+// MaxOpsPerNode walks the tree and returns the largest per-node
+// operation count observed, together with the number of nodes walked.
+// On instrumented trees driven through the in-counter discipline this
+// must not exceed 6 (PPoPP'17 Theorem 4.9's proof shows a maximum of
+// 6 operations ever access a single node). Diagnostic; not for hot
+// paths.
+func (t *Tree) MaxOpsPerNode() (max uint64, nodes int) {
+	t.root.Walk(func(n *Node) {
+		nodes++
+		if ops := n.ops.Load(); ops > max {
+			max = ops
+		}
+	})
+	return max, nodes
+}

@@ -1,0 +1,151 @@
+package snzi
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestPruneOnPhaseChange(t *testing.T) {
+	tr := NewTree(0, WithPruning(), WithInstrumentation())
+	// Build a 3-level left spine and operate at the bottom.
+	a, _ := tr.Root().Grow(true)
+	b, _ := a.Grow(true)
+	c, _ := b.Grow(true)
+	if tr.NodeCount() != 7 {
+		t.Fatalf("nodes = %d, want 7", tr.NodeCount())
+	}
+	c.Arrive()
+	if !tr.Query() {
+		t.Fatal("query false after arrive")
+	}
+	if !c.Depart() {
+		t.Fatal("depart did not zero the tree")
+	}
+	// The zeroing depart phase-changed c, b, a and the root in turn;
+	// pruning at the root drops the whole interior.
+	if tr.NodeCount() != 1 {
+		t.Fatalf("nodes after prune = %d, want 1", tr.NodeCount())
+	}
+	if tr.AllocatedNodes() != 7 {
+		t.Fatalf("allocated = %d, want 7", tr.AllocatedNodes())
+	}
+	if pruned := tr.Instr().Snapshot().Pruned; pruned != 6 {
+		t.Fatalf("pruned = %d, want 6", pruned)
+	}
+	// The tree must remain fully usable: grow again and run a cycle.
+	l, _ := tr.Root().Grow(true)
+	l.Arrive()
+	if !l.Depart() {
+		t.Fatal("tree unusable after pruning")
+	}
+}
+
+func TestPruneKeepsLiveSiblingSubtrees(t *testing.T) {
+	tr := NewTree(0, WithPruning())
+	l, r := tr.Root().Grow(true)
+	ll, _ := l.Grow(true)
+	rr, _ := r.Grow(true)
+	_ = rr
+	// Keep surplus in r's subtree while l's subtree phase-changes down.
+	r.Arrive()
+	ll.Arrive()
+	ll.Depart() // zeroes ll and l, pruning their children; root keeps surplus via r
+	if !tr.Query() {
+		t.Fatal("lost r's surplus")
+	}
+	// l's children were pruned (l phase-changed), r's subtree is intact.
+	if _, _, ok := l.Children(); ok {
+		t.Fatal("l's children survived its phase change")
+	}
+	if _, _, ok := r.Children(); !ok {
+		t.Fatal("r's children were pruned while r held surplus")
+	}
+	if !r.Depart() {
+		t.Fatal("final depart")
+	}
+}
+
+func TestPruningOffByDefault(t *testing.T) {
+	tr := NewTree(0)
+	l, _ := tr.Root().Grow(true)
+	l.Arrive()
+	l.Depart()
+	if tr.NodeCount() != 3 {
+		t.Fatalf("nodes = %d, want 3 (no pruning by default)", tr.NodeCount())
+	}
+	if tr.AllocatedNodes() != tr.NodeCount() {
+		t.Fatal("allocated != live without pruning")
+	}
+}
+
+// TestPruneStaleHandleStillCorrect: operations through a handle into a
+// pruned subtree remain correct (parent links intact), even though the
+// space guarantee no longer applies — the documented behaviour for
+// undisciplined use.
+func TestPruneStaleHandleStillCorrect(t *testing.T) {
+	tr := NewTree(0, WithPruning())
+	l, _ := tr.Root().Grow(true)
+	ll, _ := l.Grow(true)
+	// Zero out l's subtree → prunes ll from l.
+	ll.Arrive()
+	ll.Depart()
+	if _, _, ok := l.Children(); ok {
+		t.Fatal("expected l pruned")
+	}
+	// A stale handle to ll still works and propagates surplus to the root.
+	ll.Arrive()
+	if !tr.Query() {
+		t.Fatal("stale-handle arrive lost")
+	}
+	if !ll.Depart() {
+		t.Fatal("stale-handle depart did not zero")
+	}
+}
+
+// TestPruneConcurrentStress: balanced concurrent traffic on disjoint
+// leaves with pruning enabled must stay correct under the race
+// detector.
+func TestPruneConcurrentStress(t *testing.T) {
+	const P = 4
+	tr := NewTree(1, WithPruning())
+	leaves := make([]*Node, P)
+	n := tr.Root()
+	for i := 0; i < P; i++ {
+		var r *Node
+		n, r = n.Grow(true)
+		leaves[i] = r
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < P; i++ {
+		wg.Add(1)
+		go func(leaf *Node, seed uint64) {
+			defer wg.Done()
+			g := rng.NewXoshiro(seed)
+			pending := 0
+			for k := 0; k < 3000; k++ {
+				if pending > 0 && g.Uint64n(2) == 0 {
+					leaf.Depart()
+					pending--
+				} else {
+					leaf.Arrive()
+					pending++
+				}
+			}
+			for ; pending > 0; pending-- {
+				leaf.Depart()
+			}
+		}(leaves[i], uint64(i)+1)
+	}
+	wg.Wait()
+	if !tr.Query() {
+		t.Fatal("root surplus lost")
+	}
+	if !tr.Root().Depart() {
+		t.Fatal("final depart")
+	}
+	if tr.Query() {
+		t.Fatal("query true at the end")
+	}
+}

@@ -1,0 +1,319 @@
+// Package spdag implements the series-parallel dag data structure of
+// PPoPP'17 §3.1 (Figure 3): the representation of a nested-parallel
+// computation that modern parallel runtimes build and schedule.
+//
+// A computation is a dag of vertices; each vertex carries a body (the
+// code it runs), a finish vertex it serially precedes, and a
+// dependency counter (an in-counter, or one of the baseline
+// algorithms) counting its own unsatisfied dependencies. A vertex
+// becomes ready when its counter reaches zero; readiness is detected
+// by the unique Decrement call that zeroes the counter, which hands
+// the vertex to the runtime's schedule callback.
+//
+// The three structural operations mirror the paper exactly:
+//
+//   - Chain (serial composition): the calling vertex dies and is
+//     replaced by v→w, with w inheriting the caller's handles.
+//   - Spawn (parallel composition): the calling vertex dies and is
+//     replaced by two parallel vertices; the finish vertex's counter
+//     is incremented once.
+//   - Signal (termination): the calling vertex decrements its finish
+//     vertex's counter.
+//
+// Spawn and Chain must be the last structural operation a vertex
+// performs; the package panics on use-after-death, which turns
+// discipline violations into deterministic failures instead of
+// corrupted counters.
+package spdag
+
+import (
+	"sync/atomic"
+
+	"repro/internal/counter"
+	"repro/internal/rng"
+)
+
+// Body is the code a vertex runs when scheduled. It receives the
+// executing vertex, which it may Chain or Spawn from.
+type Body func(self *Vertex)
+
+// ExecContext is the worker-local execution environment threaded
+// through vertex execution: the randomness source for the grow coin,
+// and the worker's local push operation. Vertices created while a
+// vertex executes inherit its context, so that scheduling them lands
+// in the executing worker's own deque — the locality discipline of
+// work-stealing runtimes — instead of going through the dag's global
+// schedule callback. A nil Push (or a vertex scheduled outside any
+// execution) falls back to the dag-level callback.
+type ExecContext struct {
+	G    *rng.Xoshiro256ss
+	Push func(*Vertex)
+}
+
+// Recorder observes dag construction and execution. It is meant for
+// validation and visualization (cmd/dagcheck); production runs leave
+// it nil and pay nothing.
+type Recorder interface {
+	OnVertex(v *Vertex)
+	OnEdge(from, to *Vertex)
+	OnExecute(v *Vertex)
+}
+
+// Dag is a series-parallel dag under construction/execution.
+type Dag struct {
+	alg      counter.Algorithm
+	schedule func(*Vertex)
+	rec      Recorder
+	ids      atomic.Uint64
+	vertices atomic.Int64
+}
+
+// Option configures a Dag.
+type Option func(*Dag)
+
+// WithScheduler sets the callback invoked when a vertex becomes ready
+// (its dependency counter reaches zero, or TrySchedule is called on a
+// vertex created ready). The callback may be invoked from any
+// goroutine executing Signal.
+func WithScheduler(f func(*Vertex)) Option {
+	return func(d *Dag) { d.schedule = f }
+}
+
+// WithRecorder attaches a construction/execution observer.
+func WithRecorder(r Recorder) Option {
+	return func(d *Dag) { d.rec = r }
+}
+
+// New creates an empty dag whose finish vertices use the given
+// dependency-counter algorithm (the paper's evaluation swaps this
+// between the in-counter, fetch-and-add, and fixed-depth SNZI).
+func New(alg counter.Algorithm, opts ...Option) *Dag {
+	d := &Dag{alg: alg, schedule: func(*Vertex) {}}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Algorithm returns the dependency-counter algorithm in use.
+func (d *Dag) Algorithm() counter.Algorithm { return d.alg }
+
+// VertexCount returns the number of vertices created so far.
+func (d *Dag) VertexCount() int64 { return d.vertices.Load() }
+
+// Vertex is a node of the sp-dag: one fine-grained thread of control.
+type Vertex struct {
+	dag  *Dag
+	ctr  counter.Counter // this vertex's own dependency counter (query handle)
+	st   counter.State   // capability into fin's counter (inc + dec handles)
+	fin  *Vertex         // finish vertex: closest descendant all paths pass through
+	body Body
+
+	dead      atomic.Bool // the vertex spawned, chained, or signalled
+	scheduled atomic.Bool // the vertex has been handed to the scheduler
+	ctx       *ExecContext
+
+	id uint64 // assigned only when a Recorder is attached
+}
+
+// NewVertex creates a vertex with the given finish vertex, capability
+// into the finish vertex's counter, and initial dependency count n
+// (new_vertex in Figure 3). Most callers want Make, Chain, or Spawn
+// instead; NewVertex is exported for runtimes that build dags from
+// other frontends.
+//
+// A vertex created with n = 0 is born ready and — because handles into
+// a counter are only handed out by the finish-vertex constructors —
+// can never acquire dependencies later, so no counter is allocated for
+// it. This matches the paper's cost model: the evaluation's fixed-depth
+// SNZI baseline "allocates for each finish block a SNZI tree" (§5),
+// not for every vertex.
+func (d *Dag) NewVertex(fin *Vertex, st counter.State, n int) *Vertex {
+	v := &Vertex{dag: d, st: st, fin: fin}
+	if n > 0 {
+		v.ctr = d.alg.New(n)
+	}
+	d.vertices.Add(1)
+	if d.rec != nil {
+		v.id = d.ids.Add(1)
+		d.rec.OnVertex(v)
+	}
+	return v
+}
+
+// Make creates a fresh computation: a root vertex and its final
+// (terminal) vertex (make in Figure 3). The root is ready immediately;
+// the final vertex becomes ready when the root and everything it
+// nests have signalled.
+func (d *Dag) Make() (root, final *Vertex) {
+	final = &Vertex{dag: d, ctr: d.alg.New(1)}
+	d.vertices.Add(1)
+	if d.rec != nil {
+		final.id = d.ids.Add(1)
+		d.rec.OnVertex(final)
+	}
+	root = d.NewVertex(final, final.ctr.RootState(), 0)
+	return root, final
+}
+
+// Dag returns the dag the vertex belongs to.
+func (v *Vertex) Dag() *Dag { return v.dag }
+
+// Counter returns the vertex's own dependency counter, or nil for a
+// vertex created ready (see NewVertex).
+func (v *Vertex) Counter() counter.Counter { return v.ctr }
+
+// Finish returns the vertex's finish vertex (nil for a final vertex).
+func (v *Vertex) Finish() *Vertex { return v.fin }
+
+// ID returns the vertex id (0 unless a Recorder is attached).
+func (v *Vertex) ID() uint64 { return v.id }
+
+// Dead reports whether the vertex has performed its terminal
+// structural operation (Spawn, Chain, or Signal).
+func (v *Vertex) Dead() bool { return v.dead.Load() }
+
+// SetBody installs the code the vertex runs when executed. It must be
+// called before the vertex is scheduled.
+func (v *Vertex) SetBody(b Body) { v.body = b }
+
+// Ready reports whether the vertex's dependency counter is zero. It
+// is a probe for tests and debugging; the runtime uses Signal's
+// zero-report for scheduling.
+func (v *Vertex) Ready() bool { return v.ctr == nil || v.ctr.IsZero() }
+
+// Chain nests a serial computation in the current one (chain in
+// Figure 3): it creates v (ready, with a fresh counter) and w (waiting
+// on v), where w inherits the caller's obligations toward the caller's
+// finish vertex. The caller dies. The caller must schedule v (e.g.
+// via TrySchedule) after installing its body; w is scheduled
+// automatically when v's subtree signals.
+func (u *Vertex) Chain() (v, w *Vertex) {
+	u.die("Chain")
+	d := u.dag
+	w = d.NewVertex(u.fin, u.st, 1)
+	v = d.NewVertex(w, w.ctr.RootState(), 0)
+	v.ctx, w.ctx = u.ctx, u.ctx
+	if d.rec != nil {
+		d.rec.OnEdge(u, v)
+	}
+	return v, w
+}
+
+// Spawn nests a parallel computation in the current one (spawn in
+// Figure 3): it increments the finish vertex's dependency counter once
+// and creates two parallel vertices that split the caller's
+// obligations. The caller dies; one of the returned vertices is
+// conventionally the caller's continuation. Both are ready and must be
+// scheduled by the caller.
+func (u *Vertex) Spawn() (v, w *Vertex) {
+	u.die("Spawn")
+	d := u.dag
+	l, r := u.st.Increment(u.rng())
+	v = d.NewVertex(u.fin, l, 0)
+	w = d.NewVertex(u.fin, r, 0)
+	v.ctx, w.ctx = u.ctx, u.ctx
+	if d.rec != nil {
+		d.rec.OnEdge(u, v)
+		d.rec.OnEdge(u, w)
+	}
+	return v, w
+}
+
+// Signal records the completion of the vertex (signal in Figure 3),
+// decrementing its finish vertex's dependency counter. If that
+// decrement brings the counter to zero, the finish vertex is handed to
+// the dag's schedule callback — exactly once, by construction.
+func (u *Vertex) Signal() {
+	u.die("Signal")
+	if u.fin == nil {
+		return // terminal vertex: the computation is over
+	}
+	if u.dag.rec != nil {
+		u.dag.rec.OnEdge(u, u.fin)
+	}
+	if u.st.Decrement() {
+		u.fin.markReady(u.ctx)
+	}
+}
+
+// TrySchedule hands the vertex to the scheduler callback if it is
+// ready and has not been scheduled before; it returns whether this
+// call scheduled it. It is how creators schedule vertices that are
+// born ready (the fib example's Scheduler.add); vertices born waiting
+// are scheduled by the zeroing Signal instead, and the internal
+// once-flag resolves the race between the two paths.
+func (v *Vertex) TrySchedule() bool {
+	if !v.Ready() {
+		return false
+	}
+	if !v.scheduled.CompareAndSwap(false, true) {
+		return false
+	}
+	v.dispatch(v.ctx)
+	return true
+}
+
+func (v *Vertex) markReady(ctx *ExecContext) {
+	if !v.scheduled.CompareAndSwap(false, true) {
+		panic("spdag: vertex scheduled twice (counter discipline violated)")
+	}
+	v.dispatch(ctx)
+}
+
+// dispatch hands a ready vertex to the worker-local push when one is
+// in scope, falling back to the dag's global schedule callback.
+func (v *Vertex) dispatch(ctx *ExecContext) {
+	if ctx != nil && ctx.Push != nil {
+		ctx.Push(v)
+		return
+	}
+	v.dag.schedule(v)
+}
+
+// Execute runs the vertex's body in the given worker-local execution
+// context (nil is allowed for inline/manual execution and gets a
+// private context). If the body completes without performing a
+// terminal structural operation, Execute signals on its behalf.
+func (v *Vertex) Execute(ctx *ExecContext) {
+	if ctx == nil {
+		ctx = &ExecContext{}
+	}
+	v.ctx = ctx
+	if v.dag.rec != nil {
+		v.dag.rec.OnExecute(v)
+	}
+	if v.body != nil {
+		v.body(v)
+	}
+	if !v.dead.Load() {
+		v.Signal()
+	}
+}
+
+// AdoptExecution records that this vertex's execution is subsumed by
+// the currently running task: continuation-passing frontends (package
+// nested) run a spawn's continuation inline in the caller rather than
+// scheduling it, so the vertex never passes through Execute. This only
+// notifies the recorder; it has no runtime effect.
+func (v *Vertex) AdoptExecution() {
+	if v.dag.rec != nil {
+		v.dag.rec.OnExecute(v)
+	}
+}
+
+func (v *Vertex) rng() *rng.Xoshiro256ss {
+	if v.ctx == nil {
+		v.ctx = &ExecContext{}
+	}
+	if v.ctx.G == nil {
+		v.ctx.G = rng.NewXoshiro(rng.AutoSeed())
+	}
+	return v.ctx.G
+}
+
+func (v *Vertex) die(op string) {
+	if v.dead.Swap(true) {
+		panic("spdag: " + op + " on a dead vertex (" + op + "/Spawn/Chain/Signal must be a vertex's last operation)")
+	}
+}

@@ -1,0 +1,285 @@
+package spdag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemRecorder is a Recorder that keeps the whole dag in memory so that
+// tests and cmd/dagcheck can validate structural invariants after a
+// run: single source/sink, acyclicity, series-parallel reducibility,
+// and exactly-once execution. It is safe for concurrent use.
+type MemRecorder struct {
+	mu       sync.Mutex
+	vertices map[uint64]*vinfo
+	edges    map[[2]uint64]int
+}
+
+type vinfo struct {
+	executed int
+}
+
+// NewMemRecorder returns an empty recorder.
+func NewMemRecorder() *MemRecorder {
+	return &MemRecorder{vertices: map[uint64]*vinfo{}, edges: map[[2]uint64]int{}}
+}
+
+// OnVertex implements Recorder.
+func (r *MemRecorder) OnVertex(v *Vertex) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.vertices[v.id] = &vinfo{}
+}
+
+// OnEdge implements Recorder.
+func (r *MemRecorder) OnEdge(from, to *Vertex) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.edges[[2]uint64{from.id, to.id}]++
+}
+
+// OnExecute implements Recorder.
+func (r *MemRecorder) OnExecute(v *Vertex) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	info := r.vertices[v.id]
+	if info == nil {
+		info = &vinfo{}
+		r.vertices[v.id] = info
+	}
+	info.executed++
+}
+
+// Counts returns the number of vertices and (distinct) edges recorded.
+func (r *MemRecorder) Counts() (vertices, edges int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.vertices), len(r.edges)
+}
+
+// CheckExecutedOnce verifies every recorded vertex was executed
+// exactly once.
+func (r *MemRecorder) CheckExecutedOnce() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for id, info := range r.vertices {
+		if info.executed != 1 {
+			return fmt.Errorf("spdag: vertex %d executed %d times", id, info.executed)
+		}
+	}
+	return nil
+}
+
+// CheckAcyclic verifies the recorded edge set has no directed cycle.
+func (r *MemRecorder) CheckAcyclic() error {
+	r.mu.Lock()
+	adj := map[uint64][]uint64{}
+	for e, n := range r.edges {
+		if n > 0 {
+			adj[e[0]] = append(adj[e[0]], e[1])
+		}
+	}
+	ids := make([]uint64, 0, len(r.vertices))
+	for id := range r.vertices {
+		ids = append(ids, id)
+	}
+	r.mu.Unlock()
+
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[uint64]int{}
+	var stack [][2]interface{} // (id, next-child-index) — iterative DFS
+	for _, start := range ids {
+		if color[start] != white {
+			continue
+		}
+		stack = stack[:0]
+		stack = append(stack, [2]interface{}{start, 0})
+		color[start] = grey
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			id := top[0].(uint64)
+			i := top[1].(int)
+			if i < len(adj[id]) {
+				top[1] = i + 1
+				next := adj[id][i]
+				switch color[next] {
+				case white:
+					color[next] = grey
+					stack = append(stack, [2]interface{}{next, 0})
+				case grey:
+					return fmt.Errorf("spdag: cycle through vertex %d", next)
+				}
+				continue
+			}
+			color[id] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return nil
+}
+
+// CheckSeriesParallel verifies that the recorded dag is a two-terminal
+// series-parallel graph by exhaustive series/parallel reduction: a
+// multigraph is TTSP iff repeatedly (a) merging duplicate edges and
+// (b) contracting interior vertices with in-degree 1 and out-degree 1
+// reduces it to the single edge source→sink (Valdes-Tarjan-Lawler).
+func (r *MemRecorder) CheckSeriesParallel() error {
+	r.mu.Lock()
+	// Multiset adjacency, both directions.
+	out := map[uint64]map[uint64]int{}
+	in := map[uint64]map[uint64]int{}
+	nodes := map[uint64]bool{}
+	for id := range r.vertices {
+		nodes[id] = true
+	}
+	addEdge := func(a, b uint64, n int) {
+		if out[a] == nil {
+			out[a] = map[uint64]int{}
+		}
+		if in[b] == nil {
+			in[b] = map[uint64]int{}
+		}
+		out[a][b] += n
+		in[b][a] += n
+	}
+	for e, n := range r.edges {
+		if n > 0 {
+			addEdge(e[0], e[1], n)
+		}
+	}
+	r.mu.Unlock()
+
+	degree := func(m map[uint64]int) int {
+		total := 0
+		for _, n := range m {
+			total += n
+		}
+		return total
+	}
+
+	// Identify the unique source and sink.
+	var source, sink uint64
+	var nSources, nSinks int
+	for id := range nodes {
+		if degree(in[id]) == 0 {
+			source, nSources = id, nSources+1
+		}
+		if degree(out[id]) == 0 {
+			sink, nSinks = id, nSinks+1
+		}
+	}
+	if nSources != 1 || nSinks != 1 {
+		return fmt.Errorf("spdag: %d sources and %d sinks (want 1 and 1)", nSources, nSinks)
+	}
+
+	removeEdge := func(a, b uint64, n int) {
+		out[a][b] -= n
+		if out[a][b] <= 0 {
+			delete(out[a], b)
+		}
+		in[b][a] -= n
+		if in[b][a] <= 0 {
+			delete(in[b], a)
+		}
+	}
+
+	// Worklist reduction.
+	work := make([]uint64, 0, len(nodes))
+	for id := range nodes {
+		work = append(work, id)
+	}
+	push := func(id uint64) { work = append(work, id) }
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		if !nodes[id] {
+			continue
+		}
+		// Parallel reduction: merge duplicate out-edges.
+		for to, n := range out[id] {
+			if n > 1 {
+				removeEdge(id, to, n-1)
+				push(to)
+			}
+		}
+		if id == source || id == sink {
+			continue
+		}
+		// Series reduction: interior vertex with unit degree both ways.
+		if degree(in[id]) == 1 && degree(out[id]) == 1 {
+			var from, to uint64
+			for f := range in[id] {
+				from = f
+			}
+			for t := range out[id] {
+				to = t
+			}
+			if from == id || to == id {
+				continue // self-loop: not reducible (and not a dag)
+			}
+			removeEdge(from, id, 1)
+			removeEdge(id, to, 1)
+			delete(nodes, id)
+			addEdge(from, to, 1)
+			push(from)
+			push(to)
+		}
+	}
+
+	if len(nodes) != 2 || degree(out[source]) != 1 || out[source][sink] != 1 {
+		return fmt.Errorf("spdag: not series-parallel: %d vertices remain after reduction (source out-degree %d)",
+			len(nodes), degree(out[source]))
+	}
+	return nil
+}
+
+// CheckAll runs every structural check and returns the first failure.
+func (r *MemRecorder) CheckAll() error {
+	if err := r.CheckExecutedOnce(); err != nil {
+		return err
+	}
+	if err := r.CheckAcyclic(); err != nil {
+		return err
+	}
+	return r.CheckSeriesParallel()
+}
+
+// Dot renders the recorded dag in Graphviz format, for visual
+// inspection of small computations (cmd/dagcheck -dot).
+func (r *MemRecorder) Dot(name string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=circle, fontsize=10];\n", name)
+	ids := make([]uint64, 0, len(r.vertices))
+	for id := range r.vertices {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		fmt.Fprintf(&b, "  v%d [label=%d];\n", id, id)
+	}
+	edges := make([][2]uint64, 0, len(r.edges))
+	for e, n := range r.edges {
+		if n > 0 {
+			edges = append(edges, e)
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  v%d -> v%d;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

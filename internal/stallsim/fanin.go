@@ -1,0 +1,167 @@
+package stallsim
+
+import (
+	"fmt"
+
+	"repro/internal/memmodel"
+	"repro/internal/rng"
+)
+
+// FaninConfig parameterizes a simulated fanin run (the paper's Figure
+// 6 benchmark expressed directly against a dependency counter): a
+// single finish block, n leaf tasks created by binary async splitting,
+// executed by Threads simulated processors.
+type FaninConfig struct {
+	Threads   int
+	N         uint64 // number of leaf tasks (as in the paper's n)
+	Algorithm SimAlgorithm
+	Seed      uint64
+	// Policy selects the simulated scheduler (default: random; the
+	// adversarial policy serializes the hottest location first to
+	// probe worst-case contention).
+	Policy memmodel.Policy
+}
+
+// FaninResult carries the contention measurements of one run.
+type FaninResult struct {
+	Config      FaninConfig
+	Increments  *memmodel.OpStats
+	Decrements  *memmodel.OpStats
+	TotalSteps  uint64
+	TotalStalls uint64
+	MaxArrives  int // largest per-increment arrive count (dyn only; 0 otherwise)
+	Nodes       int // simulated SNZI nodes allocated (1 for fetch-add)
+}
+
+// StallsPerOp returns mean stalls per counter operation across
+// increments and decrements.
+func (r FaninResult) StallsPerOp() float64 {
+	count := uint64(0)
+	stalls := uint64(0)
+	if r.Increments != nil {
+		count += r.Increments.Count
+		stalls += r.Increments.Stalls
+	}
+	if r.Decrements != nil {
+		count += r.Decrements.Count
+		stalls += r.Decrements.Stalls
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(stalls) / float64(count)
+}
+
+// StepsPerOp returns mean primitive steps per counter operation.
+func (r FaninResult) StepsPerOp() float64 {
+	count := uint64(0)
+	steps := uint64(0)
+	if r.Increments != nil {
+		count += r.Increments.Count
+		steps += r.Increments.Steps
+	}
+	if r.Decrements != nil {
+		count += r.Decrements.Count
+		steps += r.Decrements.Steps
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(steps) / float64(count)
+}
+
+func (r FaninResult) String() string {
+	return fmt.Sprintf("fanin sim: algo=%s P=%d n=%d stalls/op=%.3f steps/op=%.2f max-arrives=%d",
+		r.Config.Algorithm.Name(), r.Config.Threads, r.Config.N, r.StallsPerOp(), r.StepsPerOp(), r.MaxArrives)
+}
+
+// task is one pending dag vertex in the simulated execution: its
+// counter capability and its remaining fanin budget.
+type task struct {
+	st SimState
+	n  uint64
+}
+
+// RunFanin executes the fanin pattern in the stall model and returns
+// the contention statistics. The task pool is deliberately outside the
+// simulated memory: the paper's theorem bounds the contention of the
+// counter data structure, not of the surrounding scheduler, so only
+// counter operations take simulated steps.
+func RunFanin(cfg FaninConfig) FaninResult {
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	if cfg.N < 1 {
+		cfg.N = 1
+	}
+	sim := memmodel.NewWithPolicy(cfg.Seed, cfg.Policy)
+	ctr := cfg.Algorithm.New(sim, 1)
+
+	// Thread-lockstep execution makes this plain slice race-free.
+	pool := []task{{st: ctr.RootState(), n: cfg.N}}
+	done := false
+
+	for p := 0; p < cfg.Threads; p++ {
+		g := rng.NewXoshiro(cfg.Seed*1315423911 + uint64(p) + 1)
+		sim.Spawn(func(e *memmodel.Env) {
+			for !done {
+				if len(pool) == 0 {
+					e.Yield()
+					continue
+				}
+				t := pool[len(pool)-1]
+				pool = pool[:len(pool)-1]
+				if t.n >= 2 {
+					// Two asyncs: each is one increment; the halves become
+					// new tasks; the continuation then signals.
+					e.Begin("increment")
+					l1, r1 := t.st.Increment(e, g)
+					e.End()
+					pool = append(pool, task{st: r1, n: t.n / 2})
+					e.Begin("increment")
+					l2, r2 := l1.Increment(e, g)
+					e.End()
+					pool = append(pool, task{st: r2, n: t.n / 2})
+					e.Begin("decrement")
+					zero := l2.Decrement(e)
+					e.End()
+					if zero {
+						done = true
+					}
+				} else {
+					e.Begin("decrement")
+					zero := t.st.Decrement(e)
+					e.End()
+					if zero {
+						done = true
+					}
+				}
+			}
+		})
+	}
+	sim.Run()
+
+	if !done {
+		panic("stallsim: fanin terminated without reaching zero")
+	}
+	if !ctr.IsZero() {
+		panic("stallsim: counter non-zero after fanin completed")
+	}
+
+	res := FaninResult{
+		Config:      cfg,
+		Increments:  sim.StatsFor("increment"),
+		Decrements:  sim.StatsFor("decrement"),
+		TotalSteps:  sim.TotalSteps(),
+		TotalStalls: sim.TotalStalls(),
+		Nodes:       1,
+	}
+	switch c := ctr.(type) {
+	case *dynCounter:
+		res.MaxArrives = c.MaxArrives
+		res.Nodes = c.tree.NodeCount()
+	case *fixedCounter:
+		res.Nodes = c.tree.NodeCount()
+	}
+	return res
+}

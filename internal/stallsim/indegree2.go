@@ -1,0 +1,165 @@
+package stallsim
+
+import (
+	"fmt"
+
+	"repro/internal/memmodel"
+	"repro/internal/rng"
+)
+
+// Indegree2Config parameterizes a simulated indegree2 run (the paper's
+// Figure 7 benchmark in the stall model): the fanin shape, but every
+// fork synchronizes in its own finish block — one dependency counter
+// per internal node, so the per-counter allocation cost dominates and
+// contention per counter is tiny (in-degree 2).
+type Indegree2Config struct {
+	Threads   int
+	N         uint64
+	Algorithm SimAlgorithm
+	Seed      uint64
+}
+
+// Indegree2Result carries the measurements of one run.
+type Indegree2Result struct {
+	Config      Indegree2Config
+	Increments  *memmodel.OpStats
+	Decrements  *memmodel.OpStats
+	Allocs      *memmodel.OpStats // per-finish-block counter construction
+	TotalSteps  uint64
+	TotalStalls uint64
+	Counters    int // finish-block counters created
+}
+
+// StallsPerOp returns mean stalls per counter operation (increments
+// and decrements).
+func (r Indegree2Result) StallsPerOp() float64 {
+	count, stalls := uint64(0), uint64(0)
+	for _, s := range []*memmodel.OpStats{r.Increments, r.Decrements} {
+		if s != nil {
+			count += s.Count
+			stalls += s.Stalls
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(stalls) / float64(count)
+}
+
+// AllocStepsPerCounter returns the mean charged memory steps paid to
+// construct one finish-block counter — the axis on which the
+// fixed-depth baseline loses Figure 10.
+func (r Indegree2Result) AllocStepsPerCounter() float64 {
+	if r.Allocs == nil || r.Allocs.Count == 0 {
+		return 0
+	}
+	return float64(r.Allocs.Steps) / float64(r.Allocs.Count)
+}
+
+func (r Indegree2Result) String() string {
+	return fmt.Sprintf("indegree2 sim: algo=%s P=%d n=%d stalls/op=%.3f alloc-steps/counter=%.2f counters=%d",
+		r.Config.Algorithm.Name(), r.Config.Threads, r.Config.N,
+		r.StallsPerOp(), r.AllocStepsPerCounter(), r.Counters)
+}
+
+// i2cont is a pending finish continuation: when the counter owning st
+// reaches zero, st's decrement fires, possibly cascading outward.
+type i2cont struct {
+	st     SimState
+	parent *i2cont
+}
+
+// i2task is one pending vertex: its capability, remaining size, and
+// the continuation chain to fire if its decrement zeroes the counter.
+type i2task struct {
+	st   SimState
+	n    uint64
+	cont *i2cont
+}
+
+// RunIndegree2 executes the indegree2 pattern in the stall model. As
+// with RunFanin, the task pool is host-side: only counter operations
+// (and per-finish counter construction) take simulated steps.
+func RunIndegree2(cfg Indegree2Config) Indegree2Result {
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	if cfg.N < 1 {
+		cfg.N = 1
+	}
+	sim := memmodel.New(cfg.Seed)
+	rootCtr := cfg.Algorithm.New(sim, 1)
+
+	pool := []i2task{{st: rootCtr.RootState(), n: cfg.N}}
+	done := false
+	counters := 0
+
+	fire := func(e *memmodel.Env, zero bool, cont *i2cont) {
+		for zero {
+			if cont == nil {
+				done = true
+				return
+			}
+			e.Begin("decrement")
+			zero = cont.st.Decrement(e)
+			e.End()
+			cont = cont.parent
+		}
+	}
+
+	for p := 0; p < cfg.Threads; p++ {
+		g := rng.NewXoshiro(cfg.Seed*0x9E3779B1 + uint64(p) + 1)
+		sim.Spawn(func(e *memmodel.Env) {
+			for !done {
+				if len(pool) == 0 {
+					e.Yield()
+					continue
+				}
+				t := pool[len(pool)-1]
+				pool = pool[:len(pool)-1]
+				if t.n < 2 {
+					e.Begin("decrement")
+					zero := t.st.Decrement(e)
+					e.End()
+					fire(e, zero, t.cont)
+					continue
+				}
+				// finish { async rec(n/2); async rec(n/2) } — a fresh
+				// counter per finish block; the task's own obligation
+				// transfers to the block's continuation.
+				e.Begin("alloc")
+				inner := cfg.Algorithm.NewInEnv(e, 1)
+				e.End()
+				counters++
+				cont := &i2cont{st: t.st, parent: t.cont}
+				r := inner.RootState()
+				e.Begin("increment")
+				l1, r1 := r.Increment(e, g)
+				e.End()
+				pool = append(pool, i2task{st: r1, n: t.n / 2, cont: cont})
+				e.Begin("increment")
+				l2, r2 := l1.Increment(e, g)
+				e.End()
+				pool = append(pool, i2task{st: r2, n: t.n / 2, cont: cont})
+				e.Begin("decrement")
+				zero := l2.Decrement(e)
+				e.End()
+				fire(e, zero, cont)
+			}
+		})
+	}
+	sim.Run()
+
+	if !done {
+		panic("stallsim: indegree2 terminated without completing")
+	}
+	return Indegree2Result{
+		Config:      cfg,
+		Increments:  sim.StatsFor("increment"),
+		Decrements:  sim.StatsFor("decrement"),
+		Allocs:      sim.StatsFor("alloc"),
+		TotalSteps:  sim.TotalSteps(),
+		TotalStalls: sim.TotalStalls(),
+		Counters:    counters,
+	}
+}

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/nested"
+)
+
+// NUMA placement-policy proxy for the appendix C.2 study (Figure 13).
+//
+// The paper compares two page-placement policies on its 4-socket
+// machine — round-robin interleaving vs first-touch — and finds they
+// do not change the counter-algorithm comparison. This host exposes no
+// NUMA control, so we reproduce the *experiment's shape* with a
+// timing-perturbation proxy: a fraction of leaf tasks pays a small
+// calibrated "remote access" latency, distributed the way each policy
+// would distribute remote pages — round-robin spreads the penalty
+// uniformly across tasks, first-touch concentrates it in contiguous
+// blocks. The measured claim is the paper's null result: the relative
+// ordering of the counter algorithms is unchanged under either policy.
+
+// NumaPolicy selects how the simulated remote-access penalty is
+// distributed across leaf tasks.
+type NumaPolicy int
+
+const (
+	// NumaOff disables the penalty (the baseline).
+	NumaOff NumaPolicy = iota
+	// NumaRoundRobin spreads remote penalties uniformly: every 4th
+	// task pays (one socket in four is "local" to any given page).
+	NumaRoundRobin
+	// NumaFirstTouch concentrates remote penalties: tasks whose index
+	// falls in the upper 3/4 block pay (pages land on the allocating
+	// socket; work spread to the other three sockets is remote).
+	NumaFirstTouch
+)
+
+func (p NumaPolicy) String() string {
+	switch p {
+	case NumaRoundRobin:
+		return "round-robin"
+	case NumaFirstTouch:
+		return "first-touch"
+	default:
+		return "off"
+	}
+}
+
+// numaPenaltyNs approximates the extra latency of a remote DRAM
+// access versus a local one (~100ns remote minus ~60ns local on the
+// paper-era hardware class).
+const numaPenaltyNs = 40
+
+// FaninNUMA is Fanin with the NUMA placement-policy proxy applied to
+// its leaf tasks.
+func FaninNUMA(rt *nested.Runtime, n uint64, policy NumaPolicy) Result {
+	v0 := rt.Dag().VertexCount()
+	var rec func(c *nested.Ctx, n, index uint64)
+	rec = func(c *nested.Ctx, n, index uint64) {
+		if n >= 2 {
+			h := n / 2
+			c.Async(func(c *nested.Ctx) { rec(c, h, index*2) })
+			c.Async(func(c *nested.Ctx) { rec(c, h, index*2+1) })
+			return
+		}
+		switch policy {
+		case NumaRoundRobin:
+			if index%4 != 0 {
+				Work(numaPenaltyNs)
+			}
+		case NumaFirstTouch:
+			if index%1024 >= 256 {
+				Work(numaPenaltyNs)
+			}
+		}
+	}
+	start := time.Now()
+	final := rt.RunMeasured(func(c *nested.Ctx) { rec(c, n, 0) })
+	elapsed := time.Since(start)
+	return Result{
+		Name:       fmt.Sprintf("fanin-numa-%s", policy),
+		N:          n,
+		Elapsed:    elapsed,
+		CounterOps: faninOps(n),
+		Vertices:   rt.Dag().VertexCount() - v0,
+		FinalNodes: final.NodeCount(),
+		Workers:    rt.Workers(),
+	}
+}

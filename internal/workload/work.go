@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file provides the calibrated dummy work of the granularity
+// study (appendix C.3): "each unit of dummy work takes approximately
+// one nanosecond on our test machine". Work(units) spins a calibrated
+// number of iterations so that benchmark grain sizes are expressed in
+// nanoseconds regardless of the host.
+
+var workSink atomic.Uint64
+
+var (
+	calOnce    sync.Once
+	iterPerNs  float64
+	minMeasure = 5 * time.Millisecond
+)
+
+// spin performs n iterations of cheap, unoptimizable work.
+func spin(n int) {
+	x := uint64(workSink.Load() | 1)
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	workSink.Store(x)
+}
+
+// CalibrateWork measures (once) and returns the number of spin
+// iterations that take one nanosecond on this host. It keeps the best
+// (fastest) of several measurement rounds, which makes the estimate
+// robust against descheduling and GC pauses hitting a timed window.
+func CalibrateWork() float64 {
+	calOnce.Do(func() {
+		// Warm up, then size a block long enough to dominate timer
+		// overhead.
+		spin(1 << 16)
+		iters := 1 << 18
+		var elapsed time.Duration
+		for {
+			start := time.Now()
+			spin(iters)
+			elapsed = time.Since(start)
+			if elapsed >= minMeasure {
+				break
+			}
+			iters *= 2
+		}
+		best := float64(iters) / float64(elapsed.Nanoseconds())
+		for round := 0; round < 4; round++ {
+			start := time.Now()
+			spin(iters)
+			elapsed = time.Since(start)
+			if r := float64(iters) / float64(elapsed.Nanoseconds()); r > best {
+				best = r
+			}
+		}
+		iterPerNs = best
+		if iterPerNs <= 0 {
+			iterPerNs = 1
+		}
+	})
+	return iterPerNs
+}
+
+// Work performs approximately `units` nanoseconds of dummy CPU work.
+// Work(0) is free.
+func Work(units int) {
+	if units <= 0 {
+		return
+	}
+	n := int(float64(units) * CalibrateWork())
+	if n < 1 {
+		n = 1
+	}
+	spin(n)
+}

@@ -1,0 +1,111 @@
+// Package repro is a Go reproduction of "Contention in Structured
+// Concurrency: Provably Efficient Dynamic Non-Zero Indicators for
+// Nested Parallelism" (Acar, Ben-David, Rainey; PPoPP 2017).
+//
+// It provides, from the bottom up:
+//
+//   - a SNZI scalable non-zero indicator with the paper's dynamic grow
+//     extension (internal/snzi);
+//   - the in-counter, a provably low-contention dependency counter for
+//     series-parallel dags (internal/core);
+//   - an sp-dag runtime with a Chase-Lev work-stealing scheduler
+//     (internal/spdag, internal/sched, internal/deque);
+//   - an async/finish + fork/join nested-parallelism frontend
+//     (internal/nested);
+//   - the paper's baseline counters and the full benchmark harness
+//     regenerating every figure of its evaluation (internal/counter,
+//     internal/harness), plus a stall-model simulator that measures
+//     contention in the model of the paper's theorems
+//     (internal/memmodel, internal/stallsim).
+//
+// This file is the supported public surface: a downstream user writes
+// nested-parallel programs against Runtime/Ctx and can swap the
+// dependency-counter algorithm the runtime uses. The quickest start:
+//
+//	rt := repro.NewRuntime(repro.Config{})
+//	defer rt.Close()
+//	rt.Run(func(c *repro.Ctx) {
+//	    c.ParallelFor(0, len(xs), 1024, func(i int) { xs[i] *= 2 })
+//	})
+//
+// See examples/ for complete programs and DESIGN.md for the map from
+// the paper's systems and figures to this repository.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/counter"
+	"repro/internal/nested"
+	"repro/internal/snzi"
+)
+
+// Runtime executes nested-parallel computations on a work-stealing
+// scheduler; see nested.Runtime.
+type Runtime = nested.Runtime
+
+// Config tunes a Runtime; see nested.Config.
+type Config = nested.Config
+
+// Ctx is the capability of a running task; see nested.Ctx.
+type Ctx = nested.Ctx
+
+// Task is user code executing as one fine-grained thread.
+type Task = nested.Task
+
+// NewRuntime creates and starts a Runtime.
+func NewRuntime(cfg Config) *Runtime { return nested.New(cfg) }
+
+// DefaultThreshold returns the paper's grow-probability denominator
+// for p workers (25·p, §5).
+func DefaultThreshold(workers int) uint64 { return nested.DefaultThreshold(workers) }
+
+// CounterAlgorithm is a dependency-counter algorithm the runtime can
+// be configured with; see counter.Algorithm.
+type CounterAlgorithm = counter.Algorithm
+
+// Dependency-counter algorithms from the paper's evaluation.
+type (
+	// InCounterAlgorithm is the paper's dynamic in-counter ("dyn").
+	InCounterAlgorithm = counter.Dynamic
+	// FetchAddAlgorithm is the single-cell fetch-and-add baseline.
+	FetchAddAlgorithm = counter.FetchAdd
+	// FixedSNZIAlgorithm is the fixed-depth SNZI tree baseline.
+	FixedSNZIAlgorithm = counter.FixedSNZI
+)
+
+// ParseAlgorithm resolves an artifact-style algorithm name
+// ("fetchadd", "dyn", "snzi-D").
+func ParseAlgorithm(name string, threshold uint64) (CounterAlgorithm, error) {
+	return counter.Parse(name, threshold)
+}
+
+// SNZI re-exports for users who want the relaxed counter itself rather
+// than the runtime: a dynamically growable scalable non-zero
+// indicator.
+type (
+	// SNZITree is a dynamic SNZI tree; see snzi.Tree.
+	SNZITree = snzi.Tree
+	// SNZINode is one node of a SNZI tree; see snzi.Node.
+	SNZINode = snzi.Node
+)
+
+// NewSNZI creates a SNZI tree with the given initial surplus.
+func NewSNZI(initial int) *SNZITree { return snzi.NewTree(initial) }
+
+// NewFixedSNZI creates a complete SNZI tree of the given depth,
+// returning it with its leaves.
+func NewFixedSNZI(initial, depth int) (*SNZITree, []*SNZINode) {
+	return snzi.NewFixedTree(initial, depth)
+}
+
+// In-counter re-exports for direct use of the paper's primary
+// contribution (most users want Runtime instead).
+type (
+	// InCounter is the paper's dependency counter; see core.InCounter.
+	InCounter = core.InCounter
+	// InCounterState is a vertex's handle state; see core.State.
+	InCounterState = core.State
+)
+
+// NewInCounter creates an in-counter with initial count n.
+func NewInCounter(n int, opts ...core.Option) *InCounter { return core.New(n, opts...) }

@@ -1,0 +1,136 @@
+package repro_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro"
+)
+
+// These tests exercise the supported public surface exactly the way
+// the README and examples present it.
+
+func TestPublicQuickstart(t *testing.T) {
+	rt := repro.NewRuntime(repro.Config{Workers: 2, Seed: 1})
+	defer rt.Close()
+
+	const n = 1 << 14
+	xs := make([]int64, n)
+	rt.Run(func(c *repro.Ctx) {
+		c.ParallelFor(0, n, 256, func(i int) { xs[i] = int64(i) * 2 })
+	})
+	var want, got int64
+	for i, x := range xs {
+		want += int64(i) * 2
+		got += x
+	}
+	if got != want {
+		t.Fatalf("parallel map wrong: %d vs %d", got, want)
+	}
+}
+
+func TestPublicAlgorithms(t *testing.T) {
+	algos := []repro.CounterAlgorithm{
+		nil,
+		repro.FetchAddAlgorithm{},
+		repro.InCounterAlgorithm{Threshold: 10},
+		repro.FixedSNZIAlgorithm{Depth: 3},
+	}
+	for _, alg := range algos {
+		rt := repro.NewRuntime(repro.Config{Workers: 2, Algorithm: alg, Seed: 2})
+		var count atomic.Int64
+		rt.Run(func(c *repro.Ctx) {
+			for i := 0; i < 64; i++ {
+				c.Async(func(*repro.Ctx) { count.Add(1) })
+			}
+		})
+		rt.Close()
+		if count.Load() != 64 {
+			t.Fatalf("alg %v: %d asyncs ran", alg, count.Load())
+		}
+	}
+}
+
+func TestPublicParseAlgorithm(t *testing.T) {
+	for _, name := range []string{"fetchadd", "dyn", "snzi-3"} {
+		alg, err := repro.ParseAlgorithm(name, 100)
+		if err != nil || alg.Name() != name {
+			t.Fatalf("ParseAlgorithm(%q) = %v, %v", name, alg, err)
+		}
+	}
+	if _, err := repro.ParseAlgorithm("nope", 1); err == nil {
+		t.Fatal("bad name accepted")
+	}
+}
+
+func TestPublicDefaultThreshold(t *testing.T) {
+	if repro.DefaultThreshold(40) != 1000 {
+		t.Fatalf("DefaultThreshold(40) = %d, want 1000 (25·40)", repro.DefaultThreshold(40))
+	}
+}
+
+func TestPublicSNZI(t *testing.T) {
+	tree := repro.NewSNZI(0)
+	if tree.Query() {
+		t.Fatal("fresh tree non-zero")
+	}
+	l, r := tree.Root().Grow(true)
+	l.Arrive()
+	r.Arrive()
+	if !tree.Query() {
+		t.Fatal("tree zero after arrives")
+	}
+	if l.Depart() {
+		t.Fatal("zero too early")
+	}
+	if !r.Depart() {
+		t.Fatal("last depart must report zero")
+	}
+
+	fixed, leaves := repro.NewFixedSNZI(0, 3)
+	if len(leaves) != 8 || fixed.NodeCount() != 15 {
+		t.Fatalf("fixed tree shape: %d leaves, %d nodes", len(leaves), fixed.NodeCount())
+	}
+}
+
+func TestPublicInCounter(t *testing.T) {
+	c := repro.NewInCounter(1)
+	if c.IsZero() {
+		t.Fatal("fresh counter zero")
+	}
+	left, right := c.RootState().Increment(true)
+	if left.Decrement() {
+		t.Fatal("zero too early")
+	}
+	if !right.Decrement() {
+		t.Fatal("final decrement must report zero")
+	}
+	if !c.IsZero() {
+		t.Fatal("counter not zero")
+	}
+}
+
+// TestPublicFibEndToEnd is the paper's running example through the
+// public API on several algorithms, at enough scale for real stealing.
+func TestPublicFibEndToEnd(t *testing.T) {
+	var fib func(c *repro.Ctx, n int, dest *uint64)
+	fib = func(c *repro.Ctx, n int, dest *uint64) {
+		if n <= 1 {
+			*dest = uint64(n)
+			return
+		}
+		var a, b uint64
+		c.ForkJoinThen(
+			func(c *repro.Ctx) { fib(c, n-1, &a) },
+			func(c *repro.Ctx) { fib(c, n-2, &b) },
+			func(*repro.Ctx) { *dest = a + b },
+		)
+	}
+	rt := repro.NewRuntime(repro.Config{Seed: 7})
+	defer rt.Close()
+	var out uint64
+	rt.Run(func(c *repro.Ctx) { fib(c, 21, &out) })
+	if out != 10946 {
+		t.Fatalf("fib(21) = %d", out)
+	}
+}
