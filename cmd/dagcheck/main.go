@@ -57,7 +57,9 @@ func run(seed uint64, budget, procs int, algo counter.Algorithm, dotPath string)
 			fuel--
 		}
 	}
-	rt.Run(func(c *nested.Ctx) { program(c, budget) })
+	if err := rt.Run(func(c *nested.Ctx) { program(c, budget) }); err != nil {
+		return fmt.Errorf("run failed: %w", err)
+	}
 	if dotPath != "" {
 		if err := os.WriteFile(dotPath, []byte(rec.Dot(fmt.Sprintf("seed%d", seed))), 0o644); err != nil {
 			return err

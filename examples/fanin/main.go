@@ -15,7 +15,6 @@ import (
 	"log"
 
 	"repro"
-	"repro/internal/nested"
 	"repro/internal/workload"
 )
 
@@ -36,14 +35,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rt := nested.New(nested.Config{Workers: *workers, Algorithm: alg})
+	rt := repro.NewRuntime(repro.WithWorkers(*workers), repro.WithAlgorithm(alg))
 	defer rt.Close()
 
-	res := workload.Fanin(rt, *n)
+	res := workload.Fanin(rt.Nested(), *n)
 	fmt.Printf("bench=fanin algo=%s procs=%d n=%d\n", *algo, rt.Workers(), *n)
 	fmt.Printf("  time            %v\n", res.Elapsed)
 	fmt.Printf("  counter ops     %d\n", res.CounterOps)
 	fmt.Printf("  ops/sec/core    %.0f\n", res.OpsPerSecPerCore())
 	fmt.Printf("  incounter nodes %d\n", res.FinalNodes)
-	fmt.Printf("  steals          %d\n", rt.Scheduler().Stats().Steals)
+	fmt.Printf("  steals          %d\n", rt.Stats().Steals)
 }

@@ -50,17 +50,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rt := repro.NewRuntime(repro.Config{Workers: *workers, Algorithm: alg})
+	rt := repro.NewRuntime(repro.WithWorkers(*workers), repro.WithAlgorithm(alg))
 	defer rt.Close()
 
-	var result uint64
 	start := time.Now()
-	rt.Run(func(c *repro.Ctx) { fib(c, *n, &result) })
+	result, err := repro.RunValue(rt, func(c *repro.Ctx, out *uint64) error {
+		fib(c, *n, out)
+		return nil
+	})
 	elapsed := time.Since(start)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if want := fibSeq(*n); result != want {
 		log.Fatalf("fib(%d) = %d, want %d", *n, result, want)
 	}
+	st := rt.Stats()
 	fmt.Printf("fib(%d) = %d  [algo=%s workers=%d time=%v vertices=%d]\n",
-		*n, result, *algo, rt.Workers(), elapsed, rt.Dag().VertexCount())
+		*n, result, *algo, st.Workers, elapsed, st.Vertices)
 }

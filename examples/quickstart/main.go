@@ -1,9 +1,9 @@
 // Quickstart: the smallest useful program against the public API.
 //
-// It creates a runtime (work-stealing scheduler + sp-dag + in-counter
-// dependency tracking), doubles a slice in parallel, sums it with a
-// parallel divide-and-conquer reduction, and prints runtime
-// statistics. Run with:
+// It doubles a slice in parallel on the package-level default runtime,
+// then creates an explicit runtime (work-stealing scheduler + sp-dag +
+// in-counter dependency tracking), sums the slice with a typed
+// parallel reduction, and prints runtime statistics. Run with:
 //
 //	go run ./examples/quickstart
 package main
@@ -16,49 +16,46 @@ import (
 )
 
 func main() {
-	rt := repro.NewRuntime(repro.Config{}) // GOMAXPROCS workers, in-counter with the paper's threshold
-	defer rt.Close()
-
 	const n = 1 << 20
 	xs := make([]int64, n)
 	for i := range xs {
 		xs[i] = int64(i)
 	}
 
-	// Parallel map: double every element. ParallelFor splits the index
-	// range recursively down to the grain and joins before returning
-	// control past the finish block.
-	rt.Run(func(c *repro.Ctx) {
+	// Parallel map on the default runtime: double every element.
+	// ParallelFor splits the index range recursively down to the grain
+	// and joins before returning control past the finish block. Run
+	// variants return the computation's first error (a recovered task
+	// panic, a Ctx.Fail, or a cancelled context).
+	if err := repro.Do(func(c *repro.Ctx) {
 		c.ParallelFor(0, n, 4096, func(i int) { xs[i] *= 2 })
-	})
+	}); err != nil {
+		log.Fatal(err)
+	}
 
-	// Parallel reduction: divide-and-conquer sum with ForkJoin.
-	var sum func(c *repro.Ctx, lo, hi int, out *int64)
-	sum = func(c *repro.Ctx, lo, hi int, out *int64) {
-		if hi-lo <= 4096 {
+	// Typed parallel reduction on an explicit runtime: sum the slice
+	// with divide-and-conquer ForkJoins under the hood.
+	rt := repro.NewRuntime(repro.WithWorkers(0)) // 0 = GOMAXPROCS
+	defer rt.Close()
+
+	total, err := repro.ParallelReduce(rt, 0, n, 4096,
+		func(lo, hi int) int64 {
 			var s int64
 			for i := lo; i < hi; i++ {
 				s += xs[i]
 			}
-			*out = s
-			return
-		}
-		mid := (lo + hi) / 2
-		var a, b int64
-		c.ForkJoinThen(
-			func(c *repro.Ctx) { sum(c, lo, mid, &a) },
-			func(c *repro.Ctx) { sum(c, mid, hi, &b) },
-			func(*repro.Ctx) { *out = a + b },
-		)
+			return s
+		},
+		func(a, b int64) int64 { return a + b })
+	if err != nil {
+		log.Fatal(err)
 	}
-	var total int64
-	rt.Run(func(c *repro.Ctx) { sum(c, 0, n, &total) })
 
 	want := int64(n) * int64(n-1) // sum of 2i for i in [0,n)
 	if total != want {
 		log.Fatalf("sum = %d, want %d", total, want)
 	}
-	st := rt.Scheduler().Stats()
+	st := rt.Stats()
 	fmt.Printf("sum of doubled [0,%d) = %d\n", n, total)
-	fmt.Printf("workers=%d vertices=%d steals=%d\n", rt.Workers(), rt.Dag().VertexCount(), st.Steals)
+	fmt.Printf("workers=%d vertices=%d steals=%d\n", st.Workers, st.Vertices, st.Steals)
 }

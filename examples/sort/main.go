@@ -92,7 +92,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rt := repro.NewRuntime(repro.Config{Workers: *workers, Algorithm: alg})
+	rt := repro.NewRuntime(repro.WithWorkers(*workers), repro.WithAlgorithm(alg))
 	defer rt.Close()
 
 	xs := make([]int32, *n)
@@ -103,12 +103,15 @@ func main() {
 	buf := make([]int32, *n)
 
 	start := time.Now()
-	rt.Run(func(c *repro.Ctx) { mergesort(c, xs, buf) })
+	if err := rt.Run(func(c *repro.Ctx) { mergesort(c, xs, buf) }); err != nil {
+		log.Fatal(err)
+	}
 	elapsed := time.Since(start)
 
 	if !sort.SliceIsSorted(xs, func(i, j int) bool { return xs[i] < xs[j] }) {
 		log.Fatal("output not sorted")
 	}
+	st := rt.Stats()
 	fmt.Printf("sorted %d int32s in %v  [algo=%s workers=%d vertices=%d]\n",
-		*n, elapsed, *algo, rt.Workers(), rt.Dag().VertexCount())
+		*n, elapsed, *algo, st.Workers, st.Vertices)
 }

@@ -1,0 +1,171 @@
+package repro
+
+// Typed results over the async/finish runtime: futures, value-bearing
+// runs, and parallel reductions.
+//
+// The runtime is continuation-passing — a task's parallel children
+// complete after the task function itself returns, and the only join
+// points are finish blocks. Values therefore flow out of parallel code
+// through memory written before a join, and every typed helper here is
+// shaped around that rule: a Future is readable after the enclosing
+// finish joins it, RunValue's result pointer is readable after Run's
+// top-level finish, and ParallelReduce delivers the total to a
+// continuation (or to the Run caller) strictly after the reduction
+// tree has joined.
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/spdag"
+)
+
+// Future is the typed result of a task started with Go. It is resolved
+// when the task function returns (or fails); the enclosing finish
+// block is the synchronization point that makes it readable.
+type Future[T any] struct {
+	val  T
+	err  error
+	done atomic.Bool
+	v    *spdag.Vertex // any vertex of the computation, for its Err
+}
+
+// Go starts f as a new task joining at the innermost enclosing finish
+// block (exactly like Ctx.Async) and returns a Future for its result.
+// A non-nil error from f cancels the enclosing computation,
+// errgroup-style, as does a panic in f (which additionally resolves
+// the Future with the *PanicError).
+//
+// If the computation has already been cancelled, nothing is spawned
+// and the Future comes back already resolved with the cancellation
+// error. The same holds when the computation is cancelled after the
+// spawn but before the task runs — its body is skipped, and Result
+// reports the computation's error instead.
+func Go[T any](c *Ctx, f func(c *Ctx) (T, error)) *Future[T] {
+	fut := &Future[T]{v: c.Vertex()}
+	spawned := c.TryAsync(func(c *Ctx) {
+		defer func() {
+			if p := recover(); p != nil {
+				err := spdag.AsPanicError(p)
+				fut.err = err
+				fut.done.Store(true)
+				c.Fail(err)
+				return
+			}
+			fut.done.Store(true)
+		}()
+		v, err := f(c)
+		fut.val, fut.err = v, err
+		if err != nil {
+			c.Fail(err)
+		}
+	})
+	if !spawned {
+		fut.err = c.Err()
+		fut.done.Store(true)
+	}
+	return fut
+}
+
+// Result returns the task's value and error. It must only be called
+// after the finish block enclosing the Go has joined (e.g. in a
+// FinishThen continuation, or after Run returns); calling it earlier
+// is a structured-concurrency misuse and panics deterministically
+// instead of racing. If the computation was cancelled before the task
+// could run — so the task was skipped and never produced a value —
+// Result returns the zero value and the computation's error.
+func (f *Future[T]) Result() (T, error) {
+	if !f.done.Load() {
+		if err := f.v.Err(); err != nil {
+			var zero T
+			return zero, err
+		}
+		panic("repro: Future.Result before the enclosing finish joined the task")
+	}
+	return f.val, f.err
+}
+
+// Resolved reports whether the Future's task has completed or its
+// computation was cancelled before it could run. It is a probe; the
+// reliable synchronization point is the enclosing finish.
+func (f *Future[T]) Resolved() bool { return f.done.Load() || f.v.Err() != nil }
+
+// RunValue executes f as a complete computation on rt and returns the
+// value it deposited: f receives a pointer to the result slot, which
+// it (or any continuation it creates — the usual pattern writes it in
+// a ForkJoinThen/FinishThen continuation) must fill before its
+// top-level finish joins. A non-nil error from f cancels the
+// computation. RunValue returns the first error of the computation
+// with the zero-value contract of errgroup: on error, the result is
+// whatever was deposited before cancellation and should not be
+// trusted.
+func RunValue[T any](rt *Runtime, f func(c *Ctx, result *T) error) (T, error) {
+	return RunValueContext(context.Background(), rt, f)
+}
+
+// RunValueContext is RunValue under a context (see RunContext).
+func RunValueContext[T any](ctx context.Context, rt *Runtime, f func(c *Ctx, result *T) error) (T, error) {
+	var out T
+	err := rt.RunContext(ctx, func(c *Ctx) {
+		if e := f(c, &out); e != nil {
+			c.Fail(e)
+		}
+	})
+	return out, err
+}
+
+// ParallelReduce computes leaf over disjoint chunks of [lo, hi) of at
+// most grain indices each, in parallel, and folds the chunk values
+// with combine, which must be associative (leaf chunks stay in index
+// order along each combine, so it need not be commutative). It runs as
+// one complete computation on rt:
+//
+//	total, err := repro.ParallelReduce(rt, 0, len(xs), 4096,
+//	    func(lo, hi int) int64 {
+//	        var s int64
+//	        for i := lo; i < hi; i++ { s += xs[i] }
+//	        return s
+//	    },
+//	    func(a, b int64) int64 { return a + b })
+func ParallelReduce[T any](rt *Runtime, lo, hi, grain int, leaf func(lo, hi int) T, combine func(a, b T) T) (T, error) {
+	return RunValue(rt, func(c *Ctx, result *T) error {
+		ParallelReduceThen(c, lo, hi, grain, leaf, combine,
+			func(_ *Ctx, total T) { *result = total })
+		return nil
+	})
+}
+
+// ParallelReduceThen is the composable, mid-computation form of
+// ParallelReduce: it reduces [lo, hi) inside a fresh finish block and
+// passes the total to then once the reduction tree has joined. It is a
+// tail operation — it consumes c, and the caller's task ends when then
+// returns.
+func ParallelReduceThen[T any](c *Ctx, lo, hi, grain int, leaf func(lo, hi int) T, combine func(a, b T) T, then func(c *Ctx, total T)) {
+	if grain < 1 {
+		grain = 1
+	}
+	out := new(T)
+	c.FinishThen(func(c *Ctx) {
+		if hi > lo {
+			reduceRec(c, lo, hi, grain, leaf, combine, out)
+		}
+	}, func(c *Ctx) {
+		then(c, *out)
+	})
+}
+
+// reduceRec splits [lo, hi) by ForkJoin down to grain-sized chunks,
+// combining results in continuations as the halves join.
+func reduceRec[T any](c *Ctx, lo, hi, grain int, leaf func(lo, hi int) T, combine func(a, b T) T, out *T) {
+	if hi-lo <= grain {
+		*out = leaf(lo, hi)
+		return
+	}
+	mid := lo + (hi-lo)/2
+	var a, b T
+	c.ForkJoinThen(
+		func(c *Ctx) { reduceRec(c, lo, mid, grain, leaf, combine, &a) },
+		func(c *Ctx) { reduceRec(c, mid, hi, grain, leaf, combine, &b) },
+		func(*Ctx) { *out = combine(a, b) },
+	)
+}

@@ -1,0 +1,255 @@
+package nested
+
+// White-box tests for the failure semantics: panic recovery, context
+// cancellation, cooperative no-op draining, multi-tenant isolation,
+// and the Close contract.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/spdag"
+)
+
+func TestPanicDeepInAsyncSurfacesAsError(t *testing.T) {
+	r := newRuntime(t, 2, nil)
+	var rec func(c *Ctx, depth int)
+	rec = func(c *Ctx, depth int) {
+		if depth == 0 {
+			panic("boom")
+		}
+		c.Async(func(c *Ctx) { rec(c, depth-1) })
+		c.Async(func(c *Ctx) { rec(c, depth-1) })
+	}
+	ctr, err := r.RunMeasured(func(c *Ctx) { rec(c, 6) })
+	if err == nil {
+		t.Fatal("panicking computation returned nil error")
+	}
+	var pe *spdag.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *spdag.PanicError", err, err)
+	}
+	if pe.Value != "boom" {
+		t.Fatalf("panic value = %v, want boom", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("PanicError carries no stack")
+	}
+	if ctr != nil && !ctr.IsZero() {
+		t.Fatal("top-level finish counter nonzero after failed Run: dag not quiescent")
+	}
+
+	// The Runtime must be fully reusable after a failure.
+	var n atomic.Int64
+	if err := r.Run(func(c *Ctx) {
+		for i := 0; i < 50; i++ {
+			c.Async(func(*Ctx) { n.Add(1) })
+		}
+	}); err != nil {
+		t.Fatalf("Run after failure: %v", err)
+	}
+	if n.Load() != 50 {
+		t.Fatalf("Run after failure executed %d of 50 asyncs", n.Load())
+	}
+}
+
+func TestPanicWithErrorValueUnwraps(t *testing.T) {
+	r := newRuntime(t, 2, nil)
+	sentinel := errors.New("sentinel failure")
+	err := r.Run(func(c *Ctx) { panic(sentinel) })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("errors.Is(%v, sentinel) = false", err)
+	}
+}
+
+// TestCancelledVerticesAreNoOps pins the drain semantics: with one
+// worker, asyncs queued before the root panics cannot have started, so
+// after the panic every one of them must execute as a pure counter
+// discharge without running its body — yet Run still returns, which
+// proves the discharges happened.
+func TestCancelledVerticesAreNoOps(t *testing.T) {
+	r := newRuntime(t, 1, nil)
+	var ran atomic.Int64
+	err := r.Run(func(c *Ctx) {
+		for i := 0; i < 32; i++ {
+			c.Async(func(*Ctx) { ran.Add(1) })
+		}
+		panic("stop")
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d cancelled asyncs ran their bodies", ran.Load())
+	}
+}
+
+func TestCtxFail(t *testing.T) {
+	r := newRuntime(t, 2, nil)
+	sentinel := errors.New("deliberate failure")
+	err := r.Run(func(c *Ctx) {
+		c.Async(func(c *Ctx) { c.Fail(sentinel) })
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	// Fail(nil) is a no-op.
+	if err := r.Run(func(c *Ctx) { c.Fail(nil) }); err != nil {
+		t.Fatalf("Fail(nil) produced error %v", err)
+	}
+}
+
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	r := newRuntime(t, 2, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := r.RunContext(ctx, func(*Ctx) { ran = true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("task ran under an already-cancelled context")
+	}
+}
+
+func TestRunContextCancelMidFlight(t *testing.T) {
+	r := newRuntime(t, 2, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	go func() {
+		<-started
+		cancel()
+	}()
+	err := r.RunContext(ctx, func(c *Ctx) {
+		close(started)
+		for c.Err() == nil { // the documented cooperative poll
+			runtime.Gosched()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestConcurrentRunsIsolated(t *testing.T) {
+	r := newRuntime(t, 4, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 5; iter++ {
+				var leaves atomic.Int64
+				if err := r.Run(func(c *Ctx) { faninRec(c, 256, &leaves) }); err != nil {
+					t.Errorf("concurrent Run: %v", err)
+					return
+				}
+				if leaves.Load() != 256 {
+					t.Errorf("concurrent Run saw %d leaves, want 256", leaves.Load())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestFailureDoesNotCrossSignal runs a failing and a succeeding
+// computation concurrently on one Runtime: the failure must not leak
+// into the healthy computation's finish counter or error.
+func TestFailureDoesNotCrossSignal(t *testing.T) {
+	r := newRuntime(t, 4, nil)
+	bad := make(chan error, 1)
+	go func() {
+		bad <- r.Run(func(c *Ctx) {
+			c.Async(func(*Ctx) { panic("bad computation") })
+		})
+	}()
+	var leaves atomic.Int64
+	if err := r.Run(func(c *Ctx) { faninRec(c, 1<<10, &leaves) }); err != nil {
+		t.Fatalf("healthy Run failed: %v", err)
+	}
+	if leaves.Load() != 1<<10 {
+		t.Fatalf("healthy Run saw %d leaves, want %d", leaves.Load(), 1<<10)
+	}
+	if err := <-bad; err == nil {
+		t.Fatal("failing Run returned nil error")
+	}
+}
+
+func TestCloseIdempotentAndConcurrent(t *testing.T) {
+	r := New(Config{Workers: 2, Seed: 1})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Close()
+		}()
+	}
+	wg.Wait()
+	r.Close() // and once more, sequentially
+	if err := r.Run(func(*Ctx) {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Run after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestCloseWaitsForInFlightRuns(t *testing.T) {
+	r := New(Config{Workers: 2, Seed: 1})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	runDone := make(chan error, 1)
+	go func() {
+		runDone <- r.Run(func(c *Ctx) {
+			close(started)
+			<-release
+		})
+	}()
+	<-started
+	closed := make(chan struct{})
+	go func() {
+		r.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a Run was in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	<-closed
+	if err := <-runDone; err != nil {
+		t.Fatalf("in-flight Run failed: %v", err)
+	}
+}
+
+func TestNoLeakedGoroutinesAfterFailure(t *testing.T) {
+	before := runtime.NumGoroutine()
+	r := New(Config{Workers: 4, Seed: 2})
+	var rec func(c *Ctx, depth int)
+	rec = func(c *Ctx, depth int) {
+		if depth == 0 {
+			panic("leak probe")
+		}
+		c.Async(func(c *Ctx) { rec(c, depth-1) })
+		c.Async(func(c *Ctx) { rec(c, depth-1) })
+	}
+	if err := r.Run(func(c *Ctx) { rec(c, 8) }); err == nil {
+		t.Fatal("no error")
+	}
+	r.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after Close",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

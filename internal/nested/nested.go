@@ -2,8 +2,8 @@
 // — async/finish and fork/join — on top of the sp-dag runtime and the
 // work-stealing scheduler. It is the programming interface the paper's
 // benchmarks are written in (PPoPP'17 Figures 6 and 7), and the
-// "public API" a downstream user of this library programs against
-// (re-exported at the module root).
+// engine behind the public API a downstream user of this library
+// programs against (package repro at the module root).
 //
 // The mapping to sp-dag operations (§3.1) is:
 //
@@ -21,6 +21,23 @@
 // Every Run executes a top-level implicit finish: Run(f) returns when
 // f and all asyncs it created have completed.
 //
+// # Failure semantics
+//
+// Run returns an error, errgroup-style. A panic in any task of the
+// computation is recovered at the task boundary, converted to a
+// *spdag.PanicError, and cancels the computation: the bodies of every
+// not-yet-executed vertex of that computation become no-ops, but each
+// vertex still discharges its dependency counters, so the dag quiesces
+// and Run returns the first error once everything has drained. The
+// same path serves RunContext's context cancellation and an explicit
+// Ctx.Fail. Cancellation is cooperative — a running task is never
+// interrupted; long loops should poll Ctx.Err.
+//
+// A Runtime is a long-lived service: any number of goroutines may call
+// Run concurrently, each getting its own root/final vertex pair (its
+// own top-level finish counter) over the shared dag and scheduler. A
+// failed or cancelled Run leaves the Runtime fully reusable.
+//
 // A Ctx is a capability for the current task and is consumed by tail
 // operations (Finish, ForkJoin); structured misuse — using a Ctx after
 // its task ended, or from a spawned sibling — panics deterministically
@@ -28,7 +45,10 @@
 package nested
 
 import (
+	"context"
+	"errors"
 	"runtime"
+	"sync"
 
 	"repro/internal/counter"
 	"repro/internal/sched"
@@ -38,12 +58,21 @@ import (
 // Task is user code executing as one fine-grained thread.
 type Task func(c *Ctx)
 
-// Runtime owns a scheduler and a dag configuration; it can execute
-// many computations sequentially or concurrently.
+// ErrClosed is returned by Run variants on a Runtime whose Close has
+// begun.
+var ErrClosed = errors.New("nested: runtime is closed")
+
+// Runtime owns a scheduler and a dag configuration; it is a long-lived
+// service executing many computations, sequentially or concurrently.
 type Runtime struct {
 	sched  *sched.Scheduler
 	dag    *spdag.Dag
 	shared bool // scheduler provided by caller: do not shut down
+
+	mu        sync.Mutex
+	closed    bool
+	runs      sync.WaitGroup // in-flight Run calls
+	closeOnce sync.Once
 }
 
 // Config tunes a Runtime.
@@ -96,11 +125,22 @@ func New(cfg Config) *Runtime {
 	return r
 }
 
-// Close shuts the scheduler down. The Runtime must be quiescent.
+// Close shuts the Runtime down. It is idempotent and safe to call
+// concurrently with in-flight Runs: it marks the Runtime closed
+// (subsequent Runs fail fast with ErrClosed), waits for every
+// in-flight Run to drain, then stops the scheduler workers. Every
+// Close call — including concurrent and repeated ones — returns only
+// after the workers have exited.
 func (r *Runtime) Close() {
-	if !r.shared {
-		r.sched.Shutdown()
-	}
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.runs.Wait()
+	r.closeOnce.Do(func() {
+		if !r.shared {
+			r.sched.Shutdown()
+		}
+	})
 }
 
 // Scheduler exposes the underlying scheduler (for stats).
@@ -114,22 +154,71 @@ func (r *Runtime) Workers() int { return r.sched.NumWorkers() }
 
 // Run executes f under a top-level finish and blocks the calling
 // goroutine (which is not a worker) until f and everything it spawned
-// have completed.
-func (r *Runtime) Run(f Task) { r.RunMeasured(f) }
+// have completed or the computation failed. It returns the first error
+// of the computation: a recovered task panic (as *spdag.PanicError) or
+// an explicit Ctx.Fail. Multiple goroutines may Run concurrently on
+// one Runtime; each computation has its own root finish counter, so
+// they do not interfere.
+func (r *Runtime) Run(f Task) error {
+	_, err := r.run(context.Background(), f)
+	return err
+}
+
+// RunContext is Run under a context: when ctx is cancelled the
+// computation is aborted the same way a task failure aborts it — the
+// remaining vertices become no-ops but still discharge their counters
+// — and RunContext returns once the dag has quiesced, with ctx's
+// error. An already-cancelled ctx runs nothing.
+func (r *Runtime) RunContext(ctx context.Context, f Task) error {
+	_, err := r.run(ctx, f)
+	return err
+}
 
 // RunMeasured is Run, additionally returning the dependency counter of
 // the computation's final vertex — the top-level finish block. Its
 // NodeCount is the artifact's nb_incounter_nodes statistic.
-func (r *Runtime) RunMeasured(f Task) counter.Counter {
+func (r *Runtime) RunMeasured(f Task) (counter.Counter, error) {
+	return r.run(context.Background(), f)
+}
+
+func (r *Runtime) run(ctx context.Context, f Task) (counter.Counter, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	r.runs.Add(1)
+	r.mu.Unlock()
+	defer r.runs.Done()
+
 	root, final := r.dag.Make()
 	done := make(chan struct{})
 	final.SetBody(func(*spdag.Vertex) { close(done) })
 	root.SetBody(wrap(f))
+	if err := ctx.Err(); err != nil {
+		root.Abort(err)
+	}
 	if !root.TrySchedule() {
 		panic("nested: fresh root failed to schedule")
 	}
-	<-done
-	return final.Counter()
+	if ctx.Done() == nil {
+		<-done
+	} else {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			// Both channels may be ready and select picks at random:
+			// never abort a computation that has already completed, or
+			// a successful Run would flakily report ctx's error.
+			select {
+			case <-done:
+			default:
+				root.Abort(ctx.Err())
+				<-done
+			}
+		}
+	}
+	return final.Counter(), final.Err()
 }
 
 // Ctx is the capability of the currently executing task. It is not
@@ -143,11 +232,19 @@ type Ctx struct {
 // wrap adapts a Task to a vertex body: the task's final continuation
 // vertex signals when the user function returns, unless a tail
 // operation already consumed the task.
+//
+// wrap is also the frontend's failure boundary. If the computation has
+// been cancelled the user function is skipped entirely (the vertex
+// becomes a pure counter discharge). If the user function panics, the
+// panic is recovered here — where the task's *current* continuation
+// vertex is known, even after Asyncs have replaced it — the
+// computation is aborted with a *spdag.PanicError, and the
+// continuation signals so the dag still quiesces.
 func wrap(f Task) spdag.Body {
 	return func(self *spdag.Vertex) {
 		c := Ctx{v: self}
-		if f != nil {
-			f(&c)
+		if f != nil && self.Err() == nil {
+			runTask(f, &c)
 		}
 		if !c.done && !c.v.Dead() {
 			c.v.Signal()
@@ -155,8 +252,34 @@ func wrap(f Task) spdag.Body {
 	}
 }
 
+// runTask invokes f behind the task-boundary recover barrier.
+func runTask(f Task, c *Ctx) {
+	defer func() {
+		if p := recover(); p != nil {
+			c.v.Abort(spdag.AsPanicError(p))
+		}
+	}()
+	f(c)
+}
+
 // Vertex returns the current continuation vertex (diagnostics).
 func (c *Ctx) Vertex() *spdag.Vertex { return c.v }
+
+// Err returns the error the enclosing computation was cancelled with,
+// or nil while it is live. Long-running leaf loops should poll it to
+// stop early after a sibling failure or a context cancellation;
+// structural operations check it automatically.
+func (c *Ctx) Err() error { return c.v.Err() }
+
+// Fail cancels the enclosing computation with err (the first failure
+// wins), errgroup-style: the computation's Run returns err once the
+// dag quiesces. A nil err is ignored. Fail returns immediately; the
+// current task keeps running and should return promptly.
+func (c *Ctx) Fail(err error) {
+	if err != nil {
+		c.v.Abort(err)
+	}
+}
 
 func (c *Ctx) check(op string) {
 	if c.done {
@@ -166,22 +289,41 @@ func (c *Ctx) check(op string) {
 
 // Async starts f as a new task joining at the innermost enclosing
 // finish block, and continues the caller as the spawn's continuation.
-func (c *Ctx) Async(f Task) {
+// On a cancelled computation Async is a no-op.
+func (c *Ctx) Async(f Task) { c.TryAsync(f) }
+
+// TryAsync is Async reporting whether the task was actually spawned:
+// it returns false — spawning nothing and touching no counters — when
+// the computation has already been cancelled. Callers that hand out
+// completion promises (package repro's futures) use the report to
+// resolve them.
+func (c *Ctx) TryAsync(f Task) bool {
 	c.check("Async")
+	if c.v.Err() != nil {
+		return false
+	}
 	v, w := c.v.Spawn()
 	w.SetBody(wrap(f))
 	v.AdoptExecution() // the caller keeps running as v
 	c.v = v
 	w.TrySchedule()
+	return true
 }
 
 // FinishThen runs body inside a fresh finish block; then runs after
 // body and every async it (transitively) created inside the block have
 // completed. then continues the caller's task: it may Async into the
 // caller's own enclosing finish, and the caller's task ends when then
-// returns (the Ctx passed to then is a fresh one; c is consumed).
+// returns (the Ctx passed to then is a fresh one; c is consumed). On a
+// cancelled computation neither body nor then runs; the task just
+// ends.
 func (c *Ctx) FinishThen(body, then Task) {
 	c.check("FinishThen")
+	if c.v.Err() != nil {
+		c.done = true
+		c.v.Signal()
+		return
+	}
 	v, w := c.v.Chain()
 	v.SetBody(wrap(body))
 	w.SetBody(wrap(then))
@@ -207,7 +349,9 @@ func (c *Ctx) ForkJoin(f, g Task) { c.ForkJoinThen(f, g, nil) }
 
 // ParallelForThen runs fn(i) for every i in [lo, hi) with parallel
 // recursive splitting down to the given grain (iterations per task,
-// minimum 1), then runs then once all iterations complete.
+// minimum 1), then runs then once all iterations complete. After a
+// cancellation, remaining splits are skipped (already-started leaves
+// finish their at-most-grain iterations).
 func (c *Ctx) ParallelForThen(lo, hi, grain int, fn func(i int), then Task) {
 	if grain < 1 {
 		grain = 1
@@ -224,10 +368,16 @@ func (c *Ctx) ParallelFor(lo, hi, grain int, fn func(i int)) {
 
 func parforRec(c *Ctx, lo, hi, grain int, fn func(i int)) {
 	for hi-lo > grain {
+		if c.v.Err() != nil {
+			return
+		}
 		mid := lo + (hi-lo)/2
 		lo2, hi2 := lo, mid
 		c.Async(func(c *Ctx) { parforRec(c, lo2, hi2, grain, fn) })
 		lo = mid
+	}
+	if c.v.Err() != nil {
+		return
 	}
 	for i := lo; i < hi; i++ {
 		fn(i)

@@ -49,6 +49,7 @@ func TestPrivateDequesSpawnTree(t *testing.T) {
 }
 
 func TestPrivateDequesStealsHappen(t *testing.T) {
+	requireParallelism(t)
 	s := New(4, WithSeed(3), WithPolicy(PrivateDeques))
 	s.Start()
 	defer s.Shutdown()

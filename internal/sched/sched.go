@@ -135,9 +135,13 @@ func (s *Scheduler) Start() {
 	}
 }
 
-// Shutdown stops the workers and waits for them to exit. Pending
-// vertices are abandoned; callers are expected to have waited for
-// their computation (see Run) first.
+// Shutdown stops the workers and waits for them to exit. It is
+// idempotent and safe to call from multiple goroutines: every call
+// returns only once the workers have exited (immediately, if Start was
+// never called). Pending vertices are abandoned; callers are expected
+// to have waited for their computations (see Run, or the nested
+// frontend's Close, which drains in-flight Runs) first. Start must
+// happen before — not concurrently with — the first Shutdown.
 func (s *Scheduler) Shutdown() {
 	s.stop.Store(true)
 	s.wg.Wait()
@@ -146,7 +150,11 @@ func (s *Scheduler) Shutdown() {
 // Submit injects an external ready vertex (typically a computation
 // root). It is the dag-level fallback schedule callback: vertices
 // scheduled from inside a running vertex take the worker-local push
-// path instead and never touch the injector lock.
+// path instead and never touch the injector lock. Submit is safe from
+// any goroutine, which is what lets many Run/nested.Runtime.Run calls
+// proceed concurrently over one scheduler: each computation injects
+// its own root here and the workers interleave them; idle workers
+// drain the injector FIFO before attempting steals.
 func (s *Scheduler) Submit(v *spdag.Vertex) {
 	s.injector.mu.Lock()
 	s.injector.q = append(s.injector.q, v)

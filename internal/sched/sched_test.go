@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 
@@ -87,7 +88,22 @@ func TestParallelSpawnTreeAllAlgorithms(t *testing.T) {
 	}
 }
 
+// requireParallelism makes sure worker goroutines can actually
+// interleave: on a single-P host a busy worker holds the sole P until
+// its deque drains, so thieves never observe a non-empty victim and
+// steal counts are legitimately zero. Bumping GOMAXPROCS restores the
+// multicore scheduling environment the steal assertions describe.
+func requireParallelism(t *testing.T) {
+	t.Helper()
+	if runtime.GOMAXPROCS(0) >= 2 {
+		return
+	}
+	prev := runtime.GOMAXPROCS(4)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
 func TestStealsHappen(t *testing.T) {
+	requireParallelism(t)
 	s := New(4, WithSeed(3))
 	s.Start()
 	defer s.Shutdown()

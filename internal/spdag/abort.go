@@ -1,0 +1,108 @@
+package spdag
+
+// This file adds the failure semantics of the public API to the
+// sp-dag: per-computation cancellation state and panic containment at
+// the vertex-execution boundary.
+//
+// Every vertex created under one Make shares one computation record.
+// The first Abort (from a recovered panic, a cancelled context, or an
+// explicit failure) stores the computation's error; everything else
+// about execution is unchanged — remaining vertices still execute and
+// still discharge their dependency counters, so the dag quiesces and
+// the final vertex fires exactly once whether the computation
+// succeeded or failed. Frontends (package nested) consult Err to turn
+// the bodies of a cancelled computation into no-ops.
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+)
+
+// computation is the cancellation state shared by every vertex of one
+// Make-rooted computation.
+type computation struct {
+	err atomic.Pointer[error]
+}
+
+var errAborted = errors.New("spdag: computation aborted")
+
+// PanicError is the error a panic recovered at the vertex-execution
+// boundary is converted to.
+type PanicError struct {
+	Value any    // the value passed to panic
+	Stack []byte // the panicking goroutine's stack, captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("task panicked: %v", e.Value)
+}
+
+// Unwrap exposes an error panic value to errors.Is/errors.As.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// AsPanicError wraps a recovered panic value, capturing the stack.
+func AsPanicError(v any) *PanicError {
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}
+
+// Abort cancels the vertex's computation: the first call wins, and its
+// error is visible through Err on every vertex of the same
+// computation. A nil err records a generic cancellation. Abort never
+// blocks, is safe from any goroutine, and — unlike the structural
+// operations — may be called on a dead vertex. It reports whether this
+// call was the one that set the error.
+//
+// Abort does not interrupt running bodies and does not unschedule
+// anything: cancellation is cooperative. Frontends skip the user code
+// of vertices whose computation has aborted while preserving every
+// counter discharge, which is what lets Run still observe quiescence.
+func (v *Vertex) Abort(err error) bool {
+	if v.comp == nil {
+		return false
+	}
+	if err == nil {
+		err = errAborted
+	}
+	return v.comp.err.CompareAndSwap(nil, &err)
+}
+
+// Err returns the error the vertex's computation was aborted with, or
+// nil while it is live. It is safe from any goroutine and on dead
+// vertices.
+func (v *Vertex) Err() error {
+	if v.comp == nil {
+		return nil
+	}
+	if p := v.comp.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// invokeBody runs the vertex body behind a recover barrier: a panic
+// escaping the body aborts the computation instead of killing the
+// worker goroutine (which would strand the scheduler) or unwinding
+// into the worker loop. Execute's caller-side signal then discharges
+// the vertex's obligation, so the dag still quiesces.
+//
+// The barrier is a backstop with one caveat: it cannot repair a panic
+// thrown from *inside* a structural operation that has already killed
+// the vertex but not yet scheduled its successors. Structured
+// frontends therefore also recover at the task boundary (package
+// nested's wrap), where the continuation vertex is known and can be
+// signalled; raw spdag programs get best-effort containment here.
+func (v *Vertex) invokeBody() {
+	defer func() {
+		if p := recover(); p != nil {
+			v.Abort(AsPanicError(p))
+		}
+	}()
+	v.body(v)
+}

@@ -109,8 +109,9 @@ type Vertex struct {
 	fin  *Vertex         // finish vertex: closest descendant all paths pass through
 	body Body
 
-	dead      atomic.Bool // the vertex spawned, chained, or signalled
-	scheduled atomic.Bool // the vertex has been handed to the scheduler
+	dead      atomic.Bool  // the vertex spawned, chained, or signalled
+	scheduled atomic.Bool  // the vertex has been handed to the scheduler
+	comp      *computation // cancellation state shared across the computation
 	ctx       *ExecContext
 
 	id uint64 // assigned only when a Recorder is attached
@@ -130,6 +131,9 @@ type Vertex struct {
 // not for every vertex.
 func (d *Dag) NewVertex(fin *Vertex, st counter.State, n int) *Vertex {
 	v := &Vertex{dag: d, st: st, fin: fin}
+	if fin != nil {
+		v.comp = fin.comp
+	}
 	if n > 0 {
 		v.ctr = d.alg.New(n)
 	}
@@ -146,7 +150,7 @@ func (d *Dag) NewVertex(fin *Vertex, st counter.State, n int) *Vertex {
 // the final vertex becomes ready when the root and everything it
 // nests have signalled.
 func (d *Dag) Make() (root, final *Vertex) {
-	final = &Vertex{dag: d, ctr: d.alg.New(1)}
+	final = &Vertex{dag: d, ctr: d.alg.New(1), comp: &computation{}}
 	d.vertices.Add(1)
 	if d.rec != nil {
 		final.id = d.ids.Add(1)
@@ -275,6 +279,12 @@ func (v *Vertex) dispatch(ctx *ExecContext) {
 // context (nil is allowed for inline/manual execution and gets a
 // private context). If the body completes without performing a
 // terminal structural operation, Execute signals on its behalf.
+//
+// A panic escaping the body is recovered here — the vertex-execution
+// boundary — converted to a *PanicError, and recorded as the
+// computation's error (see Abort); the vertex then signals as if the
+// body had returned, so the dag still quiesces and Run-style callers
+// observe the failure as an ordinary error.
 func (v *Vertex) Execute(ctx *ExecContext) {
 	if ctx == nil {
 		ctx = &ExecContext{}
@@ -284,7 +294,7 @@ func (v *Vertex) Execute(ctx *ExecContext) {
 		v.dag.rec.OnExecute(v)
 	}
 	if v.body != nil {
-		v.body(v)
+		v.invokeBody()
 	}
 	if !v.dead.Load() {
 		v.Signal()

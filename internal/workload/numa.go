@@ -76,8 +76,9 @@ func FaninNUMA(rt *nested.Runtime, n uint64, policy NumaPolicy) Result {
 		}
 	}
 	start := time.Now()
-	final := rt.RunMeasured(func(c *nested.Ctx) { rec(c, n, 0) })
+	final, err := rt.RunMeasured(func(c *nested.Ctx) { rec(c, n, 0) })
 	elapsed := time.Since(start)
+	mustRun("fanin-numa", err)
 	return Result{
 		Name:       fmt.Sprintf("fanin-numa-%s", policy),
 		N:          n,

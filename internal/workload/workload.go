@@ -81,6 +81,16 @@ func recCount(n uint64) uint64 {
 	return 2 + 2*recCount(n/2)
 }
 
+// mustRun panics on a failed measurement run: workload generators
+// publish Results with no error channel, and statistics over a
+// cancelled, mostly-skipped computation must never pass for a
+// measurement.
+func mustRun(name string, err error) {
+	if err != nil {
+		panic(fmt.Sprintf("workload: %s run failed: %v", name, err))
+	}
+}
+
 // Fanin runs the Figure 6 kernel: n leaves created by recursive binary
 // async splitting, all joining at the single top-level finish.
 func Fanin(rt *nested.Runtime, n uint64) Result {
@@ -103,8 +113,9 @@ func FaninWork(rt *nested.Runtime, n uint64, work int) Result {
 		Work(work)
 	}
 	start := time.Now()
-	final := rt.RunMeasured(func(c *nested.Ctx) { rec(c, n) })
+	final, err := rt.RunMeasured(func(c *nested.Ctx) { rec(c, n) })
 	elapsed := time.Since(start)
+	mustRun("fanin", err)
 	name := "fanin"
 	if work > 0 {
 		name = fmt.Sprintf("fanin-work%d", work)
@@ -136,8 +147,9 @@ func Indegree2(rt *nested.Runtime, n uint64) Result {
 		}
 	}
 	start := time.Now()
-	final := rt.RunMeasured(func(c *nested.Ctx) { rec(c, n) })
+	final, err := rt.RunMeasured(func(c *nested.Ctx) { rec(c, n) })
 	elapsed := time.Since(start)
+	mustRun("indegree2", err)
 	return Result{
 		Name:       "indegree2",
 		N:          n,
@@ -168,8 +180,9 @@ func Fib(rt *nested.Runtime, n int) (Result, uint64) {
 	}
 	var out uint64
 	start := time.Now()
-	final := rt.RunMeasured(func(c *nested.Ctx) { fib(c, n, &out) })
+	final, err := rt.RunMeasured(func(c *nested.Ctx) { fib(c, n, &out) })
 	elapsed := time.Since(start)
+	mustRun("fib", err)
 	vertices := rt.Dag().VertexCount() - v0
 	return Result{
 		Name:       fmt.Sprintf("fib(%d)", n),

@@ -1,6 +1,7 @@
 // Package repro is a Go reproduction of "Contention in Structured
 // Concurrency: Provably Efficient Dynamic Non-Zero Indicators for
-// Nested Parallelism" (Acar, Ben-David, Rainey; PPoPP 2017).
+// Nested Parallelism" (Acar, Ben-David, Rainey; PPoPP 2017), grown
+// into a production-grade nested-parallelism runtime.
 //
 // It provides, from the bottom up:
 //
@@ -18,42 +19,197 @@
 //     contention in the model of the paper's theorems
 //     (internal/memmodel, internal/stallsim).
 //
-// This file is the supported public surface: a downstream user writes
-// nested-parallel programs against Runtime/Ctx and can swap the
-// dependency-counter algorithm the runtime uses. The quickest start:
+// This file is the supported public surface. A Runtime is a long-lived
+// service: create one per process (or use the lazily-started package
+// default via Do), submit any number of computations from any number
+// of goroutines, and Close it on the way out. The quickest start:
 //
-//	rt := repro.NewRuntime(repro.Config{})
-//	defer rt.Close()
-//	rt.Run(func(c *repro.Ctx) {
+//	err := repro.Do(func(c *repro.Ctx) {
 //	    c.ParallelFor(0, len(xs), 1024, func(i int) { xs[i] *= 2 })
 //	})
+//
+// or, with an explicit runtime and configuration:
+//
+//	rt := repro.NewRuntime(repro.WithWorkers(8))
+//	defer rt.Close()
+//	err := rt.Run(func(c *repro.Ctx) { ... })
+//
+// Failure semantics are errgroup-grade: a panic in any task is
+// recovered, converted to a *PanicError, and cancels the rest of the
+// computation (remaining tasks become no-ops, long loops can poll
+// Ctx.Err); Run returns the first error once the computation has fully
+// quiesced, and the Runtime stays reusable. RunContext aborts the same
+// way when its context is cancelled. Typed results flow through
+// Go/Future, ParallelReduce, and RunValue (see future.go).
 //
 // See examples/ for complete programs and DESIGN.md for the map from
 // the paper's systems and figures to this repository.
 package repro
 
 import (
+	"context"
+	"sync"
+
 	"repro/internal/core"
 	"repro/internal/counter"
 	"repro/internal/nested"
+	"repro/internal/sched"
 	"repro/internal/snzi"
+	"repro/internal/spdag"
 )
 
-// Runtime executes nested-parallel computations on a work-stealing
-// scheduler; see nested.Runtime.
-type Runtime = nested.Runtime
-
-// Config tunes a Runtime; see nested.Config.
-type Config = nested.Config
-
-// Ctx is the capability of a running task; see nested.Ctx.
+// Ctx is the capability of a running task; see nested.Ctx. Its key
+// methods are Async, Finish/FinishThen, ForkJoin, ParallelFor, and the
+// failure surface Err/Fail.
 type Ctx = nested.Ctx
 
 // Task is user code executing as one fine-grained thread.
 type Task = nested.Task
 
-// NewRuntime creates and starts a Runtime.
-func NewRuntime(cfg Config) *Runtime { return nested.New(cfg) }
+// Config tunes a Runtime; see nested.Config. It is the struct-literal
+// alternative to the functional options accepted by NewRuntime.
+type Config = nested.Config
+
+// ErrClosed is returned by Run variants on a Runtime whose Close has
+// begun.
+var ErrClosed = nested.ErrClosed
+
+// PanicError is the error a recovered task panic is converted to: it
+// carries the panic value and the stack captured at the point of
+// recovery, and unwraps to the panic value when that value is itself
+// an error.
+type PanicError = spdag.PanicError
+
+// Runtime executes nested-parallel computations on a work-stealing
+// scheduler. It is a long-lived, multi-tenant service: any number of
+// goroutines may call Run/RunContext concurrently; each call gets its
+// own top-level finish counter over the shared dag and scheduler, so
+// concurrent computations do not cross-signal. A failed or cancelled
+// computation leaves the Runtime fully reusable.
+type Runtime struct {
+	n *nested.Runtime
+}
+
+// Option configures a Runtime at construction (see NewRuntime).
+type Option func(*Config)
+
+// WithWorkers sets the number of scheduler workers (≤ 0 means
+// GOMAXPROCS) — the evaluation's `proc` axis.
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithAlgorithm selects the dependency-counter algorithm (nil means
+// the paper's in-counter with threshold 25·workers, §5).
+func WithAlgorithm(a CounterAlgorithm) Option { return func(c *Config) { c.Algorithm = a } }
+
+// WithSeed fixes scheduler randomness for reproducible runs.
+func WithSeed(seed uint64) Option { return func(c *Config) { c.Seed = seed } }
+
+// WithConfig replaces the whole configuration at once; options after
+// it still apply on top.
+func WithConfig(cfg Config) Option { return func(c *Config) { *c = cfg } }
+
+// NewRuntime creates and starts a Runtime configured by functional
+// options: NewRuntime() for an all-defaults runtime, or e.g.
+//
+//	repro.NewRuntime(repro.WithWorkers(8), repro.WithSeed(42))
+//
+// Close the Runtime when done with it.
+func NewRuntime(opts ...Option) *Runtime {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return New(cfg)
+}
+
+// New creates and starts a Runtime from a Config struct — the
+// compatibility constructor mirroring the pre-1.0
+// NewRuntime(Config{...}) form.
+func New(cfg Config) *Runtime { return &Runtime{n: nested.New(cfg)} }
+
+// Run executes f under a top-level finish and blocks until f and
+// everything it spawned have completed or the computation failed. It
+// returns the first error of the computation — a recovered task panic
+// (*PanicError) or an explicit Ctx.Fail — after the computation has
+// fully quiesced, errgroup-style.
+func (r *Runtime) Run(f Task) error { return r.n.Run(f) }
+
+// RunContext is Run under a context: cancellation of ctx aborts the
+// computation (cooperatively — remaining tasks become no-ops, running
+// ones should poll Ctx.Err) and RunContext returns ctx's error once
+// the dag has quiesced. An already-cancelled ctx runs nothing.
+func (r *Runtime) RunContext(ctx context.Context, f Task) error {
+	return r.n.RunContext(ctx, f)
+}
+
+// Close shuts the Runtime down: it marks the Runtime closed (further
+// Runs return ErrClosed), waits for in-flight Runs to drain, and stops
+// the workers. Close is idempotent and safe to call concurrently with
+// in-flight Runs; every call returns only after shutdown completes. It
+// always returns nil; the error result exists to satisfy io.Closer.
+func (r *Runtime) Close() error {
+	r.n.Close()
+	return nil
+}
+
+// Workers returns the worker count.
+func (r *Runtime) Workers() int { return r.n.Workers() }
+
+// Stats is a snapshot of runtime counters (exact when quiescent).
+type Stats struct {
+	Workers  int    // scheduler workers
+	Vertices int64  // dag vertices created so far
+	Steals   uint64 // successful steals
+	Executed uint64 // vertices executed
+}
+
+// Stats snapshots the runtime's scheduler and dag counters.
+func (r *Runtime) Stats() Stats {
+	st := r.n.Scheduler().Stats()
+	return Stats{
+		Workers:  r.n.Workers(),
+		Vertices: r.n.Dag().VertexCount(),
+		Steals:   st.Steals,
+		Executed: st.Executed,
+	}
+}
+
+// Scheduler exposes the underlying scheduler (advanced: stats,
+// policy). Most callers want Stats.
+func (r *Runtime) Scheduler() *sched.Scheduler { return r.n.Scheduler() }
+
+// Dag exposes the underlying sp-dag (advanced: validation,
+// instrumentation). Most callers want Stats.
+func (r *Runtime) Dag() *spdag.Dag { return r.n.Dag() }
+
+// Nested exposes the frontend runtime for interop with internal
+// packages (the benchmark harness and workload generators).
+func (r *Runtime) Nested() *nested.Runtime { return r.n }
+
+// The package-level default runtime: started lazily on first use with
+// all defaults (GOMAXPROCS workers, the paper's in-counter), shared
+// process-wide, never closed.
+var (
+	defaultOnce sync.Once
+	defaultRT   *Runtime
+)
+
+// Default returns the lazily-initialized package-level Runtime shared
+// by Do and DoContext.
+func Default() *Runtime {
+	defaultOnce.Do(func() { defaultRT = NewRuntime() })
+	return defaultRT
+}
+
+// Do runs f on the package-level default Runtime (started on first
+// use): the zero-setup entry point for programs that don't need their
+// own Runtime.
+func Do(f Task) error { return Default().Run(f) }
+
+// DoContext is RunContext on the package-level default Runtime.
+func DoContext(ctx context.Context, f Task) error {
+	return Default().RunContext(ctx, f)
+}
 
 // DefaultThreshold returns the paper's grow-probability denominator
 // for p workers (25·p, §5).

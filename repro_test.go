@@ -11,14 +11,16 @@ import (
 // the README and examples present it.
 
 func TestPublicQuickstart(t *testing.T) {
-	rt := repro.NewRuntime(repro.Config{Workers: 2, Seed: 1})
+	rt := repro.NewRuntime(repro.WithWorkers(2), repro.WithSeed(1))
 	defer rt.Close()
 
 	const n = 1 << 14
 	xs := make([]int64, n)
-	rt.Run(func(c *repro.Ctx) {
+	if err := rt.Run(func(c *repro.Ctx) {
 		c.ParallelFor(0, n, 256, func(i int) { xs[i] = int64(i) * 2 })
-	})
+	}); err != nil {
+		t.Fatal(err)
+	}
 	var want, got int64
 	for i, x := range xs {
 		want += int64(i) * 2
@@ -37,13 +39,16 @@ func TestPublicAlgorithms(t *testing.T) {
 		repro.FixedSNZIAlgorithm{Depth: 3},
 	}
 	for _, alg := range algos {
-		rt := repro.NewRuntime(repro.Config{Workers: 2, Algorithm: alg, Seed: 2})
+		// The Config-struct compatibility constructor.
+		rt := repro.New(repro.Config{Workers: 2, Algorithm: alg, Seed: 2})
 		var count atomic.Int64
-		rt.Run(func(c *repro.Ctx) {
+		if err := rt.Run(func(c *repro.Ctx) {
 			for i := 0; i < 64; i++ {
 				c.Async(func(*repro.Ctx) { count.Add(1) })
 			}
-		})
+		}); err != nil {
+			t.Fatal(err)
+		}
 		rt.Close()
 		if count.Load() != 64 {
 			t.Fatalf("alg %v: %d asyncs ran", alg, count.Load())
@@ -126,10 +131,15 @@ func TestPublicFibEndToEnd(t *testing.T) {
 			func(*repro.Ctx) { *dest = a + b },
 		)
 	}
-	rt := repro.NewRuntime(repro.Config{Seed: 7})
+	rt := repro.NewRuntime(repro.WithSeed(7))
 	defer rt.Close()
-	var out uint64
-	rt.Run(func(c *repro.Ctx) { fib(c, 21, &out) })
+	out, err := repro.RunValue(rt, func(c *repro.Ctx, out *uint64) error {
+		fib(c, 21, out)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if out != 10946 {
 		t.Fatalf("fib(21) = %d", out)
 	}
