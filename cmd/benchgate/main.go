@@ -1,0 +1,163 @@
+// Command benchgate turns `go test -bench` output into a JSON artifact
+// and gates it against a committed baseline, so CI fails loudly when a
+// change regresses the hot path (allocations are compared strictly —
+// they are deterministic — and throughput loosely, to ride out shared
+// runner noise).
+//
+// Usage:
+//
+//	go test -run=NONE -bench=BenchmarkFig08Fanin -benchmem . | tee bench.txt
+//	benchgate -in bench.txt -json BENCH_fanin.json -baseline bench/baseline_fanin.txt
+//
+// The JSON file carries, per benchmark: ns/op, allocs/op, B/op, and
+// every custom metric the harness reports (ops/s/core,
+// incounter-nodes). With -baseline, benchgate exits non-zero if any
+// benchmark present in both files regresses beyond the thresholds.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, parsed.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+	BytesOp    float64            `json:"bytes_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the JSON artifact schema.
+type File struct {
+	Results []Result `json:"results"`
+}
+
+func parse(path string) (map[string]Result, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	out := map[string]Result{}
+	var order []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		r := Result{Name: fields[0], Metrics: map[string]float64{}}
+		r.Iterations, _ = strconv.ParseInt(fields[1], 10, 64)
+		// Remaining fields come in (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "allocs/op":
+				r.AllocsOp = v
+			case "B/op":
+				r.BytesOp = v
+			default:
+				r.Metrics[unit] = v
+			}
+		}
+		out[r.Name] = r
+		order = append(order, r.Name)
+	}
+	return out, order, sc.Err()
+}
+
+func main() {
+	in := flag.String("in", "", "bench output to parse (required)")
+	jsonOut := flag.String("json", "", "write parsed results as JSON here")
+	baseline := flag.String("baseline", "", "bench output to gate against")
+	maxAllocRatio := flag.Float64("max-alloc-ratio", 1.10, "fail if allocs/op exceeds baseline by this factor")
+	minOpsRatio := flag.Float64("min-ops-ratio", 0.60, "fail if ops/s/core falls below baseline by this factor (loose: shared runners are noisy)")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -in is required")
+		os.Exit(2)
+	}
+
+	cur, order, err := parse(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if len(cur) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark lines found in", *in)
+		os.Exit(2)
+	}
+
+	if *jsonOut != "" {
+		var file File
+		for _, name := range order {
+			file.Results = append(file.Results, cur[name])
+		}
+		data, err := json.MarshalIndent(file, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: writing %s: %v\n", *jsonOut, err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: wrote %d results to %s\n", len(file.Results), *jsonOut)
+	}
+
+	if *baseline == "" {
+		return
+	}
+	base, _, err := parse(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	failures := 0
+	compared := 0
+	for _, name := range order {
+		c := cur[name]
+		b, ok := base[name]
+		if !ok {
+			continue
+		}
+		compared++
+		if b.AllocsOp > 0 && c.AllocsOp > b.AllocsOp**maxAllocRatio {
+			fmt.Printf("FAIL %s: allocs/op %.0f vs baseline %.0f (limit ×%.2f)\n",
+				name, c.AllocsOp, b.AllocsOp, *maxAllocRatio)
+			failures++
+		}
+		if bo := b.Metrics["ops/s/core"]; bo > 0 {
+			if co := c.Metrics["ops/s/core"]; co < bo**minOpsRatio {
+				fmt.Printf("FAIL %s: ops/s/core %.0f vs baseline %.0f (limit ×%.2f)\n",
+					name, co, bo, *minOpsRatio)
+				failures++
+			}
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no overlapping benchmarks between input and baseline")
+		os.Exit(2)
+	}
+	if failures > 0 {
+		fmt.Printf("benchgate: %d regression(s) against %s\n", failures, *baseline)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmark(s) within thresholds of %s\n", compared, *baseline)
+}

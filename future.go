@@ -27,7 +27,7 @@ type Future[T any] struct {
 	val  T
 	err  error
 	done atomic.Bool
-	v    *spdag.Vertex // any vertex of the computation, for its Err
+	comp *spdag.Computation // the computation's stable record, for its Err
 }
 
 // Go starts f as a new task joining at the innermost enclosing finish
@@ -42,7 +42,10 @@ type Future[T any] struct {
 // spawn but before the task runs — its body is skipped, and Result
 // reports the computation's error instead.
 func Go[T any](c *Ctx, f func(c *Ctx) (T, error)) *Future[T] {
-	fut := &Future[T]{v: c.Vertex()}
+	// The Future outlives the task's vertices (it is read after the
+	// enclosing finish, typically after Run returns), so it holds the
+	// computation record — vertices are recycled storage by then.
+	fut := &Future[T]{comp: c.Vertex().Computation()}
 	spawned := c.TryAsync(func(c *Ctx) {
 		defer func() {
 			if p := recover(); p != nil {
@@ -76,7 +79,7 @@ func Go[T any](c *Ctx, f func(c *Ctx) (T, error)) *Future[T] {
 // Result returns the zero value and the computation's error.
 func (f *Future[T]) Result() (T, error) {
 	if !f.done.Load() {
-		if err := f.v.Err(); err != nil {
+		if err := f.comp.Err(); err != nil {
 			var zero T
 			return zero, err
 		}
@@ -88,7 +91,7 @@ func (f *Future[T]) Result() (T, error) {
 // Resolved reports whether the Future's task has completed or its
 // computation was cancelled before it could run. It is a probe; the
 // reliable synchronization point is the enclosing finish.
-func (f *Future[T]) Resolved() bool { return f.done.Load() || f.v.Err() != nil }
+func (f *Future[T]) Resolved() bool { return f.done.Load() || f.comp.Err() != nil }
 
 // RunValue executes f as a complete computation on rt and returns the
 // value it deposited: f receives a pointer to the result slot, which

@@ -36,6 +36,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/snzi"
@@ -56,21 +57,41 @@ type DecPair struct {
 	second  Handle // the node freshly arrived at by the creating Increment
 }
 
+// decPairPool recycles DecPair objects: one pair is created per
+// increment (spawn), making it the last per-spawn allocation once
+// vertices and states are pooled. A pair is provably finished at its
+// second Claim — each of the two sharing vertices claims at most once,
+// as its terminal operation — so the second claimer returns it.
+var decPairPool = sync.Pool{New: func() any { return new(DecPair) }}
+
 // NewDecPair builds a pair directly. It is exported for the sp-dag
 // runtime (which creates root and chain pairs) and for tests; normal
 // pairs are created by Increment.
 func NewDecPair(first, second Handle) *DecPair {
-	return &DecPair{first: first, second: second}
+	p := decPairPool.Get().(*DecPair)
+	p.claimed.Store(false)
+	p.first, p.second = first, second
+	return p
 }
 
 // Claim returns the first (higher) handle to the first caller and the
 // second handle to the second; it must be called at most twice per
 // pair, once per sharing vertex (claim_dec in Figure 5).
+//
+// The second Claim retires the pair into the pool. Both claimers read
+// their handle fields strictly before the point at which the pair can
+// be retired — the first claimer reads before its winning CAS, which
+// precedes the loser's failed CAS, which precedes the retire — so a
+// reused pair can never be observed through a stale claim.
 func (p *DecPair) Claim() Handle {
+	first := p.first
 	if p.claimed.CompareAndSwap(false, true) {
-		return p.first
+		return first
 	}
-	return p.second
+	second := p.second
+	p.first, p.second = nil, nil
+	decPairPool.Put(p)
+	return second
 }
 
 // Claimed reports whether the first handle has been claimed

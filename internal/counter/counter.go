@@ -40,6 +40,20 @@ type State interface {
 	Decrement() bool
 }
 
+// Releaser is optionally implemented by State implementations whose
+// objects can be returned to a pool once consumed. The sp-dag runtime
+// calls Release immediately after the owning vertex's terminal use of
+// the State (its Increment or Decrement) — the point at which, under
+// the Definition 1 discipline, no other party can ever touch the
+// State again. Implementations whose states are shared between
+// vertices (e.g. the fetch-and-add baseline, which hands one state to
+// every vertex) must simply not implement the interface.
+type Releaser interface {
+	// Release returns the state's storage to its implementation's
+	// pool. The state must not be used afterwards.
+	Release()
+}
+
 // Counter is the dependency counter of a single finish vertex.
 type Counter interface {
 	// IsZero reports whether the counter is zero. It is a read-only

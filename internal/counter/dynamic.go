@@ -2,6 +2,7 @@ package counter
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/rng"
@@ -48,11 +49,25 @@ func (dc *dynCounter) IsZero() bool     { return dc.c.IsZero() }
 func (dc *dynCounter) NodeCount() int64 { return dc.c.NodeCount() }
 
 func (dc *dynCounter) RootState() State {
-	return &dynState{s: dc.c.RootState(), owner: dc}
+	return newDynState(dc.c.RootState(), dc)
 }
 
 // Unwrap exposes the underlying in-counter for invariant tests.
 func (dc *dynCounter) Unwrap() *core.InCounter { return dc.c }
+
+// dynStatePool recycles the per-spawn dynState objects. Every spawn
+// creates two and consumes one, so without pooling the states are the
+// second-largest allocation source of the whole hot path (after the
+// vertices themselves). The pool is process-wide: a state is fully
+// reinitialized by newDynState, and the embedded core.State is a plain
+// value, so cross-counter reuse is safe.
+var dynStatePool = sync.Pool{New: func() any { return new(dynState) }}
+
+func newDynState(s core.State, owner *dynCounter) *dynState {
+	ds := dynStatePool.Get().(*dynState)
+	ds.s, ds.owner = s, owner
+	return ds
+}
 
 type dynState struct {
 	s     core.State
@@ -61,7 +76,17 @@ type dynState struct {
 
 func (ds *dynState) Increment(g *rng.Xoshiro256ss) (State, State) {
 	l, r := ds.s.Increment(g.Flip(ds.owner.threshold))
-	return &dynState{s: l, owner: ds.owner}, &dynState{s: r, owner: ds.owner}
+	return newDynState(l, ds.owner), newDynState(r, ds.owner)
 }
 
 func (ds *dynState) Decrement() bool { return ds.s.Decrement() }
+
+// Release implements Releaser: the sp-dag runtime calls it right after
+// the owning vertex's terminal Increment or Decrement, when no other
+// party can reach the state (each dynState belongs to exactly one
+// vertex; the structure the two spawn siblings share is the DecPair,
+// which lives on independently).
+func (ds *dynState) Release() {
+	ds.s, ds.owner = core.State{}, nil
+	dynStatePool.Put(ds)
+}

@@ -69,6 +69,16 @@ func (d *Deque[T]) grow(a *ring[T], b, t int64) *ring[T] {
 
 // PopBottom removes and returns the most recently pushed value, or nil
 // if the deque is empty. Owner-only.
+//
+// A successful pop clears the ring slot so the deque does not retain
+// the (long-executed) value until the slot happens to be overwritten.
+// Clearing is safe in both branches: with t < b the owner holds slot b
+// exclusively (a thief can reach index b only after observing the
+// stored bottom, which already excludes it), and in the t == b race
+// the owner clears only after winning the top CAS, at which point any
+// thief still reading the slot is bound to fail its own CAS and
+// discard the value (the read itself is an atomic load, so there is no
+// tearing).
 func (d *Deque[T]) PopBottom() *T {
 	b := d.bottom.Load() - 1
 	a := d.array.Load()
@@ -87,8 +97,12 @@ func (d *Deque[T]) PopBottom() *T {
 		// Last element: race thieves for it.
 		if !d.top.CompareAndSwap(t, t+1) {
 			x = nil // a thief got it
+		} else {
+			a.put(b, nil)
 		}
 		d.bottom.Store(t + 1)
+	} else {
+		a.put(b, nil)
 	}
 	return x
 }
@@ -96,6 +110,14 @@ func (d *Deque[T]) PopBottom() *T {
 // Steal removes and returns the oldest value. It returns (nil, true)
 // when the deque looked empty, and (nil, false) when the steal lost a
 // race and may be retried immediately.
+//
+// A winning thief clears the ring slot with a CAS rather than a store:
+// after the top CAS the owner may legally wrap around and push a *new*
+// element into the same physical slot (at index t+size), and a blind
+// store would destroy it. The CAS can only clear the slot while it
+// still holds the stolen value — the stolen value itself cannot be
+// re-pushed concurrently, because it is returned (and only then
+// executed and recycled) after the CAS.
 func (d *Deque[T]) Steal() (x *T, empty bool) {
 	t := d.top.Load()
 	b := d.bottom.Load()
@@ -110,6 +132,7 @@ func (d *Deque[T]) Steal() (x *T, empty bool) {
 	if !d.top.CompareAndSwap(t, t+1) {
 		return nil, false
 	}
+	a.buf[t&a.mask].CompareAndSwap(x, nil)
 	return x, false
 }
 

@@ -257,3 +257,91 @@ func BenchmarkStealHalf(b *testing.B) {
 	b.StopTimer()
 	close(stop)
 }
+
+// countRetained reports how many ring slots still hold a pointer.
+func countRetained[T any](d *Deque[T]) int {
+	a := d.array.Load()
+	if a == nil {
+		return 0
+	}
+	n := 0
+	for i := range a.buf {
+		if a.buf[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// TestPopBottomReleasesSlots is the GC-retention regression test: a
+// popped element must not stay reachable through its old ring slot
+// (before the fix, every executed vertex stayed pinned until its slot
+// happened to be overwritten by a later push).
+func TestPopBottomReleasesSlots(t *testing.T) {
+	var d Deque[int]
+	xs := make([]int, 300) // > initialSize, so the ring also grows
+	for i := range xs {
+		d.PushBottom(&xs[i])
+	}
+	for i := len(xs) - 1; i >= 0; i-- {
+		if got := d.PopBottom(); got != &xs[i] {
+			t.Fatalf("pop %d: got %p want %p", i, got, &xs[i])
+		}
+	}
+	if n := countRetained(&d); n != 0 {
+		t.Fatalf("%d ring slots still retain popped elements", n)
+	}
+}
+
+// TestStealReleasesSlots is the same regression for the thief side.
+func TestStealReleasesSlots(t *testing.T) {
+	var d Deque[int]
+	xs := make([]int, 300)
+	for i := range xs {
+		d.PushBottom(&xs[i])
+	}
+	stolen := 0
+	for {
+		x, empty := d.Steal()
+		if x != nil {
+			stolen++
+			continue
+		}
+		if empty {
+			break
+		}
+	}
+	if stolen != len(xs) {
+		t.Fatalf("stole %d of %d", stolen, len(xs))
+	}
+	if n := countRetained(&d); n != 0 {
+		t.Fatalf("%d ring slots still retain stolen elements", n)
+	}
+}
+
+// TestStealClearDoesNotClobberWrappedPush: after a thief wins an
+// element, the owner may wrap the ring and push a new element into the
+// same physical slot; the thief's deferred slot-clear must not destroy
+// it. This drives exactly that interleaving deterministically (both
+// roles on one goroutine — the operations, not the schedule, are what
+// matters for the CAS-based clear).
+func TestStealClearDoesNotClobberWrappedPush(t *testing.T) {
+	var d Deque[int]
+	xs := make([]int, initialSize+1)
+	// Fill the ring completely.
+	for i := 0; i < initialSize; i++ {
+		d.PushBottom(&xs[i])
+	}
+	// Steal one (slot 0 freed logically), then push one more WITHOUT
+	// growing: bottom-top == size-1 < size, so the new element lands in
+	// the same physical slot 0.
+	x, _ := d.Steal()
+	if x != &xs[0] {
+		t.Fatalf("steal: got %p want %p", x, &xs[0])
+	}
+	d.PushBottom(&xs[initialSize])
+	// Drain from the bottom; the wrapped element must still be there.
+	if got := d.PopBottom(); got != &xs[initialSize] {
+		t.Fatalf("wrapped push lost: got %p want %p", got, &xs[initialSize])
+	}
+}

@@ -1,0 +1,50 @@
+package nested
+
+import (
+	"testing"
+)
+
+// TestAsyncSteadyStateAllocs asserts the end-to-end hot-path budget at
+// the frontend level: steady-state Async spawn-signal cycles through a
+// live runtime allocate at most one object per async. The task
+// function is built once (the per-call closure a user writes is their
+// own allocation, not the runtime's); everything the runtime itself
+// needs — vertices, counter states, decrement pairs, task contexts,
+// run machinery — comes from pools.
+func TestAsyncSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation behaviour")
+	}
+	rt := New(Config{Workers: 1, Seed: 42})
+	defer rt.Close()
+
+	const asyncs = 2048
+	leaf := func(*Ctx) {}
+	var spawn func(c *Ctx, n int)
+	spawn = func(c *Ctx, n int) {
+		for i := 0; i < n; i++ {
+			c.Async(leaf)
+		}
+	}
+	body := func(c *Ctx) { spawn(c, asyncs) }
+
+	// Warm every pool (and the scheduler's deques) outside the window.
+	if err := rt.Run(body); err != nil {
+		t.Fatal(err)
+	}
+
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := rt.Run(body); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Per-run fixed overhead (root/final pair, top-level counter,
+	// computation record, …) is real but small; the budget that matters
+	// is per async.
+	perAsync := (allocs - 64) / asyncs
+	if perAsync > 1 {
+		t.Fatalf("steady-state Async allocates %.2f objects each (%.0f per run), want ≤ 1",
+			perAsync, allocs)
+	}
+	t.Logf("run allocations: %.0f total for %d asyncs (%.3f per async)", allocs, asyncs, allocs/asyncs)
+}

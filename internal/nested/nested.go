@@ -39,9 +39,11 @@
 // failed or cancelled Run leaves the Runtime fully reusable.
 //
 // A Ctx is a capability for the current task and is consumed by tail
-// operations (Finish, ForkJoin); structured misuse — using a Ctx after
-// its task ended, or from a spawned sibling — panics deterministically
-// rather than corrupting counters.
+// operations (Finish, ForkJoin); structured misuse within a live task
+// — reusing a Ctx after a tail operation consumed it — panics
+// deterministically rather than corrupting counters. Retaining a Ctx
+// past its task's end is undefined: contexts and vertices are pooled
+// storage (see taskBody) and may already belong to another task.
 package nested
 
 import (
@@ -181,6 +183,22 @@ func (r *Runtime) RunMeasured(f Task) (counter.Counter, error) {
 	return r.run(context.Background(), f)
 }
 
+// runSlot is the pooled per-Run completion machinery: the done channel
+// and the final-vertex body that fires it. The channel is a one-token
+// binary semaphore rather than a closed channel so it can be reused:
+// the final body sends exactly one token per run, and run consumes
+// exactly one on every path, leaving the slot empty for the next Run.
+type runSlot struct {
+	done chan struct{}
+	body spdag.Body
+}
+
+var runSlotPool = sync.Pool{New: func() any {
+	s := &runSlot{done: make(chan struct{}, 1)}
+	s.body = func(*spdag.Vertex) { s.done <- struct{}{} }
+	return s
+}}
+
 func (r *Runtime) run(ctx context.Context, f Task) (counter.Counter, error) {
 	r.mu.Lock()
 	if r.closed {
@@ -191,10 +209,10 @@ func (r *Runtime) run(ctx context.Context, f Task) (counter.Counter, error) {
 	r.mu.Unlock()
 	defer r.runs.Done()
 
+	slot := runSlotPool.Get().(*runSlot)
 	root, final := r.dag.Make()
-	done := make(chan struct{})
-	final.SetBody(func(*spdag.Vertex) { close(done) })
-	root.SetBody(wrap(f))
+	final.SetBody(slot.body)
+	setTask(root, f)
 	if err := ctx.Err(); err != nil {
 		root.Abort(err)
 	}
@@ -202,54 +220,85 @@ func (r *Runtime) run(ctx context.Context, f Task) (counter.Counter, error) {
 		panic("nested: fresh root failed to schedule")
 	}
 	if ctx.Done() == nil {
-		<-done
+		<-slot.done
 	} else {
 		select {
-		case <-done:
+		case <-slot.done:
 		case <-ctx.Done():
 			// Both channels may be ready and select picks at random:
 			// never abort a computation that has already completed, or
 			// a successful Run would flakily report ctx's error.
 			select {
-			case <-done:
+			case <-slot.done:
 			default:
 				root.Abort(ctx.Err())
-				<-done
+				<-slot.done
 			}
 		}
 	}
-	return final.Counter(), final.Err()
+	ctr, err := final.Counter(), final.Err()
+	runSlotPool.Put(slot)
+	return ctr, err
 }
 
 // Ctx is the capability of the currently executing task. It is not
-// safe for concurrent use and must not escape into async'd siblings
-// (each Task receives its own).
+// safe for concurrent use and must not escape the task it was handed
+// to — not into async'd siblings (each Task receives its own) and not
+// past the task's end: Ctx objects are pooled and reused by later
+// tasks.
 type Ctx struct {
 	v    *spdag.Vertex
-	done bool // a tail operation consumed the task
+	self *spdag.Vertex // the vertex Execute runs; recycled by Execute, not by us
+	done bool          // a tail operation consumed the task
 }
 
-// wrap adapts a Task to a vertex body: the task's final continuation
-// vertex signals when the user function returns, unless a tail
-// operation already consumed the task.
+// ctxPool recycles Ctx objects: a Ctx escapes into the user's task
+// function (whose closures routinely carry it into Asyncs), so without
+// pooling every task execution heap-allocates one.
+var ctxPool = sync.Pool{New: func() any { return new(Ctx) }}
+
+// taskBody is the single static vertex body of every task vertex: the
+// Task function itself travels as the vertex payload (an
+// allocation-free handoff, see spdag.SetPayload), so spawning a task
+// allocates no per-task closure.
 //
-// wrap is also the frontend's failure boundary. If the computation has
-// been cancelled the user function is skipped entirely (the vertex
+// taskBody is also the frontend's failure boundary. If the computation
+// has been cancelled the user function is skipped entirely (the vertex
 // becomes a pure counter discharge). If the user function panics, the
 // panic is recovered here — where the task's *current* continuation
 // vertex is known, even after Asyncs have replaced it — the
 // computation is aborted with a *spdag.PanicError, and the
 // continuation signals so the dag still quiesces.
-func wrap(f Task) spdag.Body {
-	return func(self *spdag.Vertex) {
-		c := Ctx{v: self}
-		if f != nil && self.Err() == nil {
-			runTask(f, &c)
-		}
-		if !c.done && !c.v.Dead() {
+//
+// The task's final continuation vertex signals when the user function
+// returns, unless a tail operation already consumed the task; if that
+// final continuation was adopted inline (it is not self, so it never
+// passes through Execute), this is additionally its recycle point.
+// Continuations consumed mid-task are recycled at their consuming
+// operation (TryAsync, FinishThen) instead.
+func taskBody(self *spdag.Vertex) {
+	f, _ := self.Payload().(Task)
+	c := ctxPool.Get().(*Ctx)
+	c.v, c.self, c.done = self, self, false
+	if f != nil && self.Err() == nil {
+		runTask(f, c)
+	}
+	if !c.done {
+		if !c.v.Dead() {
 			c.v.Signal()
 		}
+		if c.v != self && c.v.Dead() {
+			c.v.Recycle()
+		}
 	}
+	c.v, c.self = nil, nil
+	ctxPool.Put(c)
+}
+
+// setTask installs taskBody and its payload on a task vertex.
+func setTask(v *spdag.Vertex, f Task) {
+	v.SetBody(taskBody)
+	v.SetPayload(f)
 }
 
 // runTask invokes f behind the task-boundary recover barrier.
@@ -299,14 +348,20 @@ func (c *Ctx) Async(f Task) { c.TryAsync(f) }
 // resolve them.
 func (c *Ctx) TryAsync(f Task) bool {
 	c.check("Async")
-	if c.v.Err() != nil {
+	prev := c.v
+	if prev.Err() != nil {
 		return false
 	}
-	v, w := c.v.Spawn()
-	w.SetBody(wrap(f))
+	v, w := prev.Spawn()
+	setTask(w, f)
 	v.AdoptExecution() // the caller keeps running as v
 	c.v = v
 	w.TrySchedule()
+	// prev died in the Spawn; unless it is the executing vertex itself
+	// (which Execute recycles), nothing references it any more.
+	if prev != c.self {
+		prev.Recycle()
+	}
 	return true
 }
 
@@ -319,16 +374,24 @@ func (c *Ctx) TryAsync(f Task) bool {
 // ends.
 func (c *Ctx) FinishThen(body, then Task) {
 	c.check("FinishThen")
-	if c.v.Err() != nil {
-		c.done = true
-		c.v.Signal()
+	prev := c.v
+	c.done = true
+	if prev.Err() != nil {
+		prev.Signal()
+		if prev != c.self {
+			prev.Recycle()
+		}
 		return
 	}
-	v, w := c.v.Chain()
-	v.SetBody(wrap(body))
-	w.SetBody(wrap(then))
-	c.done = true
+	v, w := prev.Chain()
+	setTask(v, body)
+	setTask(w, then)
 	v.TrySchedule()
+	// prev died in the Chain (its counter State moved to w); recycle it
+	// unless Execute owns it.
+	if prev != c.self {
+		prev.Recycle()
+	}
 }
 
 // Finish is FinishThen in tail position: the caller's task ends when

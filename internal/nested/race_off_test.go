@@ -1,0 +1,5 @@
+//go:build !race
+
+package nested
+
+const raceEnabled = false

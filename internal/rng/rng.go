@@ -63,8 +63,17 @@ type Xoshiro256ss struct {
 // NewXoshiro returns a xoshiro256** generator whose state is expanded
 // from seed with SplitMix64, as recommended by the authors.
 func NewXoshiro(seed uint64) *Xoshiro256ss {
-	sm := NewSplitMix64(seed)
 	var x Xoshiro256ss
+	x.Reseed(seed)
+	return &x
+}
+
+// Reseed re-initializes the generator in place from seed, exactly as
+// NewXoshiro does, without allocating. Callers that embed the
+// generator by value (e.g. a worker-local execution context that wants
+// context and generator in one allocation) seed it with this.
+func (x *Xoshiro256ss) Reseed(seed uint64) {
+	sm := NewSplitMix64(seed)
 	for i := range x.s {
 		x.s[i] = sm.Next()
 	}
@@ -72,7 +81,6 @@ func NewXoshiro(seed uint64) *Xoshiro256ss {
 	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
 		x.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &x
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

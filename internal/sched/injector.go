@@ -1,0 +1,108 @@
+package sched
+
+// This file implements the external submission path as an intrusive,
+// lock-free MPSC queue (Vyukov's design) plus a consumer try-lock that
+// makes it usable by every worker: producers (Submit, and any Signal
+// that fires outside a worker) enqueue with one atomic swap and one
+// store — no lock, no allocation, no retry loop — and at most one
+// worker at a time drains the FIFO end, others simply fall through to
+// stealing. The queue links vertices through their own InjNext field,
+// so injection touches no memory but the vertex itself and the queue
+// head.
+//
+// This replaces a mutex-guarded slice whose pop retained the slice
+// head (q = q[1:] kept executed roots reachable) and serialized every
+// injection against every idle worker's poll.
+
+import (
+	"sync/atomic"
+
+	"repro/internal/spdag"
+)
+
+type injector struct {
+	head atomic.Pointer[spdag.Vertex] // producer end (most recent push)
+	size atomic.Int64                 // enqueued minus dequeued; ≥ queue length
+	_    [48]byte                     // keep producer and consumer words apart
+
+	lock atomic.Bool   // consumer try-lock; guards tail
+	tail *spdag.Vertex // consumer end; accessed only under lock
+	_    [40]byte
+
+	stub spdag.Vertex // sentinel; never executed
+}
+
+func (q *injector) init() {
+	q.head.Store(&q.stub)
+	q.tail = &q.stub
+}
+
+// push enqueues v. Safe from any goroutine; wait-free except for the
+// single Swap. size is raised before the swap, so a nonzero size is
+// visible no later than the vertex itself — the conservative direction
+// for the workers' park/recheck protocol.
+func (q *injector) push(v *spdag.Vertex) {
+	q.size.Add(1)
+	q.pushLink(v)
+}
+
+func (q *injector) pushLink(v *spdag.Vertex) {
+	v.SetInjNext(nil)
+	prev := q.head.Swap(v)
+	prev.SetInjNext(v)
+}
+
+// pop dequeues the oldest vertex, or returns nil when the queue is
+// empty, a producer is mid-push, or another consumer holds the lock.
+// Callers treat nil as "no external work right now" and move on to
+// stealing; the park protocol consults size (which never under-counts)
+// before sleeping, so a mid-push or lock-contended nil cannot turn
+// into a lost wake-up.
+func (q *injector) pop() *spdag.Vertex {
+	if q.size.Load() == 0 {
+		return nil // empty fast path: no lock traffic while idle
+	}
+	if !q.lock.CompareAndSwap(false, true) {
+		return nil
+	}
+	v := q.popLocked()
+	q.lock.Store(false)
+	if v != nil {
+		q.size.Add(-1)
+	}
+	return v
+}
+
+func (q *injector) popLocked() *spdag.Vertex {
+	t := q.tail
+	next := t.InjNext()
+	if t == &q.stub {
+		if next == nil {
+			return nil // empty (or first push not yet linked)
+		}
+		// Skip past the stub.
+		q.tail = next
+		t = next
+		next = t.InjNext()
+	}
+	if next != nil {
+		q.tail = next
+		t.SetInjNext(nil)
+		return t
+	}
+	// t is the last linked node. If a push is in flight (head moved past
+	// t but the link store hasn't landed), leave t for a later pop.
+	if q.head.Load() != t {
+		return nil
+	}
+	// Queue holds exactly t: re-install the stub behind it so t can be
+	// handed out while producers keep pushing. The stub is not an
+	// element; it bypasses the size accounting.
+	q.pushLink(&q.stub)
+	if next = t.InjNext(); next != nil {
+		q.tail = next
+		t.SetInjNext(nil)
+		return t
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/counter"
+	"repro/internal/spdag"
+)
+
+// cpuTime returns the process's cumulative user+system CPU time.
+func cpuTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}
+
+// waitParked polls until every worker of s has parked.
+func waitParked(t *testing.T, s *Scheduler, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for s.ParkedWorkers() != s.NumWorkers() {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d workers parked after %v",
+				s.ParkedWorkers(), s.NumWorkers(), within)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestIdleWorkersPark: a started scheduler with no work quiesces with
+// every worker parked — no spin loops, no sleep-polling — and still
+// wakes up for new submissions. This is the "idle Runtime costs ~0
+// CPU" acceptance criterion in testable form.
+func TestIdleWorkersPark(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	for _, policy := range []Policy{ChaseLev, PrivateDeques} {
+		t.Run(policy.String(), func(t *testing.T) {
+			s := New(4, WithSeed(3), WithPolicy(policy))
+			d := spdag.New(counter.FetchAdd{}, spdag.WithScheduler(s.Submit))
+			s.Start()
+			defer s.Shutdown()
+
+			// Freshly started, no work: everyone parks.
+			waitParked(t, s, 5*time.Second)
+
+			// Submissions into a fully parked scheduler still execute
+			// (the wake path), and the scheduler re-parks afterwards.
+			for round := 0; round < 3; round++ {
+				var executed atomic.Int64
+				body := func(*spdag.Vertex) { executed.Add(1) }
+				const n = 100
+				for i := 0; i < n; i++ {
+					v := d.NewVertex(nil, nil, 0)
+					v.SetBody(body)
+					v.TrySchedule()
+				}
+				deadline := time.Now().Add(10 * time.Second)
+				for executed.Load() < n {
+					if time.Now().After(deadline) {
+						t.Fatalf("round %d: executed %d of %d after wake-up", round, executed.Load(), n)
+					}
+					time.Sleep(time.Millisecond)
+				}
+				waitParked(t, s, 5*time.Second)
+			}
+		})
+	}
+}
+
+// TestParkedWorkersBurnNoCPU measures actual CPU consumption of a
+// parked scheduler: over a 300ms idle window the whole process must
+// use well under one busy core. Before worker parking, 4 idle workers
+// sleep-polled at ~50k wakeups/s each and burned several percent of a
+// core even on this host.
+func TestParkedWorkersBurnNoCPU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based")
+	}
+	s := New(4, WithSeed(5))
+	s.Start()
+	defer s.Shutdown()
+	waitParked(t, s, 5*time.Second)
+
+	start := cpuTime()
+	time.Sleep(300 * time.Millisecond)
+	used := cpuTime() - start
+	// Generous bound: 10% of one core over the window (the test process
+	// itself, the runtime, and the race detector all contribute).
+	if limit := 30 * time.Millisecond; used > limit {
+		t.Fatalf("idle scheduler used %v CPU over 300ms (limit %v) — workers are not parked", used, limit)
+	}
+}
+
+// TestShutdownWakesParkedWorkers: Shutdown must not hang on parked
+// workers.
+func TestShutdownWakesParkedWorkers(t *testing.T) {
+	for _, policy := range []Policy{ChaseLev, PrivateDeques} {
+		s := New(4, WithSeed(9), WithPolicy(policy))
+		s.Start()
+		waitParked(t, s, 5*time.Second)
+		done := make(chan struct{})
+		go func() {
+			s.Shutdown()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s: Shutdown hung on parked workers", policy)
+		}
+	}
+}

@@ -13,6 +13,15 @@ package sched
 // atomic cells per worker, so the deque operations themselves are free
 // of synchronization — the trade-off is steal latency bounded by the
 // victim's polling interval (one vertex execution).
+//
+// Interaction with parking: a parked worker cannot answer steal
+// requests, so thieves skip parked victims, and a thief whose victim
+// parks mid-request withdraws it (or collects the answer if the victim
+// already sent one). A victim that hands a vertex to a thief wakes the
+// thief in case it parked while the answer was in flight, and every
+// worker drains its own transfer cell both on the normal find-work
+// path and in the pre-sleep recheck, so an in-flight vertex can never
+// be stranded in the cell of a sleeping worker.
 
 import (
 	"sync/atomic"
@@ -36,6 +45,9 @@ type privateState struct {
 
 func (w *worker) pushPrivate(v *spdag.Vertex) {
 	w.pd.queue = append(w.pd.queue, v)
+	if w.s.nparked.Load() != 0 {
+		w.s.wakeOne()
+	}
 }
 
 func (w *worker) popPrivate() *spdag.Vertex {
@@ -44,12 +56,14 @@ func (w *worker) popPrivate() *spdag.Vertex {
 		return nil
 	}
 	v := q[len(q)-1]
+	q[len(q)-1] = nil // drop the reference: the slot may live long
 	w.pd.queue = q[:len(q)-1]
 	return v
 }
 
 // respond answers at most one pending steal request, handing over the
-// oldest queued vertex (FIFO end, as in concurrent work stealing).
+// oldest queued vertex (FIFO end, as in concurrent work stealing), and
+// wakes the thief in case it parked after withdrawing the request.
 func (w *worker) respond() {
 	thief := w.pd.request.Load()
 	if thief == noThief {
@@ -58,10 +72,13 @@ func (w *worker) respond() {
 	v := noWork
 	if len(w.pd.queue) > 0 {
 		v = w.pd.queue[0]
+		w.pd.queue[0] = nil
 		w.pd.queue = w.pd.queue[1:]
 	}
-	w.s.workers[thief].pd.transfer.Store(v)
+	t := w.s.workers[thief]
+	t.pd.transfer.Store(v)
 	w.pd.request.Store(noThief)
+	w.s.wake(t)
 }
 
 // runPrivate is the worker loop for the private-deques policy.
@@ -76,22 +93,29 @@ func (w *worker) runPrivate() {
 		}
 		if v == nil {
 			idleRounds++
-			w.backoff(idleRounds)
+			if w.backoff(idleRounds) {
+				idleRounds = 0 // parked and woken: rescan eagerly
+			}
 			continue
 		}
 		idleRounds = 0
 		v.Execute(&w.ctx)
-		w.executed.Add(1)
+		w.stats.executed.Add(1)
 	}
 	// Shutdown: release any thief still waiting on us.
 	w.respond()
 }
 
-// findWorkPrivate polls the injector, then posts a steal request to
+// findWorkPrivate drains a steal answer that may have landed after a
+// withdrawn request, polls the injector, then posts a steal request to
 // one random victim and waits for the answer (polling its own request
 // cell meanwhile so two idle workers cannot deadlock each other).
 func (w *worker) findWorkPrivate() *spdag.Vertex {
-	if v := w.s.popInjector(); v != nil {
+	if v := w.pd.transfer.Swap(nil); v != nil && v != noWork {
+		w.stats.steals.Add(1)
+		return v
+	}
+	if v := w.s.inj.pop(); v != nil {
 		return v
 	}
 	n := len(w.s.workers)
@@ -99,8 +123,8 @@ func (w *worker) findWorkPrivate() *spdag.Vertex {
 		return nil
 	}
 	victim := w.s.workers[w.g.Uint64n(uint64(n))]
-	if victim == w {
-		return nil
+	if victim == w || victim.parked.Load() {
+		return nil // self, or a victim that cannot answer
 	}
 	if !victim.pd.request.CompareAndSwap(noThief, int32(w.id)) {
 		return nil // victim busy with another thief; back off and retry
@@ -110,7 +134,7 @@ func (w *worker) findWorkPrivate() *spdag.Vertex {
 			if v == noWork {
 				return nil
 			}
-			w.steals.Add(1)
+			w.stats.steals.Add(1)
 			return v
 		}
 		// While waiting, serve thieves targeting us (we have nothing,
@@ -118,6 +142,17 @@ func (w *worker) findWorkPrivate() *spdag.Vertex {
 		w.respond()
 		if w.s.stop.Load() {
 			return nil
+		}
+		if victim.parked.Load() {
+			// The victim went to sleep. Withdraw the request so it does
+			// not block other thieves when the victim wakes; if the
+			// withdrawal CAS fails, the victim is answering (or has
+			// answered) and the next swap above will collect it. A
+			// late-stored answer after a successful withdrawal is picked
+			// up by the next findWorkPrivate (or the pre-sleep recheck).
+			if victim.pd.request.CompareAndSwap(int32(w.id), noThief) {
+				return nil
+			}
 		}
 	}
 }

@@ -8,7 +8,12 @@
 // the dependency counter, and the evaluation's `proc` axis only needs
 // a faithful structured-scheduling environment: local pushes from
 // running vertices, randomized stealing, and an external injection
-// path for roots.
+// path for roots. Two costs are engineered away so that measured
+// throughput reflects the counter rather than the scheduler: external
+// submission is a lock-free intrusive queue (injector.go), and idle
+// workers park on a semaphore after a short spin/yield phase instead
+// of sleep-polling, so an idle multi-tenant Runtime consumes no CPU
+// (see the worker lifecycle notes on park).
 package sched
 
 import (
@@ -16,7 +21,6 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/deque"
 	"repro/internal/rng"
@@ -31,10 +35,12 @@ type Scheduler struct {
 	wg      sync.WaitGroup
 	started atomic.Bool
 
-	injector struct {
-		mu sync.Mutex
-		q  []*spdag.Vertex
-	}
+	// nparked counts workers currently parked (registered for wake-up).
+	// Producers read it on every push; it only changes on park/unpark
+	// transitions, so in a busy scheduler the line is read-shared.
+	nparked atomic.Int32
+
+	inj injector
 }
 
 // Policy selects the stealing mechanism.
@@ -57,6 +63,18 @@ func (p Policy) String() string {
 	return "chase-lev"
 }
 
+// workerStats holds the per-worker counters on a cache line of their
+// own: the leading pad shields them from the worker's scheduling state
+// (deque indices, park flag), the trailing pad from whatever follows
+// the worker in memory. Layout is asserted at compile time in
+// layout_test.go.
+type workerStats struct {
+	_        [64]byte
+	steals   atomic.Uint64 // successful steals
+	executed atomic.Uint64 // vertices executed
+	_        [48]byte
+}
+
 // worker is one scheduling thread: a goroutine pinned to a deque.
 type worker struct {
 	s   *Scheduler
@@ -66,9 +84,13 @@ type worker struct {
 	g   *rng.Xoshiro256ss
 	ctx spdag.ExecContext
 
-	steals   atomic.Uint64 // successful steals
-	executed atomic.Uint64 // vertices executed
-	_        [48]byte      // avoid false sharing of per-worker stats
+	// Parking state: parked is the claim flag (a waker CASes it
+	// true→false to take responsibility for exactly one wake), sema the
+	// binary semaphore the parked goroutine blocks on. See park.
+	parked atomic.Bool
+	sema   chan struct{}
+
+	stats workerStats
 }
 
 // Option configures a Scheduler.
@@ -100,8 +122,9 @@ func New(p int, opts ...Option) *Scheduler {
 		o(&cfg)
 	}
 	s := &Scheduler{workers: make([]*worker, p), policy: cfg.policy}
+	s.inj.init()
 	for i := range s.workers {
-		w := &worker{s: s, id: i, g: rng.NewXoshiro(cfg.seed + uint64(i)*0x9e37)}
+		w := &worker{s: s, id: i, g: rng.NewXoshiro(cfg.seed + uint64(i)*0x9e37), sema: make(chan struct{}, 1)}
 		w.pd.request.Store(noThief)
 		push := w.push
 		if cfg.policy == PrivateDeques {
@@ -119,6 +142,11 @@ func (s *Scheduler) Policy() Policy { return s.policy }
 // NumWorkers returns the worker count (the `proc` axis of the
 // evaluation).
 func (s *Scheduler) NumWorkers() int { return len(s.workers) }
+
+// ParkedWorkers returns the number of workers currently parked. A
+// started scheduler with no work quiesces to ParkedWorkers() ==
+// NumWorkers(); tests use this to assert an idle Runtime costs no CPU.
+func (s *Scheduler) ParkedWorkers() int { return int(s.nparked.Load()) }
 
 // Start launches the worker goroutines. It may be called once.
 func (s *Scheduler) Start() {
@@ -144,21 +172,56 @@ func (s *Scheduler) Start() {
 // happen before — not concurrently with — the first Shutdown.
 func (s *Scheduler) Shutdown() {
 	s.stop.Store(true)
+	s.wakeAll()
 	s.wg.Wait()
 }
 
 // Submit injects an external ready vertex (typically a computation
 // root). It is the dag-level fallback schedule callback: vertices
 // scheduled from inside a running vertex take the worker-local push
-// path instead and never touch the injector lock. Submit is safe from
-// any goroutine, which is what lets many Run/nested.Runtime.Run calls
-// proceed concurrently over one scheduler: each computation injects
-// its own root here and the workers interleave them; idle workers
-// drain the injector FIFO before attempting steals.
+// path instead. Submit is safe from any goroutine and lock-free, which
+// is what lets many Run/nested.Runtime.Run calls proceed concurrently
+// over one scheduler: each computation injects its own root here and
+// the workers interleave them; idle workers drain the injector FIFO
+// before attempting steals, and a parked worker is woken per Submit.
 func (s *Scheduler) Submit(v *spdag.Vertex) {
-	s.injector.mu.Lock()
-	s.injector.q = append(s.injector.q, v)
-	s.injector.mu.Unlock()
+	s.inj.push(v)
+	s.wakeOne()
+}
+
+// wakeOne claims one parked worker and signals its semaphore. The
+// claim (the parked CAS) pairs with exactly one semaphore token, which
+// the worker consumes either in park's sleep or in cancelPark.
+func (s *Scheduler) wakeOne() {
+	if s.nparked.Load() == 0 {
+		return
+	}
+	for _, w := range s.workers {
+		if w.parked.Load() && w.parked.CompareAndSwap(true, false) {
+			s.nparked.Add(-1)
+			w.sema <- struct{}{}
+			return
+		}
+	}
+}
+
+// wakeAll wakes every parked worker (shutdown).
+func (s *Scheduler) wakeAll() {
+	for _, w := range s.workers {
+		if w.parked.Load() && w.parked.CompareAndSwap(true, false) {
+			s.nparked.Add(-1)
+			w.sema <- struct{}{}
+		}
+	}
+}
+
+// wake claims and signals a specific worker (private-deques steal
+// responses target the requesting thief directly).
+func (s *Scheduler) wake(w *worker) {
+	if w.parked.Load() && w.parked.CompareAndSwap(true, false) {
+		s.nparked.Add(-1)
+		w.sema <- struct{}{}
+	}
 }
 
 // Run executes a complete computation: it builds root/final with the
@@ -188,8 +251,8 @@ type Stats struct {
 func (s *Scheduler) Stats() Stats {
 	var st Stats
 	for _, w := range s.workers {
-		st.Steals += w.steals.Load()
-		st.Executed += w.executed.Load()
+		st.Steals += w.stats.steals.Load()
+		st.Executed += w.stats.executed.Load()
 	}
 	return st
 }
@@ -199,8 +262,20 @@ func (s *Scheduler) String() string {
 	return fmt.Sprintf("sched.Scheduler{workers=%d, policy=%s}", len(s.workers), s.policy)
 }
 
-func (w *worker) push(v *spdag.Vertex) { w.dq.PushBottom(v) }
+// push is the worker-local schedule operation for the ChaseLev policy.
+// The nparked read is the only cost it pays for the parking protocol:
+// in a busy scheduler the counter is zero and read-shared, so the
+// common case adds one uncontended load to the push path.
+func (w *worker) push(v *spdag.Vertex) {
+	w.dq.PushBottom(v)
+	if w.s.nparked.Load() != 0 {
+		w.s.wakeOne()
+	}
+}
 
+// Worker lifecycle: run ↔ findWork, then spin → yield → park as
+// idleness persists (see backoff/park for the protocol and DESIGN.md
+// for the diagram).
 func (w *worker) run() {
 	defer w.s.wg.Done()
 	idleRounds := 0
@@ -211,19 +286,21 @@ func (w *worker) run() {
 		}
 		if v == nil {
 			idleRounds++
-			w.backoff(idleRounds)
+			if w.backoff(idleRounds) {
+				idleRounds = 0 // parked and woken: rescan eagerly
+			}
 			continue
 		}
 		idleRounds = 0
 		v.Execute(&w.ctx)
-		w.executed.Add(1)
+		w.stats.executed.Add(1)
 	}
 }
 
 // findWork polls the external injector, then attempts a round of
 // random steals.
 func (w *worker) findWork() *spdag.Vertex {
-	if v := w.s.popInjector(); v != nil {
+	if v := w.s.inj.pop(); v != nil {
 		return v
 	}
 	n := len(w.s.workers)
@@ -239,7 +316,7 @@ func (w *worker) findWork() *spdag.Vertex {
 		for {
 			v, empty := victim.dq.Steal()
 			if v != nil {
-				w.steals.Add(1)
+				w.stats.steals.Add(1)
 				return v
 			}
 			if empty {
@@ -251,28 +328,83 @@ func (w *worker) findWork() *spdag.Vertex {
 	return nil
 }
 
-func (s *Scheduler) popInjector() *spdag.Vertex {
-	s.injector.mu.Lock()
-	defer s.injector.mu.Unlock()
-	if len(s.injector.q) == 0 {
-		return nil
-	}
-	v := s.injector.q[0]
-	s.injector.q = s.injector.q[1:]
-	return v
-}
+// Backoff thresholds: spin briefly (work usually appears within
+// microseconds in a busy computation), then yield the P cooperatively,
+// then park. Parking replaces the old 20µs sleep-poll tail, which kept
+// every idle worker at ~50k wakeups/s.
+const (
+	spinRounds  = 16
+	yieldRounds = 64
+)
 
-// backoff yields progressively harder as idleness persists: brief
-// spinning first (work usually appears within microseconds in a busy
-// computation), then cooperative yields, then short sleeps so an idle
-// scheduler does not saturate the machine.
-func (w *worker) backoff(rounds int) {
+// backoff escalates with persistent idleness; it reports whether the
+// worker parked (and has since been woken).
+func (w *worker) backoff(rounds int) bool {
 	switch {
-	case rounds < 16:
+	case rounds < spinRounds:
 		// spin
-	case rounds < 64:
+	case rounds < yieldRounds:
 		runtime.Gosched()
 	default:
-		time.Sleep(20 * time.Microsecond)
+		w.park()
+		return true
 	}
+	return false
+}
+
+// park blocks the worker until new work may exist. The lost-wake-up
+// race is closed by ordering: the worker (1) registers as parked, then
+// (2) rechecks every work source it can observe, then (3) sleeps.
+// Producers enqueue first and read nparked second. Under sequential
+// consistency, either the producer sees the registration (and wakes
+// us) or the recheck sees the enqueued work (and cancels the park) —
+// there is no interleaving in which work is enqueued, no wake is sent,
+// and the recheck sees nothing.
+//
+// Under PrivateDeques the recheck cannot inspect other workers' queues
+// (they are unsynchronized by design); completion is still guaranteed
+// because a queue's owner is, by construction, awake and drains it
+// itself, waking us on every subsequent push.
+func (w *worker) park() {
+	s := w.s
+	s.nparked.Add(1)
+	w.parked.Store(true)
+
+	if s.stop.Load() || w.parkRecheck() {
+		w.cancelPark()
+		return
+	}
+	<-w.sema
+}
+
+// parkRecheck reports whether any observable work source is (or may
+// be) non-empty. It must not consume work: the caller re-enters the
+// normal find-work path after cancelling the park.
+func (w *worker) parkRecheck() bool {
+	s := w.s
+	if s.inj.size.Load() > 0 {
+		return true
+	}
+	if s.policy == PrivateDeques {
+		// A steal response may have landed in our transfer cell after we
+		// withdrew a request (see findWorkPrivate).
+		return w.pd.transfer.Load() != nil
+	}
+	for _, victim := range s.workers {
+		if victim != w && victim.dq.Size() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// cancelPark undoes a registration: if a waker already claimed us, its
+// semaphore token (sent or imminent) is consumed so the next park
+// doesn't wake spuriously.
+func (w *worker) cancelPark() {
+	if w.parked.CompareAndSwap(true, false) {
+		w.s.nparked.Add(-1)
+		return
+	}
+	<-w.sema
 }

@@ -1,8 +1,40 @@
 package snzi
 
+import "unsafe"
+
 // This file implements the dynamic extension of PPoPP'17 §2: the grow
 // operation that lets a SNZI tree expand at run time in response to
 // increasing concurrency.
+
+// childBlock co-allocates a Grow's whole result — the Children header
+// and both child nodes — in one block laid out on cache-line
+// boundaries: the header (cold after linking) shares the first 64-byte
+// line, and each child's hot word starts a line of its own. One
+// allocation replaces three, and the explicit layout guarantees the
+// two siblings — which are updated by *different* vertices under the
+// in-counter discipline — never false-share a line, something three
+// independent allocations cannot promise.
+//
+// The block is 192 bytes, a multiple of 64: Go's size-class allocator
+// tiles such objects from page-aligned spans, so the block (and with
+// it the left/right offsets below) lands 64-byte aligned.
+type childBlock struct {
+	c     Children
+	_     [64 - unsafe.Sizeof(Children{})]byte // pad header to line 0
+	left  Node                                 // line 1
+	right Node                                 // line 2
+}
+
+// Compile-time layout guarantees: Node fills exactly one cache line,
+// and the children start at line offsets within the block. A negative
+// array length here is a build failure, not a runtime check.
+var (
+	_ [64 - unsafe.Sizeof(Node{})]byte
+	_ [unsafe.Sizeof(Node{}) - 64]byte
+	_ [-(unsafe.Offsetof(childBlock{}.left) % 64)]byte
+	_ [-(unsafe.Offsetof(childBlock{}.right) % 64)]byte
+	_ [-(unsafe.Sizeof(childBlock{}) % 64)]byte
+)
 
 // Grow returns the children of n, creating and linking them if n has
 // none and heads is true (PPoPP'17 Figure 2). Freshly created children
@@ -24,9 +56,11 @@ package snzi
 // Arrive/Depart/Query.
 func (n *Node) Grow(heads bool) (left, right *Node) {
 	if heads && n.children.Load() == nil {
-		l := &Node{tree: n.tree, parent: n, left: true, depth: n.depth + 1}
-		r := &Node{tree: n.tree, parent: n, left: false, depth: n.depth + 1}
-		if n.children.CompareAndSwap(nil, &Children{Left: l, Right: r}) {
+		b := &childBlock{}
+		b.left.tree, b.left.parent, b.left.left, b.left.depth = n.tree, n, true, n.depth+1
+		b.right.tree, b.right.parent, b.right.left, b.right.depth = n.tree, n, false, n.depth+1
+		b.c.Left, b.c.Right = &b.left, &b.right
+		if n.children.CompareAndSwap(nil, &b.c) {
 			n.tree.nodes.Add(2)
 			n.tree.allocated.Add(2)
 			if n.tree.instr != nil {

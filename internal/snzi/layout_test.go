@@ -1,0 +1,51 @@
+package snzi
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// Compile-time layout assertions (duplicating the ones in grow.go so a
+// regression is reported against the test, too): Node is exactly one
+// 64-byte cache line, and a childBlock places each child at a 64-byte
+// offset.
+var (
+	_ [unsafe.Sizeof(Node{}) - 64]byte
+	_ [64 - unsafe.Sizeof(Node{})]byte
+	_ [-(unsafe.Offsetof(childBlock{}.left) % 64)]byte
+	_ [-(unsafe.Offsetof(childBlock{}.right) % 64)]byte
+)
+
+// TestNodeLayout pins the sizes the padding is supposed to produce.
+func TestNodeLayout(t *testing.T) {
+	if s := unsafe.Sizeof(Node{}); s != 64 {
+		t.Fatalf("Node size = %d, want 64 (one cache line)", s)
+	}
+	if s := unsafe.Sizeof(childBlock{}); s%64 != 0 {
+		t.Fatalf("childBlock size = %d, want a multiple of 64", s)
+	}
+}
+
+// TestGrowChildAlignment verifies the co-allocated sibling nodes land
+// 64-byte aligned at run time: the block is a multiple of 64 bytes, so
+// Go's size-class allocator hands out 64-aligned storage, and the
+// in-block offsets are multiples of 64 by construction. If a future Go
+// allocator breaks the alignment guarantee this test, not a silent
+// false-sharing regression, reports it.
+func TestGrowChildAlignment(t *testing.T) {
+	tr := NewTree(1)
+	n := tr.Root()
+	for i := 0; i < 64; i++ {
+		l, r := n.Grow(true)
+		if a := uintptr(unsafe.Pointer(l)) % 64; a != 0 {
+			t.Fatalf("left child %d misaligned: addr %% 64 = %d", i, a)
+		}
+		if a := uintptr(unsafe.Pointer(r)) % 64; a != 0 {
+			t.Fatalf("right child %d misaligned: addr %% 64 = %d", i, a)
+		}
+		if lp, rp := uintptr(unsafe.Pointer(l)), uintptr(unsafe.Pointer(r)); rp-lp != 64 {
+			t.Fatalf("siblings %d not adjacent lines: right-left = %d, want 64", i, rp-lp)
+		}
+		n = l
+	}
+}

@@ -93,7 +93,7 @@ type Node struct {
 	// if any write intervened since it was read. It is true exactly
 	// when the linearized surplus of the whole tree is positive.
 	ind atomic.Uint64
-	_   [8]byte // reduce false sharing between co-allocated nodes
+	_   [8]byte // pad Node to exactly one 64-byte cache line (asserted in grow.go)
 }
 
 func packInd(b bool, ver uint64) uint64 {

@@ -20,10 +20,40 @@ import (
 	"sync/atomic"
 )
 
-// computation is the cancellation state shared by every vertex of one
-// Make-rooted computation.
-type computation struct {
+// Computation is the per-computation record shared by every vertex of
+// one Make-rooted computation: the cancellation state, behind a stable
+// handle that outlives the vertices themselves. Frontends that need to
+// observe a computation's failure after its vertices have been
+// recycled (package repro's futures) hold the Computation, never a
+// vertex.
+type Computation struct {
 	err atomic.Pointer[error]
+}
+
+// Err returns the error the computation was aborted with, or nil while
+// it is live. It is safe from any goroutine, at any time, including
+// after the computation has completed and its vertices were recycled.
+// A nil receiver (a vertex outside any Make-rooted computation) reads
+// as a live computation.
+func (c *Computation) Err() error {
+	if c == nil {
+		return nil
+	}
+	if p := c.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// abort records err as the computation's failure; the first call wins.
+func (c *Computation) abort(err error) bool {
+	if c == nil {
+		return false
+	}
+	if err == nil {
+		err = errAborted
+	}
+	return c.err.CompareAndSwap(nil, &err)
 }
 
 var errAborted = errors.New("spdag: computation aborted")
@@ -64,27 +94,23 @@ func AsPanicError(v any) *PanicError {
 // of vertices whose computation has aborted while preserving every
 // counter discharge, which is what lets Run still observe quiescence.
 func (v *Vertex) Abort(err error) bool {
-	if v.comp == nil {
-		return false
-	}
-	if err == nil {
-		err = errAborted
-	}
-	return v.comp.err.CompareAndSwap(nil, &err)
+	return v.comp.abort(err)
 }
 
 // Err returns the error the vertex's computation was aborted with, or
 // nil while it is live. It is safe from any goroutine and on dead
-// vertices.
+// vertices — but not on recycled ones; holders that outlive the
+// vertex's execution must use Computation instead.
 func (v *Vertex) Err() error {
-	if v.comp == nil {
-		return nil
-	}
-	if p := v.comp.err.Load(); p != nil {
-		return *p
-	}
-	return nil
+	return v.comp.Err()
 }
+
+// Computation returns the stable per-computation record the vertex
+// belongs to (nil for vertices outside any Make-rooted computation).
+// Unlike the vertex itself, the record is never recycled, so it may be
+// held for as long as the caller likes — it is the correct handle for
+// observing a computation's failure state after Run returns.
+func (v *Vertex) Computation() *Computation { return v.comp }
 
 // invokeBody runs the vertex body behind a recover barrier: a panic
 // escaping the body aborts the computation instead of killing the

@@ -1,0 +1,130 @@
+package spdag
+
+// This file implements the zero-allocation vertex path: dead vertices
+// are recycled through per-worker freelists threaded via ExecContext,
+// with a process-wide sync.Pool as overflow/underflow, so that
+// steady-state Spawn/Chain/Signal cycles reuse storage instead of
+// exercising the allocator.
+//
+// The safety argument mirrors the paper's own handle discipline: a
+// vertex is provably dead after its terminal structural operation
+// (Spawn, Chain, or Signal), and the runtime knows two points at which
+// a dead vertex is additionally *unreferenced*:
+//
+//   - the tail of Execute — the executing worker holds the only
+//     reference to the vertex it just ran (the frontends only retain
+//     the per-computation record, never vertices, past execution);
+//   - the tail of a continuation-passing task (package nested's wrap),
+//     for continuation vertices that were adopted inline and therefore
+//     never pass through Execute.
+//
+// Two kinds of vertex are exempt: vertices of the Make root/final
+// pair, which the Run machinery touches from the submitting goroutine
+// (Abort on cancellation, Counter/Err after completion) concurrently
+// with the tail of their Execute — these are created pinned and are
+// simply left to the collector; and vertices of a dag with a Recorder
+// attached keep working too, because a reused vertex is re-announced
+// to the recorder under a fresh id.
+//
+// A recycled vertex is reset at *reuse* time, not at recycle time:
+// stale reads of a dead vertex (diagnostics, tests inspecting a
+// finished dag) keep seeing its final state until the storage is
+// actually handed to a new vertex.
+
+import (
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// freeListCap bounds the per-context freelist; beyond it, recycled
+// vertices overflow into the shared pool so one worker executing the
+// whole dag (p = 1, or a victim-heavy steal pattern) cannot hoard
+// every vertex of the computation.
+const freeListCap = 512
+
+// vertexPool is the process-wide overflow pool shared by all dags;
+// vertices are fully reset before reuse, so cross-dag sharing is safe.
+var vertexPool = sync.Pool{New: func() any { return new(Vertex) }}
+
+// inlineContext packs an ExecContext and its generator into a single
+// allocation for executions that arrive without a worker context
+// (Execute(nil), or structural operations on vertices never executed
+// by a scheduler). Descendant vertices inherit the context, so the
+// lazy path allocates once per execution chain, not once per vertex.
+type inlineContext struct {
+	ctx ExecContext
+	g   rng.Xoshiro256ss
+}
+
+func newInlineContext() *ExecContext {
+	ic := &inlineContext{}
+	ic.g.Reseed(rng.AutoSeed())
+	ic.ctx.G = &ic.g
+	return &ic.ctx
+}
+
+// grab takes a recycled vertex from the context freelist (worker-local,
+// no synchronization), falling back to the shared pool.
+func grab(ctx *ExecContext) *Vertex {
+	if ctx != nil {
+		if n := len(ctx.free); n > 0 {
+			v := ctx.free[n-1]
+			ctx.free[n-1] = nil
+			ctx.free = ctx.free[:n-1]
+			v.reset()
+			return v
+		}
+	}
+	v := vertexPool.Get().(*Vertex)
+	v.reset()
+	return v
+}
+
+// reset clears every field of a recycled vertex before reuse. It must
+// mention every field of Vertex; newVertex reassigns the identity
+// fields on top.
+func (v *Vertex) reset() {
+	v.dag = nil
+	v.ctr = nil
+	v.st = nil
+	v.fin = nil
+	v.body = nil
+	v.payload = nil
+	v.comp = nil
+	v.ctx = nil
+	v.id = 0
+	v.pinned = false
+	v.dead.Store(false)
+	v.scheduled.Store(false)
+	v.injNext.Store(nil)
+}
+
+// Recycle returns a dead vertex to the worker-local pool of the
+// execution context it last ran under. It is exported for frontends
+// that retire vertices outside Execute — package nested recycles
+// adopted continuation vertices (which never pass through Execute) at
+// the task boundary — and must only be called by a caller that owns
+// the final reference: after Recycle the vertex may be reused, under a
+// different identity, at any time.
+//
+// Recycling a live vertex is a discipline violation and panics.
+// Pinned vertices (the Make root/final pair) are silently skipped, as
+// the Run machinery may still touch them.
+func (v *Vertex) Recycle() {
+	if !v.dead.Load() {
+		panic("spdag: Recycle on a live vertex (only a vertex past its terminal operation can be recycled)")
+	}
+	v.recycle()
+}
+
+func (v *Vertex) recycle() {
+	if v.pinned {
+		return
+	}
+	if ctx := v.ctx; ctx != nil && len(ctx.free) < freeListCap {
+		ctx.free = append(ctx.free, v)
+		return
+	}
+	vertexPool.Put(v)
+}

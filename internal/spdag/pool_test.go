@@ -1,0 +1,138 @@
+package spdag
+
+import (
+	"testing"
+
+	"repro/internal/counter"
+	"repro/internal/rng"
+)
+
+// newTestCtx builds a worker-style execution context for driving
+// structural operations by hand.
+func newTestCtx(seed uint64) *ExecContext {
+	return &ExecContext{G: rng.NewXoshiro(seed)}
+}
+
+// TestSpawnSignalCycleAllocsDyn asserts the hot-path budget of the
+// zero-allocation work: a steady-state spawn-signal cycle against the
+// paper's in-counter allocates at most one object per cycle (and with
+// all pools warm, zero: vertices, dynamic counter states, and
+// decrement pairs all recycle; the grow threshold is set high enough
+// that tree growth never triggers inside the measurement).
+func TestSpawnSignalCycleAllocsDyn(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation behaviour")
+	}
+	d := New(counter.Dynamic{Threshold: 1 << 40})
+	u, _ := d.Make()
+	u.ctx = newTestCtx(1)
+	allocs := testing.AllocsPerRun(2000, func() {
+		v, w := u.Spawn()
+		w.Signal()
+		w.Recycle()
+		u.Recycle()
+		u = v
+	})
+	if allocs > 1 {
+		t.Fatalf("dyn spawn-signal cycle allocates %.1f objects, want ≤ 1", allocs)
+	}
+}
+
+// TestSpawnSignalCycleAllocsFetchAdd is the same budget against the
+// fetch-and-add baseline, whose shared state allocates nothing at all.
+func TestSpawnSignalCycleAllocsFetchAdd(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation behaviour")
+	}
+	d := New(counter.FetchAdd{})
+	u, _ := d.Make()
+	u.ctx = newTestCtx(1)
+	allocs := testing.AllocsPerRun(2000, func() {
+		v, w := u.Spawn()
+		w.Signal()
+		w.Recycle()
+		u.Recycle()
+		u = v
+	})
+	if allocs > 1 {
+		t.Fatalf("fetchadd spawn-signal cycle allocates %.1f objects, want ≤ 1", allocs)
+	}
+}
+
+// TestChainSignalCycleAllocs covers the serial-composition path: the
+// caller dies, its obligations move to w, and the cycle's only
+// allocation is the fresh finish counter (one per chain, by design —
+// the paper's cost model charges counter allocation to finish blocks,
+// not vertices). The vertices themselves come from the freelist.
+func TestChainSignalCycleAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation behaviour")
+	}
+	d := New(counter.FetchAdd{})
+	u, _ := d.Make()
+	u.ctx = newTestCtx(1)
+	allocs := testing.AllocsPerRun(2000, func() {
+		v, w := u.Chain()
+		v.Signal() // readies w
+		v.Recycle()
+		u.Recycle() // u died in the Chain
+		u = w       // w carries the obligation forward
+	})
+	if allocs > 2 {
+		t.Fatalf("chain-signal cycle allocates %.1f objects, want ≤ 2 (the per-chain counter)", allocs)
+	}
+}
+
+// TestRecycleLiveVertexPanics: recycling a vertex that has not
+// performed its terminal operation is a discipline violation.
+func TestRecycleLiveVertexPanics(t *testing.T) {
+	d := New(counter.FetchAdd{})
+	root, _ := d.Make()
+	// root is pinned; use a spawned child instead.
+	root.ctx = newTestCtx(1)
+	v, _ := root.Spawn()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Recycle on a live vertex did not panic")
+		}
+	}()
+	v.Recycle()
+}
+
+// TestVertexStorageIsReused checks the freelist actually round-trips
+// storage: after a recycle, the next vertex created under the same
+// context reuses the same allocation.
+func TestVertexStorageIsReused(t *testing.T) {
+	d := New(counter.FetchAdd{})
+	u, _ := d.Make()
+	u.ctx = newTestCtx(1)
+	v, w := u.Spawn()
+	w.Signal()
+	w.Recycle()
+	v2, w2 := v.Spawn()
+	if w2 != w && v2 != w {
+		t.Fatal("recycled vertex storage was not reused by the next spawn under the same context")
+	}
+	_ = v2
+}
+
+// TestPinnedVerticesAreNotRecycled: Make's root and final stay valid
+// after execution — the Run machinery reads them from the submitting
+// goroutine.
+func TestPinnedVerticesAreNotRecycled(t *testing.T) {
+	d := New(counter.FetchAdd{})
+	root, final := d.Make()
+	executed := false
+	final.SetBody(func(*Vertex) { executed = true })
+	root.Execute(nil) // signals final through the counter
+	final.Execute(nil)
+	if !executed {
+		t.Fatal("final did not execute")
+	}
+	if !root.Dead() || !final.Dead() {
+		t.Fatal("pinned vertices lost their state — they were recycled")
+	}
+	if final.Counter() == nil {
+		t.Fatal("final's counter unreadable after execution")
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package spdag
+
+const raceEnabled = false

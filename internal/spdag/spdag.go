@@ -39,15 +39,22 @@ type Body func(self *Vertex)
 
 // ExecContext is the worker-local execution environment threaded
 // through vertex execution: the randomness source for the grow coin,
-// and the worker's local push operation. Vertices created while a
-// vertex executes inherit its context, so that scheduling them lands
-// in the executing worker's own deque — the locality discipline of
-// work-stealing runtimes — instead of going through the dag's global
-// schedule callback. A nil Push (or a vertex scheduled outside any
-// execution) falls back to the dag-level callback.
+// the worker's local push operation, and the worker's vertex freelist.
+// Vertices created while a vertex executes inherit its context, so
+// that scheduling them lands in the executing worker's own deque — the
+// locality discipline of work-stealing runtimes — instead of going
+// through the dag's global schedule callback. A nil Push (or a vertex
+// scheduled outside any execution) falls back to the dag-level
+// callback.
+//
+// An ExecContext belongs to exactly one executing goroutine at a time;
+// the freelist relies on that single-owner discipline for its
+// synchronization-free push/pop.
 type ExecContext struct {
 	G    *rng.Xoshiro256ss
 	Push func(*Vertex)
+
+	free []*Vertex // recycled vertices, owner-only (see pool.go)
 }
 
 // Recorder observes dag construction and execution. It is meant for
@@ -103,19 +110,33 @@ func (d *Dag) VertexCount() int64 { return d.vertices.Load() }
 
 // Vertex is a node of the sp-dag: one fine-grained thread of control.
 type Vertex struct {
-	dag  *Dag
-	ctr  counter.Counter // this vertex's own dependency counter (query handle)
-	st   counter.State   // capability into fin's counter (inc + dec handles)
-	fin  *Vertex         // finish vertex: closest descendant all paths pass through
-	body Body
+	dag     *Dag
+	ctr     counter.Counter // this vertex's own dependency counter (query handle)
+	st      counter.State   // capability into fin's counter (inc + dec handles)
+	fin     *Vertex         // finish vertex: closest descendant all paths pass through
+	body    Body
+	payload any // opaque frontend value (see SetPayload)
 
 	dead      atomic.Bool  // the vertex spawned, chained, or signalled
 	scheduled atomic.Bool  // the vertex has been handed to the scheduler
-	comp      *computation // cancellation state shared across the computation
+	comp      *Computation // cancellation state shared across the computation
 	ctx       *ExecContext
+	pinned    bool // root/final of a Make: never recycled (see pool.go)
+
+	// injNext links the vertex into the scheduler's external injection
+	// queue (an intrusive MPSC list, see internal/sched); it is owned
+	// by the queue between Submit and the pop that removes the vertex.
+	injNext atomic.Pointer[Vertex]
 
 	id uint64 // assigned only when a Recorder is attached
 }
+
+// InjNext reads the intrusive injection-queue link. It is owned by the
+// scheduler's injector; no other party may touch it.
+func (v *Vertex) InjNext() *Vertex { return v.injNext.Load() }
+
+// SetInjNext writes the intrusive injection-queue link (see InjNext).
+func (v *Vertex) SetInjNext(n *Vertex) { v.injNext.Store(n) }
 
 // NewVertex creates a vertex with the given finish vertex, capability
 // into the finish vertex's counter, and initial dependency count n
@@ -130,7 +151,15 @@ type Vertex struct {
 // SNZI baseline "allocates for each finish block a SNZI tree" (§5),
 // not for every vertex.
 func (d *Dag) NewVertex(fin *Vertex, st counter.State, n int) *Vertex {
-	v := &Vertex{dag: d, st: st, fin: fin}
+	return d.newVertex(nil, fin, st, n)
+}
+
+// newVertex is NewVertex drawing storage from the given execution
+// context's freelist (nil falls back to the shared pool); it is the
+// allocation-free path Spawn and Chain use.
+func (d *Dag) newVertex(ctx *ExecContext, fin *Vertex, st counter.State, n int) *Vertex {
+	v := grab(ctx)
+	v.dag, v.st, v.fin = d, st, fin
 	if fin != nil {
 		v.comp = fin.comp
 	}
@@ -149,14 +178,19 @@ func (d *Dag) NewVertex(fin *Vertex, st counter.State, n int) *Vertex {
 // (terminal) vertex (make in Figure 3). The root is ready immediately;
 // the final vertex becomes ready when the root and everything it
 // nests have signalled.
+// Both vertices are pinned: the Run machinery keeps using them from
+// the submitting goroutine (Abort on cancellation, Counter and Err
+// after completion) concurrently with the tail of their execution, so
+// they are never recycled into the vertex pools. The Computation
+// record is likewise allocated fresh — typed-result frontends (package
+// repro's futures) hold it past the run.
 func (d *Dag) Make() (root, final *Vertex) {
-	final = &Vertex{dag: d, ctr: d.alg.New(1), comp: &computation{}}
-	d.vertices.Add(1)
-	if d.rec != nil {
-		final.id = d.ids.Add(1)
-		d.rec.OnVertex(final)
-	}
-	root = d.NewVertex(final, final.ctr.RootState(), 0)
+	final = d.newVertex(nil, nil, nil, 0)
+	final.ctr = d.alg.New(1)
+	final.comp = &Computation{}
+	final.pinned = true
+	root = d.newVertex(nil, final, final.ctr.RootState(), 0)
+	root.pinned = true
 	return root, final
 }
 
@@ -181,6 +215,17 @@ func (v *Vertex) Dead() bool { return v.dead.Load() }
 // called before the vertex is scheduled.
 func (v *Vertex) SetBody(b Body) { v.body = b }
 
+// SetPayload attaches an opaque value the body can retrieve with
+// Payload. Frontends use it to hand their task function to a single
+// static Body instead of allocating one closure per vertex: storing a
+// function value in an interface is allocation-free (function values
+// are pointer-shaped), where wrapping it in a fresh closure is not.
+// Like SetBody, it must be called before the vertex is scheduled.
+func (v *Vertex) SetPayload(p any) { v.payload = p }
+
+// Payload returns the value attached with SetPayload, or nil.
+func (v *Vertex) Payload() any { return v.payload }
+
 // Ready reports whether the vertex's dependency counter is zero. It
 // is a probe for tests and debugging; the runtime uses Signal's
 // zero-report for scheduling.
@@ -195,8 +240,8 @@ func (v *Vertex) Ready() bool { return v.ctr == nil || v.ctr.IsZero() }
 func (u *Vertex) Chain() (v, w *Vertex) {
 	u.die("Chain")
 	d := u.dag
-	w = d.NewVertex(u.fin, u.st, 1)
-	v = d.NewVertex(w, w.ctr.RootState(), 0)
+	w = d.newVertex(u.ctx, u.fin, u.st, 1)
+	v = d.newVertex(u.ctx, w, w.ctr.RootState(), 0)
 	v.ctx, w.ctx = u.ctx, u.ctx
 	if d.rec != nil {
 		d.rec.OnEdge(u, v)
@@ -214,14 +259,27 @@ func (u *Vertex) Spawn() (v, w *Vertex) {
 	u.die("Spawn")
 	d := u.dag
 	l, r := u.st.Increment(u.rng())
-	v = d.NewVertex(u.fin, l, 0)
-	w = d.NewVertex(u.fin, r, 0)
+	u.releaseState() // Increment was u's final use of its State
+	v = d.newVertex(u.ctx, u.fin, l, 0)
+	w = d.newVertex(u.ctx, u.fin, r, 0)
 	v.ctx, w.ctx = u.ctx, u.ctx
 	if d.rec != nil {
 		d.rec.OnEdge(u, v)
 		d.rec.OnEdge(u, w)
 	}
 	return v, w
+}
+
+// releaseState returns the vertex's consumed counter State to its
+// implementation's pool, if the implementation supports it. Callers
+// must only invoke it after the State's terminal operation (its
+// Increment or Decrement); Chain hands the State to the successor
+// instead and must not release.
+func (u *Vertex) releaseState() {
+	if r, ok := u.st.(counter.Releaser); ok {
+		r.Release()
+		u.st = nil
+	}
 }
 
 // Signal records the completion of the vertex (signal in Figure 3),
@@ -236,7 +294,9 @@ func (u *Vertex) Signal() {
 	if u.dag.rec != nil {
 		u.dag.rec.OnEdge(u, u.fin)
 	}
-	if u.st.Decrement() {
+	zero := u.st.Decrement()
+	u.releaseState() // Decrement was u's final use of its State
+	if zero {
 		u.fin.markReady(u.ctx)
 	}
 }
@@ -285,9 +345,15 @@ func (v *Vertex) dispatch(ctx *ExecContext) {
 // computation's error (see Abort); the vertex then signals as if the
 // body had returned, so the dag still quiesces and Run-style callers
 // observe the failure as an ordinary error.
+// Execute finishes by recycling the vertex into the context's
+// freelist: at this point the vertex is dead and the executing worker
+// holds the only reference (frontends retain the Computation record,
+// never vertices, past execution), so its storage can back the next
+// vertex this worker creates. Pinned vertices (Make's root/final) are
+// exempt — the submitting goroutine still uses them.
 func (v *Vertex) Execute(ctx *ExecContext) {
 	if ctx == nil {
-		ctx = &ExecContext{}
+		ctx = newInlineContext()
 	}
 	v.ctx = ctx
 	if v.dag.rec != nil {
@@ -299,6 +365,7 @@ func (v *Vertex) Execute(ctx *ExecContext) {
 	if !v.dead.Load() {
 		v.Signal()
 	}
+	v.recycle()
 }
 
 // AdoptExecution records that this vertex's execution is subsumed by
@@ -314,7 +381,9 @@ func (v *Vertex) AdoptExecution() {
 
 func (v *Vertex) rng() *rng.Xoshiro256ss {
 	if v.ctx == nil {
-		v.ctx = &ExecContext{}
+		// One allocation covers context and generator, and descendants
+		// inherit it (see inlineContext).
+		v.ctx = newInlineContext()
 	}
 	if v.ctx.G == nil {
 		v.ctx.G = rng.NewXoshiro(rng.AutoSeed())

@@ -158,6 +158,7 @@ func (r *Runtime) Workers() int { return r.n.Workers() }
 // Stats is a snapshot of runtime counters (exact when quiescent).
 type Stats struct {
 	Workers  int    // scheduler workers
+	Parked   int    // workers currently parked (idle runtime: Parked == Workers)
 	Vertices int64  // dag vertices created so far
 	Steals   uint64 // successful steals
 	Executed uint64 // vertices executed
@@ -168,6 +169,7 @@ func (r *Runtime) Stats() Stats {
 	st := r.n.Scheduler().Stats()
 	return Stats{
 		Workers:  r.n.Workers(),
+		Parked:   r.n.Scheduler().ParkedWorkers(),
 		Vertices: r.n.Dag().VertexCount(),
 		Steals:   st.Steals,
 		Executed: st.Executed,
