@@ -88,6 +88,7 @@ func main() {
 	jsonOut := flag.String("json", "", "write parsed results as JSON here")
 	baseline := flag.String("baseline", "", "bench output to gate against")
 	maxAllocRatio := flag.Float64("max-alloc-ratio", 1.10, "fail if allocs/op exceeds baseline by this factor")
+	allocSlack := flag.Float64("alloc-slack", 1, "absolute allocs/op allowed above baseline (keeps zero-alloc baselines gated; warmup noise amortizes to <1 over b.N)")
 	minOpsRatio := flag.Float64("min-ops-ratio", 0.60, "fail if ops/s/core falls below baseline by this factor (loose: shared runners are noisy)")
 	flag.Parse()
 	if *in == "" {
@@ -138,13 +139,29 @@ func main() {
 			continue
 		}
 		compared++
-		if b.AllocsOp > 0 && c.AllocsOp > b.AllocsOp**maxAllocRatio {
-			fmt.Printf("FAIL %s: allocs/op %.0f vs baseline %.0f (limit ×%.2f)\n",
-				name, c.AllocsOp, b.AllocsOp, *maxAllocRatio)
+		// A zero-alloc baseline is the strongest claim the gate protects,
+		// and a pure ratio degenerates to "anything passes" at zero — so
+		// the limit is the ratio or a small absolute headroom over the
+		// baseline, whichever is larger, rather than skipping zero (and
+		// near-zero) baselines.
+		allocLimit := b.AllocsOp * *maxAllocRatio
+		if abs := b.AllocsOp + *allocSlack; abs > allocLimit {
+			allocLimit = abs
+		}
+		if c.AllocsOp > allocLimit {
+			fmt.Printf("FAIL %s: allocs/op %.0f vs baseline %.0f (limit %.0f)\n",
+				name, c.AllocsOp, b.AllocsOp, allocLimit)
 			failures++
 		}
-		if bo := b.Metrics["ops/s/core"]; bo > 0 {
-			if co := c.Metrics["ops/s/core"]; co < bo**minOpsRatio {
+		if bo, ok := b.Metrics["ops/s/core"]; ok && bo > 0 {
+			co, ok := c.Metrics["ops/s/core"]
+			switch {
+			case !ok:
+				// The metric vanishing would otherwise silently disable
+				// the throughput gate.
+				fmt.Printf("FAIL %s: ops/s/core missing (baseline %.0f)\n", name, bo)
+				failures++
+			case co < bo**minOpsRatio:
 				fmt.Printf("FAIL %s: ops/s/core %.0f vs baseline %.0f (limit ×%.2f)\n",
 					name, co, bo, *minOpsRatio)
 				failures++

@@ -44,8 +44,11 @@ type Future[T any] struct {
 func Go[T any](c *Ctx, f func(c *Ctx) (T, error)) *Future[T] {
 	// The Future outlives the task's vertices (it is read after the
 	// enclosing finish, typically after Run returns), so it holds the
-	// computation record — vertices are recycled storage by then.
-	fut := &Future[T]{comp: c.Vertex().Computation()}
+	// computation record — vertices are recycled storage by then. The
+	// accessor is live-checked: Go on a consumed or retained Ctx panics
+	// with the misuse diagnostic instead of attaching the Future to
+	// recycled storage.
+	fut := &Future[T]{comp: c.Computation()}
 	spawned := c.TryAsync(func(c *Ctx) {
 		defer func() {
 			if p := recover(); p != nil {

@@ -15,6 +15,9 @@ func TestAsyncSteadyStateAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation changes allocation behaviour")
 	}
+	if !poolCtx {
+		t.Skip("nestedchecks disables Ctx pooling by design")
+	}
 	rt := New(Config{Workers: 1, Seed: 42})
 	defer rt.Close()
 

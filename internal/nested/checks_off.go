@@ -1,0 +1,7 @@
+//go:build !nestedchecks
+
+package nested
+
+// poolCtx gates Ctx recycling; see checks_on.go for the debug mode
+// that turns it off.
+const poolCtx = true

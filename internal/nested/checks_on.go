@@ -1,0 +1,12 @@
+//go:build nestedchecks
+
+package nested
+
+// Building with `-tags nestedchecks` trades the zero-allocation hot
+// path for deterministic misuse detection: Ctx objects are not pooled,
+// so a Ctx retained past its task's end stays poisoned permanently
+// (its vertex pointer remains nil) and every later use panics with the
+// retained-Ctx diagnostic in live, rather than the Ctx being handed to
+// a new task where a stale use would silently touch the new owner's
+// counters. Use this tag when debugging a suspected escaped-Ctx bug.
+const poolCtx = false

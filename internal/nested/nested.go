@@ -43,7 +43,11 @@
 // — reusing a Ctx after a tail operation consumed it — panics
 // deterministically rather than corrupting counters. Retaining a Ctx
 // past its task's end is undefined: contexts and vertices are pooled
-// storage (see taskBody) and may already belong to another task.
+// storage (see taskBody) and may already belong to another task. A
+// released Ctx panics on use until the pool actually reuses it; to
+// make that panic unconditional — pooling off, released contexts
+// poisoned forever — build with `-tags nestedchecks` when hunting a
+// suspected escaped Ctx.
 package nested
 
 import (
@@ -291,7 +295,14 @@ func taskBody(self *spdag.Vertex) {
 			c.v.Recycle()
 		}
 	}
-	c.v, c.self = nil, nil
+	// Release: nil v poisons retained handles, and done is reset so
+	// they panic with the retention diagnostic, not the tail-operation
+	// one — past this point "the task ended with a tail op" is no
+	// longer the relevant misuse.
+	c.v, c.self, c.done = nil, nil, false
+	if !poolCtx {
+		return // never pooled: the poison is permanent
+	}
 	ctxPool.Put(c)
 }
 
@@ -301,39 +312,67 @@ func setTask(v *spdag.Vertex, f Task) {
 	v.SetPayload(f)
 }
 
-// runTask invokes f behind the task-boundary recover barrier.
+// runTask invokes f behind the task-boundary recover barrier. The
+// abort is anchored on self rather than the continuation: Abort only
+// needs any vertex of the computation (it routes through the stable
+// Computation record), self is valid for the whole taskBody call
+// (Execute recycles it only afterwards), while c.v may be nil after a
+// tail operation consumed the task — and the vertex it used to point
+// at may already be recycled into another computation.
 func runTask(f Task, c *Ctx) {
 	defer func() {
 		if p := recover(); p != nil {
-			c.v.Abort(spdag.AsPanicError(p))
+			c.self.Abort(spdag.AsPanicError(p))
 		}
 	}()
 	f(c)
 }
 
-// Vertex returns the current continuation vertex (diagnostics).
+// Vertex returns the current continuation vertex (diagnostics), or
+// nil once the task has ended.
 func (c *Ctx) Vertex() *spdag.Vertex { return c.v }
+
+// Computation returns the stable record of the task's computation —
+// unlike the Ctx and its vertices, the record is never recycled, so it
+// is the correct handle to retain past the task's end (futures do).
+// Like every other entry point it panics if the task already ended.
+func (c *Ctx) Computation() *spdag.Computation {
+	return c.live("Computation").Computation()
+}
 
 // Err returns the error the enclosing computation was cancelled with,
 // or nil while it is live. Long-running leaf loops should poll it to
 // stop early after a sibling failure or a context cancellation;
 // structural operations check it automatically.
-func (c *Ctx) Err() error { return c.v.Err() }
+func (c *Ctx) Err() error { return c.live("Err").Err() }
 
 // Fail cancels the enclosing computation with err (the first failure
 // wins), errgroup-style: the computation's Run returns err once the
 // dag quiesces. A nil err is ignored. Fail returns immediately; the
 // current task keeps running and should return promptly.
 func (c *Ctx) Fail(err error) {
+	v := c.live("Fail")
 	if err != nil {
-		c.v.Abort(err)
+		v.Abort(err)
 	}
 }
 
-func (c *Ctx) check(op string) {
-	if c.done {
-		panic("nested: " + op + " after the task ended (Finish/ForkJoin are tail operations)")
+// live returns the task's current vertex, panicking if the task has
+// ended: both a consuming tail operation and taskBody's release nil v,
+// and v is only reset when the pool hands the object to a new task, so
+// a stale handle fails here deterministically until reuse — and
+// forever under `-tags nestedchecks`, where released contexts are
+// never pooled. The done flag distinguishes the two misuses for the
+// diagnostic.
+func (c *Ctx) live(op string) *spdag.Vertex {
+	v := c.v
+	if v == nil {
+		if c.done {
+			panic("nested: " + op + " after the task ended (Finish/ForkJoin are tail operations)")
+		}
+		panic("nested: " + op + " on a Ctx retained past its task's end")
 	}
+	return v
 }
 
 // Async starts f as a new task joining at the innermost enclosing
@@ -347,8 +386,7 @@ func (c *Ctx) Async(f Task) { c.TryAsync(f) }
 // completion promises (package repro's futures) use the report to
 // resolve them.
 func (c *Ctx) TryAsync(f Task) bool {
-	c.check("Async")
-	prev := c.v
+	prev := c.live("Async")
 	if prev.Err() != nil {
 		return false
 	}
@@ -373,9 +411,13 @@ func (c *Ctx) TryAsync(f Task) bool {
 // cancelled computation neither body nor then runs; the task just
 // ends.
 func (c *Ctx) FinishThen(body, then Task) {
-	c.check("FinishThen")
-	prev := c.v
+	prev := c.live("FinishThen")
 	c.done = true
+	// The task is consumed: nil v so any later use of c — including
+	// Err/Fail, which skip the done check — panics in live instead of
+	// touching prev, which is recycled below and may already carry a
+	// vertex of an unrelated computation by the time c is misused.
+	c.v = nil
 	if prev.Err() != nil {
 		prev.Signal()
 		if prev != c.self {

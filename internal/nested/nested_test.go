@@ -1,6 +1,8 @@
 package nested
 
 import (
+	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -202,6 +204,131 @@ func TestCtxMisusePanics(t *testing.T) {
 	})
 	if !<-panicked {
 		t.Fatal("Async after Finish did not panic")
+	}
+}
+
+// TestCtxUseAfterTailOpPanics: every Ctx entry point — including
+// Err/Fail — panics deterministically once a tail operation consumed
+// the task, instead of touching the recycled continuation vertex
+// (which may already carry a vertex of an unrelated computation).
+func TestCtxUseAfterTailOpPanics(t *testing.T) {
+	r := newRuntime(t, 1, nil)
+	const nOps = 5
+	results := make(chan string, nOps)
+	err := r.Run(func(outer *Ctx) {
+		// Async first so the continuation is not the executing vertex:
+		// Finish then recycles it immediately, the dangerous case.
+		outer.Async(func(*Ctx) {})
+		outer.Finish(func(*Ctx) {})
+		for _, use := range []struct {
+			op string
+			f  func()
+		}{
+			{"Err", func() { _ = outer.Err() }},
+			{"Fail", func() { outer.Fail(ErrClosed) }},
+			{"Async", func() { outer.Async(func(*Ctx) {}) }},
+			{"Finish", func() { outer.Finish(func(*Ctx) {}) }},
+			{"Computation", func() { _ = outer.Computation() }},
+		} {
+			func() {
+				defer func() {
+					if p, ok := recover().(string); !ok || !strings.Contains(p, "after the task ended") {
+						results <- use.op + ": unexpected panic: " + p
+						return
+					}
+					results <- ""
+				}()
+				use.f()
+			}()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nOps; i++ {
+		if msg := <-results; msg != "" {
+			t.Fatal(msg)
+		}
+	}
+}
+
+// TestPanicAfterTailOpAbortsOwnRun: a panic escaping the user function
+// after a tail operation consumed the task must abort the panicking
+// computation (the recover is anchored on the executing vertex), never
+// a different Run sharing the Runtime's vertex pools.
+func TestPanicAfterTailOpAbortsOwnRun(t *testing.T) {
+	r := newRuntime(t, 1, nil)
+	err := r.Run(func(c *Ctx) {
+		c.Async(func(*Ctx) {})
+		c.Finish(func(*Ctx) {})
+		panic("late panic")
+	})
+	var pe *spdag.PanicError
+	if !errors.As(err, &pe) || pe.Value != "late panic" {
+		t.Fatalf("run error = %v, want PanicError(late panic)", err)
+	}
+	// The runtime stays healthy for subsequent runs.
+	ran := false
+	if err := r.Run(func(*Ctx) { ran = true }); err != nil || !ran {
+		t.Fatalf("follow-up run: err=%v ran=%v", err, ran)
+	}
+}
+
+// TestRetainedCtxPanics: structural operations on a Ctx retained past
+// its task's end panic with a diagnostic instead of dereferencing
+// state that may already belong to another task. In the default build
+// this holds until the pool reuses the object (no other task runs
+// here, and with one worker the release happens before Run returns);
+// `-tags nestedchecks` makes it unconditional by disabling pooling.
+func TestRetainedCtxPanics(t *testing.T) {
+	r := newRuntime(t, 1, nil)
+	var leaked *Ctx
+	if err := r.Run(func(c *Ctx) { leaked = c }); err != nil {
+		t.Fatal(err)
+	}
+	checkRetained(t, leaked)
+
+	// A task that ended through a tail operation must give the same
+	// retention diagnostic once released — done is reset at the release
+	// point, so the tail-op message cannot misdirect an escaped-Ctx
+	// hunt (the point of -tags nestedchecks).
+	if err := r.Run(func(c *Ctx) {
+		leaked = c
+		c.Finish(func(*Ctx) {})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	checkRetained(t, leaked)
+}
+
+func checkRetained(t *testing.T, leaked *Ctx) {
+	t.Helper()
+	// Every entry point — structural ops and the poll/abort pair users
+	// are told to call from long-running code — must fail with the
+	// retained-Ctx diagnostic, not a raw nil dereference and not the
+	// tail-operation message.
+	for _, use := range []struct {
+		op string
+		f  func()
+	}{
+		{"Async", func() { leaked.Async(func(*Ctx) {}) }},
+		{"Finish", func() { leaked.Finish(func(*Ctx) {}) }},
+		{"Err", func() { _ = leaked.Err() }},
+		{"Fail", func() { leaked.Fail(ErrClosed) }},
+		{"Computation", func() { _ = leaked.Computation() }},
+	} {
+		func() {
+			defer func() {
+				p := recover()
+				if p == nil {
+					t.Fatalf("%s on a retained Ctx did not panic", use.op)
+				}
+				if s, ok := p.(string); !ok || !strings.Contains(s, "retained past its task's end") {
+					t.Fatalf("%s: unexpected panic: %v", use.op, p)
+				}
+			}()
+			use.f()
+		}()
 	}
 }
 

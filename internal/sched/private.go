@@ -16,12 +16,18 @@ package sched
 //
 // Interaction with parking: a parked worker cannot answer steal
 // requests, so thieves skip parked victims, and a thief whose victim
-// parks mid-request withdraws it (or collects the answer if the victim
-// already sent one). A victim that hands a vertex to a thief wakes the
-// thief in case it parked while the answer was in flight, and every
-// worker drains its own transfer cell both on the normal find-work
-// path and in the pre-sleep recheck, so an in-flight vertex can never
-// be stranded in the cell of a sleeping worker.
+// parks mid-request withdraws the request. Withdrawal and answering
+// are serialized through the victim's request cell: the victim CASes
+// the request out (committing to answer) BEFORE storing into the
+// thief's transfer cell, and the thief CASes the same cell to
+// withdraw, so exactly one side wins. If the withdrawal wins, no
+// answer is or ever will be in flight; if the commit wins, the thief's
+// withdrawal fails and the thief keeps spinning in its wait loop until
+// the (imminent) answer lands. At most one answer is therefore ever in
+// flight to a thief's single transfer cell, it is always collected by
+// a thief that is awake, and a thief never leaves the wait loop with a
+// request still posted (shutdown aside) — the invariants the single
+// request/transfer cell pair depends on.
 
 import (
 	"sync/atomic"
@@ -62,12 +68,28 @@ func (w *worker) popPrivate() *spdag.Vertex {
 }
 
 // respond answers at most one pending steal request, handing over the
-// oldest queued vertex (FIFO end, as in concurrent work stealing), and
-// wakes the thief in case it parked after withdrawing the request.
+// oldest queued vertex (FIFO end, as in concurrent work stealing).
+//
+// The request cell is cleared BEFORE the answer is stored, and with a
+// CAS, not a blind store. The CAS serves two purposes. First, it can
+// only clear the request this victim actually loaded: a blind store
+// could erase a different thief's request posted after the loaded
+// thief withdrew, leaving that thief waiting for an answer the victim
+// will never send. Second, it is the commit point that serializes with
+// the thief-side withdrawal CAS in findWorkPrivate: once it succeeds
+// the thief's withdrawal must fail, pinning the thief in its wait loop
+// until the answer lands; if it fails the thief has withdrawn and no
+// answer may be sent — a late store into the thief's single transfer
+// cell could clobber a live answer from the thief's next victim,
+// losing that vertex forever. A committed-to thief is by construction
+// awake (its wait loop never parks), so no wake-up is needed.
 func (w *worker) respond() {
 	thief := w.pd.request.Load()
 	if thief == noThief {
 		return
+	}
+	if !w.pd.request.CompareAndSwap(thief, noThief) {
+		return // the thief withdrew: keep the vertex, answer nothing
 	}
 	v := noWork
 	if len(w.pd.queue) > 0 {
@@ -75,10 +97,7 @@ func (w *worker) respond() {
 		w.pd.queue[0] = nil
 		w.pd.queue = w.pd.queue[1:]
 	}
-	t := w.s.workers[thief]
-	t.pd.transfer.Store(v)
-	w.pd.request.Store(noThief)
-	w.s.wake(t)
+	w.s.workers[thief].pd.transfer.Store(v)
 }
 
 // runPrivate is the worker loop for the private-deques policy.
@@ -106,11 +125,14 @@ func (w *worker) runPrivate() {
 	w.respond()
 }
 
-// findWorkPrivate drains a steal answer that may have landed after a
-// withdrawn request, polls the injector, then posts a steal request to
+// findWorkPrivate polls the injector, then posts a steal request to
 // one random victim and waits for the answer (polling its own request
 // cell meanwhile so two idle workers cannot deadlock each other).
 func (w *worker) findWorkPrivate() *spdag.Vertex {
+	// The commit/withdraw protocol guarantees the transfer cell is empty
+	// here — every answer is collected inside the wait loop below — with
+	// one exception: a shutdown-interrupted wait. Drain defensively so a
+	// vertex can never sit unobserved in the cell.
 	if v := w.pd.transfer.Swap(nil); v != nil && v != noWork {
 		w.stats.steals.Add(1)
 		return v
@@ -144,12 +166,14 @@ func (w *worker) findWorkPrivate() *spdag.Vertex {
 			return nil
 		}
 		if victim.parked.Load() {
-			// The victim went to sleep. Withdraw the request so it does
-			// not block other thieves when the victim wakes; if the
-			// withdrawal CAS fails, the victim is answering (or has
-			// answered) and the next swap above will collect it. A
-			// late-stored answer after a successful withdrawal is picked
-			// up by the next findWorkPrivate (or the pre-sleep recheck).
+			// The victim went to sleep without committing to an answer.
+			// Withdraw the request so it does not block other thieves when
+			// the victim wakes. The CAS races with the victim's commit CAS
+			// in respond, and exactly one wins: success here means the
+			// victim never committed, so no answer is or ever will be in
+			// flight and leaving is safe; failure means the victim
+			// committed and the answer is imminent — keep looping, the
+			// swap above will collect it.
 			if victim.pd.request.CompareAndSwap(int32(w.id), noThief) {
 				return nil
 			}

@@ -1,8 +1,10 @@
 package sched
 
 import (
+	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/counter"
 	"repro/internal/spdag"
@@ -86,6 +88,52 @@ func TestPrivateDequesManySequentialRuns(t *testing.T) {
 		if leaves.Load() != 128 {
 			t.Fatalf("run %d: %d leaves", i, leaves.Load())
 		}
+	}
+}
+
+// TestPrivateDequesStealParkStress drives the request/commit/withdraw
+// protocol through its racy interleavings: tiny computations separated
+// by idle gaps keep workers parking and unparking while steal requests
+// are in flight, exercising victims that park mid-request, thieves
+// that withdraw and immediately re-request elsewhere, and answers
+// racing with freshly posted requests. The two historical failure
+// modes — a victim's blind request reset erasing another thief's
+// request (thief busy-spins forever) and a stale answer clobbering a
+// live one in the thief's transfer cell (vertex lost, finish counter
+// never discharges) — both present as a hang, so the test runs under a
+// watchdog.
+func TestPrivateDequesStealParkStress(t *testing.T) {
+	requireParallelism(t)
+	rounds := 400
+	if testing.Short() {
+		rounds = 50
+	}
+	s := New(4, WithSeed(23), WithPolicy(PrivateDeques))
+	s.Start()
+	defer s.Shutdown()
+	d := spdag.New(counter.Dynamic{Threshold: 2}, spdag.WithScheduler(s.Submit))
+	errc := make(chan error, 1)
+	go func() {
+		for i := 0; i < rounds; i++ {
+			var leaves atomic.Int64
+			s.Run(d, func(u *spdag.Vertex) { spawnTree(u, 5, &leaves) })
+			if n := leaves.Load(); n != 32 {
+				errc <- fmt.Errorf("round %d: %d leaves, want 32", i, n)
+				return
+			}
+			if i%3 == 0 {
+				time.Sleep(200 * time.Microsecond) // let workers park mid-protocol
+			}
+		}
+		errc <- nil
+	}()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("hang: a steal request was erased or a steal answer lost")
 	}
 }
 

@@ -215,15 +215,6 @@ func (s *Scheduler) wakeAll() {
 	}
 }
 
-// wake claims and signals a specific worker (private-deques steal
-// responses target the requesting thief directly).
-func (s *Scheduler) wake(w *worker) {
-	if w.parked.Load() && w.parked.CompareAndSwap(true, false) {
-		s.nparked.Add(-1)
-		w.sema <- struct{}{}
-	}
-}
-
 // Run executes a complete computation: it builds root/final with the
 // dag's Make, installs the provided body on the root, submits it, and
 // blocks until the final vertex has executed. The scheduler must be
@@ -386,8 +377,11 @@ func (w *worker) parkRecheck() bool {
 		return true
 	}
 	if s.policy == PrivateDeques {
-		// A steal response may have landed in our transfer cell after we
-		// withdrew a request (see findWorkPrivate).
+		// The commit/withdraw protocol (private.go) means no answer can
+		// be in flight once findWorkPrivate has returned nil, so this
+		// check is defensive: it keeps "a vertex is never stranded in a
+		// sleeping worker's cell" locally true even if the protocol's
+		// invariant is ever weakened.
 		return w.pd.transfer.Load() != nil
 	}
 	for _, victim := range s.workers {
