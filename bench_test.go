@@ -13,6 +13,7 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -43,9 +44,10 @@ func reportFanin(b *testing.B, res workload.Result) {
 }
 
 // BenchmarkFig08Fanin — Figure 8: fanin across counter algorithms and
-// core counts.
+// core counts, plus the contention-adaptive composite (within noise of
+// fetchadd while uncontended, promoting toward dyn under contention).
 func BenchmarkFig08Fanin(b *testing.B) {
-	algos := []string{"fetchadd", "snzi-1", "snzi-4", "snzi-8", "dyn"}
+	algos := []string{"fetchadd", "snzi-1", "snzi-4", "snzi-8", "dyn", "adaptive"}
 	for _, algo := range algos {
 		for _, p := range procsAxis() {
 			b.Run(fmt.Sprintf("%s/p=%d", algo, p), func(b *testing.B) {
@@ -66,12 +68,45 @@ func BenchmarkFig08Fanin(b *testing.B) {
 	}
 }
 
+// BenchmarkPhaseShift — the adaptive counter's motivating workload: a
+// low-contention prologue into a fan-in storm on one finish counter,
+// which neither static algorithm wins at both ends.
+func BenchmarkPhaseShift(b *testing.B) {
+	for _, algo := range []string{"fetchadd", "dyn", "adaptive"} {
+		for _, p := range procsAxis() {
+			b.Run(fmt.Sprintf("%s/p=%d", algo, p), func(b *testing.B) {
+				alg, err := counter.Parse(algo, nested.DefaultThreshold(p))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rt := newRT(b, p, alg)
+				var res workload.Result
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res = workload.PhaseShift(rt, benchN)
+				}
+				b.StopTimer()
+				reportFanin(b, res)
+				if pr, ok := alg.(counter.PromotionReporter); ok {
+					// Per iteration, not the raw total: the stats sink
+					// accumulates across all b.N runs, and a cumulative
+					// value would make the committed baseline depend on
+					// -benchtime.
+					b.ReportMetric(float64(pr.Promotions())/float64(b.N), "promotions")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFig09SizeInvariance — Figure 9: in-counter throughput per
-// core across input sizes.
+// core across input sizes. The algorithm is pinned to the paper's
+// in-counter (the figure is about dyn's size invariance, so it must
+// not silently follow the runtime's adaptive default).
 func BenchmarkFig09SizeInvariance(b *testing.B) {
 	for _, n := range []uint64{benchN / 4, benchN, benchN * 4} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			rt := newRT(b, 0, nil)
+			rt := newRT(b, 0, counter.Dynamic{Threshold: nested.DefaultThreshold(runtime.GOMAXPROCS(0))})
 			var res workload.Result
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -12,7 +12,11 @@
 // The JSON file carries, per benchmark: ns/op, allocs/op, B/op, and
 // every custom metric the harness reports (ops/s/core,
 // incounter-nodes). With -baseline, benchgate exits non-zero if any
-// benchmark present in both files regresses beyond the thresholds.
+// benchmark present in both files regresses beyond the thresholds, or
+// if a baseline benchmark is missing from the run entirely — a renamed
+// or dropped cell must fail its gate, not silently stop being gated
+// (-allow-missing restores the old lenient behavior for partial local
+// runs).
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -90,6 +95,7 @@ func main() {
 	maxAllocRatio := flag.Float64("max-alloc-ratio", 1.10, "fail if allocs/op exceeds baseline by this factor")
 	allocSlack := flag.Float64("alloc-slack", 1, "absolute allocs/op allowed above baseline (keeps zero-alloc baselines gated; warmup noise amortizes to <1 over b.N)")
 	minOpsRatio := flag.Float64("min-ops-ratio", 0.60, "fail if ops/s/core falls below baseline by this factor (loose: shared runners are noisy)")
+	allowMissing := flag.Bool("allow-missing", false, "tolerate baseline benchmarks absent from the run (default: a missing cell fails its gate)")
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -in is required")
@@ -125,13 +131,53 @@ func main() {
 	if *baseline == "" {
 		return
 	}
-	base, _, err := parse(*baseline)
+	base, baseOrder, err := parse(*baseline)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: baseline: %v\n", err)
 		os.Exit(2)
 	}
-	failures := 0
-	compared := 0
+	failures, compared := gate(os.Stdout, cur, order, base, baseOrder, limits{
+		maxAllocRatio: *maxAllocRatio,
+		allocSlack:    *allocSlack,
+		minOpsRatio:   *minOpsRatio,
+		allowMissing:  *allowMissing,
+	})
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no overlapping benchmarks between input and baseline")
+		os.Exit(2)
+	}
+	if failures > 0 {
+		fmt.Printf("benchgate: %d regression(s) against %s\n", failures, *baseline)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmark(s) within thresholds of %s\n", compared, *baseline)
+}
+
+// limits are the gating thresholds (see the flag definitions).
+type limits struct {
+	maxAllocRatio float64
+	allocSlack    float64
+	minOpsRatio   float64
+	allowMissing  bool
+}
+
+// gate compares a run against the baseline and returns the failure
+// count and how many benchmarks overlapped. Every baseline cell is a
+// commitment: unless lim.allowMissing, a baseline benchmark absent
+// from the run fails, so renaming or dropping a benchmark cannot
+// silently retire its gate.
+func gate(w io.Writer, cur map[string]Result, order []string, base map[string]Result, baseOrder []string, lim limits) (failures, compared int) {
+	for _, name := range baseOrder {
+		if _, ok := cur[name]; ok {
+			continue
+		}
+		if lim.allowMissing {
+			fmt.Fprintf(w, "WARN %s: in baseline but not in this run (-allow-missing)\n", name)
+			continue
+		}
+		fmt.Fprintf(w, "FAIL %s: in baseline but missing from this run (renamed or dropped cell? regenerate the baseline in the same change)\n", name)
+		failures++
+	}
 	for _, name := range order {
 		c := cur[name]
 		b, ok := base[name]
@@ -144,12 +190,12 @@ func main() {
 		// the limit is the ratio or a small absolute headroom over the
 		// baseline, whichever is larger, rather than skipping zero (and
 		// near-zero) baselines.
-		allocLimit := b.AllocsOp * *maxAllocRatio
-		if abs := b.AllocsOp + *allocSlack; abs > allocLimit {
+		allocLimit := b.AllocsOp * lim.maxAllocRatio
+		if abs := b.AllocsOp + lim.allocSlack; abs > allocLimit {
 			allocLimit = abs
 		}
 		if c.AllocsOp > allocLimit {
-			fmt.Printf("FAIL %s: allocs/op %.0f vs baseline %.0f (limit %.0f)\n",
+			fmt.Fprintf(w, "FAIL %s: allocs/op %.0f vs baseline %.0f (limit %.0f)\n",
 				name, c.AllocsOp, b.AllocsOp, allocLimit)
 			failures++
 		}
@@ -159,22 +205,14 @@ func main() {
 			case !ok:
 				// The metric vanishing would otherwise silently disable
 				// the throughput gate.
-				fmt.Printf("FAIL %s: ops/s/core missing (baseline %.0f)\n", name, bo)
+				fmt.Fprintf(w, "FAIL %s: ops/s/core missing (baseline %.0f)\n", name, bo)
 				failures++
-			case co < bo**minOpsRatio:
-				fmt.Printf("FAIL %s: ops/s/core %.0f vs baseline %.0f (limit ×%.2f)\n",
-					name, co, bo, *minOpsRatio)
+			case co < bo*lim.minOpsRatio:
+				fmt.Fprintf(w, "FAIL %s: ops/s/core %.0f vs baseline %.0f (limit ×%.2f)\n",
+					name, co, bo, lim.minOpsRatio)
 				failures++
 			}
 		}
 	}
-	if compared == 0 {
-		fmt.Fprintln(os.Stderr, "benchgate: no overlapping benchmarks between input and baseline")
-		os.Exit(2)
-	}
-	if failures > 0 {
-		fmt.Printf("benchgate: %d regression(s) against %s\n", failures, *baseline)
-		os.Exit(1)
-	}
-	fmt.Printf("benchgate: %d benchmark(s) within thresholds of %s\n", compared, *baseline)
+	return failures, compared
 }

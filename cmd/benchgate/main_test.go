@@ -1,0 +1,131 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+BenchmarkFig08Fanin/fetchadd/p=1  20  7206504 ns/op  7601466 ops/s/core  787053 B/op  32775 allocs/op
+BenchmarkFig08Fanin/dyn/p=1       20 11947133 ns/op  4353865 ops/s/core 1018252 B/op  33987 allocs/op
+BenchmarkZeroAlloc                10      100 ns/op        0 B/op            0 allocs/op
+PASS
+`
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseBenchLines(t *testing.T) {
+	res, order, err := parse(writeTemp(t, sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(order), order)
+	}
+	fa := res["BenchmarkFig08Fanin/fetchadd/p=1"]
+	if fa.Iterations != 20 || fa.NsPerOp != 7206504 || fa.AllocsOp != 32775 ||
+		fa.Metrics["ops/s/core"] != 7601466 {
+		t.Fatalf("fetchadd row parsed wrong: %+v", fa)
+	}
+	if z := res["BenchmarkZeroAlloc"]; z.AllocsOp != 0 || z.BytesOp != 0 {
+		t.Fatalf("zero row parsed wrong: %+v", z)
+	}
+}
+
+func defaultLimits() limits {
+	return limits{maxAllocRatio: 1.10, allocSlack: 1, minOpsRatio: 0.60}
+}
+
+func runGate(t *testing.T, current, baseline string, lim limits) (failures, compared int, out string) {
+	t.Helper()
+	cur, order, err := parse(writeTemp(t, current))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, baseOrder, err := parse(writeTemp(t, baseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	f, c := gate(&sb, cur, order, base, baseOrder, lim)
+	return f, c, sb.String()
+}
+
+func TestGateIdenticalRunsPass(t *testing.T) {
+	failures, compared, out := runGate(t, sampleBench, sampleBench, defaultLimits())
+	if failures != 0 || compared != 3 {
+		t.Fatalf("failures=%d compared=%d\n%s", failures, compared, out)
+	}
+}
+
+func TestGateAllocRegressionFails(t *testing.T) {
+	regressed := strings.Replace(sampleBench, "32775 allocs/op", "99999 allocs/op", 1)
+	failures, _, out := runGate(t, regressed, sampleBench, defaultLimits())
+	if failures != 1 || !strings.Contains(out, "allocs/op") {
+		t.Fatalf("failures=%d\n%s", failures, out)
+	}
+}
+
+func TestGateZeroAllocBaselineStillGated(t *testing.T) {
+	// 0 → 2 allocs/op must fail even though any ratio of zero is zero.
+	regressed := strings.Replace(sampleBench, "0 allocs/op", "2 allocs/op", 1)
+	failures, _, out := runGate(t, regressed, sampleBench, defaultLimits())
+	if failures != 1 {
+		t.Fatalf("failures=%d, want 1 (zero-alloc baseline unguarded)\n%s", failures, out)
+	}
+}
+
+func TestGateThroughputCollapseFails(t *testing.T) {
+	slow := strings.Replace(sampleBench, "7601466 ops/s/core", "1000 ops/s/core", 1)
+	failures, _, out := runGate(t, slow, sampleBench, defaultLimits())
+	if failures != 1 || !strings.Contains(out, "ops/s/core") {
+		t.Fatalf("failures=%d\n%s", failures, out)
+	}
+}
+
+// TestGateMissingCellFails: a baseline cell absent from the run (a
+// renamed or deleted benchmark) is a gate failure by default — the
+// gate must not silently narrow.
+func TestGateMissingCellFails(t *testing.T) {
+	var kept []string
+	for _, line := range strings.Split(sampleBench, "\n") {
+		if !strings.HasPrefix(line, "BenchmarkFig08Fanin/dyn") {
+			kept = append(kept, line)
+		}
+	}
+	current := strings.Join(kept, "\n")
+	failures, compared, out := runGate(t, current, sampleBench, defaultLimits())
+	if failures != 1 || !strings.Contains(out, "missing from this run") {
+		t.Fatalf("failures=%d\n%s", failures, out)
+	}
+	if compared != 2 {
+		t.Fatalf("compared=%d, want 2", compared)
+	}
+
+	lim := defaultLimits()
+	lim.allowMissing = true
+	failures, _, out = runGate(t, current, sampleBench, lim)
+	if failures != 0 || !strings.Contains(out, "WARN") {
+		t.Fatalf("-allow-missing: failures=%d\n%s", failures, out)
+	}
+}
+
+// TestGateExtraCellIsNotCompared: new benchmarks without a baseline
+// row pass through (they gain a gate when the baseline is next
+// regenerated).
+func TestGateExtraCellIsNotCompared(t *testing.T) {
+	current := sampleBench + "BenchmarkBrandNew  5  10 ns/op  1 allocs/op\n"
+	failures, compared, out := runGate(t, current, sampleBench, defaultLimits())
+	if failures != 0 || compared != 3 {
+		t.Fatalf("failures=%d compared=%d\n%s", failures, compared, out)
+	}
+}

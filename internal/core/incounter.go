@@ -187,6 +187,29 @@ func (c *InCounter) RootState() State {
 	return State{counter: c, inc: r, dec: NewDecPair(r, r)}
 }
 
+// Attach registers one new dependency on the counter out of band —
+// arriving at the root — and returns a fresh State holding it, with
+// both handles at the root. It is the migration entry point for
+// two-phase counters (the adaptive algorithm in package counter):
+// obligations that were tracked elsewhere enter the in-counter here,
+// one Attach per obligation, without having been created by an
+// Increment of an existing State.
+//
+// Attach deliberately relaxes the Lemma 4.3 handle-uniqueness
+// discipline (several attached states may share the root as their
+// increment handle). Counting stays exact — the SNZI surplus does not
+// care where arrives come from — and each attached state's descendants
+// re-enter the normal Definition 1 regime; only the amortized
+// contention bound of the attached operations themselves is weakened,
+// which is why callers should Attach a bounded number of times per
+// counter (the adaptive counter attaches at most twice per legacy
+// cell obligation).
+func (c *InCounter) Attach() State {
+	r := c.tree.Root()
+	r.Arrive()
+	return State{counter: c, inc: r, dec: NewDecPair(r, r)}
+}
+
 // State is one dag vertex's view into the in-counter of its finish
 // vertex: where its Increment would start (inc) and which decrement
 // pair it shares with its sibling (dec).

@@ -36,6 +36,68 @@ func TestMakeZero(t *testing.T) {
 	}
 }
 
+// TestAttach: each Attach registers one discharge obligation out of
+// band, the attached states interoperate with the ordinary Definition
+// 1 states, and the counter stays non-zero until every obligation —
+// initial, attached, and spawned — has been discharged.
+func TestAttach(t *testing.T) {
+	c := New(1)
+	root := c.RootState()
+	a := c.Attach()
+	b := c.Attach()
+	if !a.Valid() || !b.Valid() {
+		t.Fatal("attached state invalid")
+	}
+	// Attached states split like any other.
+	l, r := a.Increment(true)
+	for i, s := range []State{root, b, l} {
+		if s.Decrement() {
+			t.Fatalf("decrement %d of 4 reported zero", i)
+		}
+		if c.IsZero() {
+			t.Fatalf("counter zero with %d obligations outstanding", 3-i)
+		}
+	}
+	if !r.Decrement() {
+		t.Fatal("final decrement did not report zero")
+	}
+	if !c.IsZero() {
+		t.Fatal("counter not zero after full drain")
+	}
+}
+
+// TestAttachConcurrent: concurrent attachers and workers never let the
+// counter report zero early; -race covers the root arrive path.
+func TestAttachConcurrent(t *testing.T) {
+	c := New(1)
+	var wg sync.WaitGroup
+	const attachers = 8
+	states := make([]State, attachers)
+	for i := 0; i < attachers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			states[i] = c.Attach()
+		}(i)
+	}
+	wg.Wait()
+	if c.IsZero() {
+		t.Fatal("zero with attached obligations outstanding")
+	}
+	zeros := 0
+	for _, s := range states {
+		if s.Decrement() {
+			zeros++
+		}
+	}
+	if zeros != 0 {
+		t.Fatalf("%d zero reports before the initial obligation discharged", zeros)
+	}
+	if !c.RootState().Decrement() {
+		t.Fatal("final decrement did not report zero")
+	}
+}
+
 func TestSpawnSignalPair(t *testing.T) {
 	c := New(1)
 	root := c.RootState()

@@ -1,0 +1,311 @@
+package counter
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/rng"
+)
+
+// DefaultContention is the promotion threshold used when Adaptive's
+// Contention field is zero: the number of CAS failures observed on the
+// flat cell before the counter migrates to the dynamic in-counter. CAS
+// failures only happen when another operation wrote the cell between
+// an op's load and its CAS — the cheapest proxy for cache-line
+// contention the cell can observe about itself — so the threshold is
+// a direct "observed collisions" budget, not a rate. It is deliberately
+// small: a genuinely contended finish block crosses it in microseconds,
+// while a sequential or well-spaced workload never fails a CAS at all.
+const DefaultContention = 32
+
+// Adaptive is the contention-adaptive dependency counter: it starts
+// life as a single fetch-and-add cell — the optimal algorithm while
+// uncontended (PPoPP'17 Figure 8, p=1) — and promotes itself to the
+// paper's dynamic in-counter when the cell observes sustained
+// contention, so one algorithm serves both ends of the evaluation's
+// crossover without the user picking per workload.
+//
+// Promotion is a live migration. The in-counter is installed seeded
+// with one extra dependency (the anchor); operations that start after
+// the installation route to the in-counter, while obligations already
+// tracked by the cell keep draining it; the unique operation that
+// drains the cell to zero discharges the anchor. The anchor keeps the
+// in-counter non-zero for as long as the cell is, so the composite
+// counter can never report zero while either side still has
+// undischarged dependencies (see DESIGN.md §6 for the invariant
+// argument). Demotion is not implemented: a counter that was contended
+// once stays promoted for its (single finish block) lifetime.
+type Adaptive struct {
+	// Contention is the promotion threshold: cumulative CAS failures on
+	// the cell before migrating. 0 means DefaultContention.
+	Contention uint64
+	// Threshold is the grow-probability denominator of the in-counter
+	// the cell promotes into, exactly as in Dynamic.Threshold.
+	Threshold uint64
+	// Stats, when non-nil, receives promotion accounting shared by every
+	// counter this algorithm instance creates. Parse and NewAdaptive
+	// always wire one; a zero-value literal simply goes uncounted.
+	Stats *AdaptiveStats
+}
+
+// AdaptiveStats aggregates lifecycle events across all counters of one
+// Adaptive algorithm instance (a runtime's worth of finish blocks).
+type AdaptiveStats struct {
+	// Promotions counts counters that migrated to the in-counter.
+	Promotions atomic.Uint64
+	// Counters counts counters created.
+	Counters atomic.Uint64
+}
+
+// PromotionReporter is implemented by algorithms that migrate between
+// representations at runtime; the public API surfaces the count in
+// repro.Stats.
+type PromotionReporter interface {
+	// Promotions returns how many counters have promoted so far.
+	Promotions() uint64
+}
+
+// NewAdaptive returns an Adaptive algorithm with a fresh stats sink.
+// contention 0 means DefaultContention; grow is the in-counter grow
+// denominator (0 or 1 grows on every increment).
+func NewAdaptive(contention, grow uint64) Adaptive {
+	return Adaptive{Contention: contention, Threshold: grow, Stats: new(AdaptiveStats)}
+}
+
+// Name implements Algorithm.
+func (a Adaptive) Name() string { return "adaptive" }
+
+// String includes the tuning for logs.
+func (a Adaptive) String() string {
+	return fmt.Sprintf("adaptive(contention=%d,threshold=%d)", a.contention(), a.Threshold)
+}
+
+// Promotions implements PromotionReporter.
+func (a Adaptive) Promotions() uint64 {
+	if a.Stats == nil {
+		return 0
+	}
+	return a.Stats.Promotions.Load()
+}
+
+func (a Adaptive) contention() uint64 {
+	if a.Contention == 0 {
+		return DefaultContention
+	}
+	return a.Contention
+}
+
+// New implements Algorithm.
+func (a Adaptive) New(initial int) Counter {
+	if a.Stats != nil {
+		a.Stats.Counters.Add(1)
+	}
+	c := &adaptiveCounter{contention: a.contention(), grow: a.Threshold, stats: a.Stats}
+	c.cell.Store(int64(initial))
+	c.fa.c = c
+	return c
+}
+
+// adaptiveCounter is one finish block's two-phase counter. The hot
+// word (cell) sits on its own cache line; misses and the promotion
+// pointer are colder and share the next. The struct is padded to
+// exactly 128 bytes (two lines, asserted by TestAdaptiveCounterLayout)
+// so Go's size-class allocator hands out 64-aligned blocks and
+// neighboring counters can never share cell's line — a 112-byte
+// layout would be allocated at 112-byte strides, putting half of all
+// counters' hot words mid-line.
+type adaptiveCounter struct {
+	cell atomic.Int64
+	_    [56]byte // keep the contended word alone on its line
+
+	misses     atomic.Uint64             // cumulative cell CAS failures
+	dyn        atomic.Pointer[promotion] // nil until promoted
+	contention uint64
+	grow       uint64
+	stats      *AdaptiveStats
+	fa         adFAState // the shared cell-phase state (see RootState)
+	_          [16]byte  // round the cold line up to a full 64 bytes
+}
+
+// promotion is the installed second phase: the in-counter plus the
+// anchor capability that keeps it non-zero until the cell drains.
+type promotion struct {
+	dc *dynCounter
+	// anchor is the in-counter's initial dependency, held by the
+	// adaptive counter itself and discharged exactly once, by the
+	// operation that drains the cell to zero.
+	anchor *dynState
+}
+
+// IsZero implements Counter: the composite is zero only when the cell
+// has drained and, if promoted, the in-counter has too. While the cell
+// is non-zero the anchor keeps the in-counter non-zero as well, so the
+// two reads cannot race into a spurious zero.
+func (c *adaptiveCounter) IsZero() bool {
+	if c.cell.Load() != 0 {
+		return false
+	}
+	p := c.dyn.Load()
+	return p == nil || p.dc.IsZero()
+}
+
+// NodeCount implements Counter: the cell plus, after promotion, the
+// in-counter's SNZI nodes.
+func (c *adaptiveCounter) NodeCount() int64 {
+	if p := c.dyn.Load(); p != nil {
+		return 1 + p.dc.NodeCount()
+	}
+	return 1
+}
+
+// RootState implements Counter. A counter is born in cell phase, so
+// the root capability is the shared cell state.
+func (c *adaptiveCounter) RootState() State { return &c.fa }
+
+// Promoted reports whether the counter has migrated (diagnostics and
+// tests).
+func (c *adaptiveCounter) Promoted() bool { return c.dyn.Load() != nil }
+
+// Misses returns the cumulative CAS-failure count (diagnostics).
+func (c *adaptiveCounter) Misses() uint64 { return c.misses.Load() }
+
+// Unwrap exposes the promoted in-counter, or nil before promotion
+// (invariant tests).
+func (c *adaptiveCounter) Unwrap() *dynCounter {
+	if p := c.dyn.Load(); p != nil {
+		return p.dc
+	}
+	return nil
+}
+
+// noteMiss records one cell CAS failure and promotes once the
+// cumulative count crosses the threshold. The miss counter is itself a
+// shared word, but it is touched only on failures, and promotion caps
+// the total at threshold + O(concurrency) for the counter's lifetime.
+func (c *adaptiveCounter) noteMiss() {
+	if c.misses.Add(1) >= c.contention {
+		c.promote()
+	}
+}
+
+// promote installs the in-counter phase: a dynamic in-counter born
+// with one dependency — the anchor — whose State the adaptive counter
+// keeps for itself. Exactly one installer wins the CAS; losers release
+// their never-published anchor state and let their counter be
+// collected. promote is safe to call at any time from any goroutine
+// (tests force promotion mid-flight): if the cell has already drained,
+// the installed phase is simply dead weight — no operation can route
+// to it, because a drained cell has no live states left to operate.
+func (c *adaptiveCounter) promote() {
+	if c.dyn.Load() != nil {
+		return
+	}
+	dc := Dynamic{Threshold: c.grow}.New(1).(*dynCounter)
+	p := &promotion{dc: dc, anchor: dc.RootState().(*dynState)}
+	if c.dyn.CompareAndSwap(nil, p) {
+		if c.stats != nil {
+			c.stats.Promotions.Add(1)
+		}
+	} else {
+		p.anchor.Release()
+	}
+}
+
+// cellDec discharges one cell obligation on the plain fetch-and-add
+// path (used once the caller has observed the promotion, so CAS-miss
+// sampling no longer matters). The unique call that drains the cell
+// discharges the anchor; its return value is the composite's.
+func (c *adaptiveCounter) cellDec() bool {
+	n := c.cell.Add(-1)
+	if n > 0 {
+		return false
+	}
+	if n < 0 {
+		panic("counter: adaptive cell went negative (unbalanced decrement)")
+	}
+	// The caller saw the promotion before this decrement, so the
+	// pointer is still there.
+	return c.dischargeAnchor(c.dyn.Load())
+}
+
+func (c *adaptiveCounter) dischargeAnchor(p *promotion) bool {
+	zero := p.anchor.Decrement()
+	p.anchor.Release()
+	p.anchor = nil
+	return zero
+}
+
+// routeIncrement performs a post-promotion Increment for a state whose
+// obligation still lives in the cell: the two child obligations enter
+// the in-counter (Attach + a normal Increment, net +2), and only then
+// is the caller's cell obligation discharged — so the composite never
+// dips, and the anchor (not yet discharged, because the cell was
+// non-zero throughout) keeps the in-counter's zero unreachable.
+func (c *adaptiveCounter) routeIncrement(p *promotion, g *rng.Xoshiro256ss) (State, State) {
+	a := p.dc.attach()
+	l, r := a.Increment(g)
+	a.Release()
+	if c.cellDec() {
+		// l and r hold two live in-counter dependencies, so even the
+		// anchor discharge cannot have zeroed it.
+		panic("counter: adaptive counter drained during an increment")
+	}
+	return l, r
+}
+
+// adFAState is the cell-phase capability, shared by every cell-phase
+// vertex exactly like the fetch-and-add baseline's state (and like it,
+// deliberately not a Releaser). Operations re-check the promotion
+// pointer on every attempt, so a state created before the migration
+// participates in it the first time it acts afterwards.
+type adFAState struct{ c *adaptiveCounter }
+
+// Increment implements State. The cell phase uses an optimistic
+// load+CAS instead of an unconditional fetch-and-add: uncontended it
+// costs the same one atomic RMW, and a failure is precisely the
+// contention signal the promotion heuristic feeds on.
+func (s *adFAState) Increment(g *rng.Xoshiro256ss) (State, State) {
+	c := s.c
+	for {
+		if p := c.dyn.Load(); p != nil {
+			return c.routeIncrement(p, g)
+		}
+		v := c.cell.Load()
+		if c.cell.CompareAndSwap(v, v+1) {
+			return s, s
+		}
+		c.noteMiss()
+	}
+}
+
+// Decrement implements State.
+func (s *adFAState) Decrement() bool {
+	c := s.c
+	for {
+		if c.dyn.Load() != nil {
+			return c.cellDec()
+		}
+		v := c.cell.Load()
+		if v <= 0 {
+			panic("counter: adaptive cell went negative (unbalanced decrement)")
+		}
+		if c.cell.CompareAndSwap(v, v-1) {
+			if v != 1 {
+				return false
+			}
+			// The cell just drained. A promotion may have been installed
+			// between the nil check above and the winning CAS; because
+			// Go's atomics are sequentially consistent and every
+			// dependency that entered the in-counter did so before its
+			// cell obligation was discharged (routeIncrement's order),
+			// re-reading the pointer after the draining CAS is
+			// guaranteed to observe any promotion that real
+			// dependencies could have reached.
+			if p := c.dyn.Load(); p != nil {
+				return c.dischargeAnchor(p)
+			}
+			return true
+		}
+		c.noteMiss()
+	}
+}

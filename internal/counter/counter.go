@@ -47,7 +47,10 @@ type State interface {
 // the Definition 1 discipline, no other party can ever touch the
 // State again. Implementations whose states are shared between
 // vertices (e.g. the fetch-and-add baseline, which hands one state to
-// every vertex) must simply not implement the interface.
+// every vertex) must simply not implement the interface. The check is
+// per State object, not per algorithm: a two-phase counter (Adaptive)
+// legitimately mixes shared non-releasable cell states with pooled
+// releasable in-counter states under one Counter.
 type Releaser interface {
 	// Release returns the state's storage to its implementation's
 	// pool. The state must not be used afterwards.
@@ -76,14 +79,25 @@ type Algorithm interface {
 }
 
 // Parse maps an artifact-style algorithm name to an Algorithm:
-// "fetchadd", "dyn" (with the given grow threshold), or "snzi-D" for a
-// fixed-depth tree of depth D.
+// "fetchadd", "dyn" (with the given grow threshold), "snzi-D" for a
+// fixed-depth tree of depth D, or "adaptive[:K]" for the
+// contention-adaptive counter promoting after K cell CAS failures
+// (default DefaultContention); threshold is the grow denominator of
+// the in-counter it promotes into.
 func Parse(name string, threshold uint64) (Algorithm, error) {
 	switch {
 	case name == "fetchadd":
 		return FetchAdd{}, nil
 	case name == "dyn":
 		return Dynamic{Threshold: threshold}, nil
+	case name == "adaptive":
+		return NewAdaptive(0, threshold), nil
+	case strings.HasPrefix(name, "adaptive:"):
+		k, err := strconv.ParseUint(strings.TrimPrefix(name, "adaptive:"), 10, 64)
+		if err != nil || k == 0 {
+			return nil, fmt.Errorf("counter: bad adaptive contention threshold in %q (want adaptive:K, K ≥ 1)", name)
+		}
+		return NewAdaptive(k, threshold), nil
 	case strings.HasPrefix(name, "snzi-"):
 		d, err := strconv.Atoi(strings.TrimPrefix(name, "snzi-"))
 		if err != nil || d < 0 {
@@ -91,6 +105,6 @@ func Parse(name string, threshold uint64) (Algorithm, error) {
 		}
 		return FixedSNZI{Depth: d}, nil
 	default:
-		return nil, fmt.Errorf("counter: unknown algorithm %q (want fetchadd, dyn, or snzi-D)", name)
+		return nil, fmt.Errorf("counter: unknown algorithm %q (want fetchadd, dyn, adaptive[:K], or snzi-D)", name)
 	}
 }

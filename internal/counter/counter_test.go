@@ -15,6 +15,8 @@ func allAlgorithms() []Algorithm {
 		FixedSNZI{Depth: 0},
 		FixedSNZI{Depth: 2},
 		FixedSNZI{Depth: 5},
+		NewAdaptive(0, 1),  // promotes only if the schedule contends
+		NewAdaptive(1, 50), // promotes on the first observed collision
 	}
 }
 
@@ -28,8 +30,11 @@ func TestParse(t *testing.T) {
 		{"dyn", "dyn", true},
 		{"snzi-3", "snzi-3", true},
 		{"snzi-0", "snzi-0", true},
+		{"adaptive", "adaptive", true},
+		{"adaptive:50", "adaptive", true},
 		{"snzi-x", "", false},
 		{"snzi--1", "", false},
+		{"adaptive:bogus", "", false},
 		{"bogus", "", false},
 	}
 	for _, c := range cases {

@@ -55,6 +55,15 @@ func (dc *dynCounter) RootState() State {
 // Unwrap exposes the underlying in-counter for invariant tests.
 func (dc *dynCounter) Unwrap() *core.InCounter { return dc.c }
 
+// attach registers one dependency out of band (a root arrive; see
+// core.InCounter.Attach) and returns a fresh pooled state holding it —
+// the entry point the adaptive counter migrates legacy obligations
+// through. The caller owns the returned state and must Release it
+// after its terminal operation.
+func (dc *dynCounter) attach() *dynState {
+	return newDynState(dc.c.Attach(), dc)
+}
+
 // dynStatePool recycles the per-spawn dynState objects. Every spawn
 // creates two and consumes one, so without pooling the states are the
 // second-largest allocation source of the whole hot path (after the

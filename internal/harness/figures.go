@@ -78,6 +78,7 @@ func Figures() map[string]func(Options) (*Report, error) {
 		"13":        Fig13,
 		"14":        Fig14,
 		"15":        Fig15,
+		"phase":     PhaseShift,
 		"stalls":    StallModel,
 		"ablations": Ablations,
 	}
@@ -85,12 +86,14 @@ func Figures() map[string]func(Options) (*Report, error) {
 
 // FigureOrder lists the drivers in presentation order.
 func FigureOrder() []string {
-	return []string{"8", "9", "10", "11", "12", "13", "14", "15", "stalls", "ablations"}
+	return []string{"8", "9", "10", "11", "12", "13", "14", "15", "phase", "stalls", "ablations"}
 }
 
 // runSeries measures one spec per procs value and adds a table row per
-// algorithm; shared by the cores-sweep figures.
-func runSeries(o Options, rep *Report, bench string, algos []string, procs []int, n uint64) error {
+// algorithm; shared by the cores-sweep figures. each, when non-nil, is
+// invoked for every measurement point (in sweep order) so figures can
+// collect extra columns without re-implementing the sweep.
+func runSeries(o Options, rep *Report, bench string, algos []string, procs []int, n uint64, each func(Measurement)) error {
 	tbl := stats.NewTable(fmt.Sprintf("%s n=%d: ops/sec/core by cores", bench, n),
 		append([]string{"algo"}, intStrings(procs)...)...)
 	for _, algo := range algos {
@@ -103,6 +106,9 @@ func runSeries(o Options, rep *Report, bench string, algos []string, procs []int
 			}
 			rep.Measurements = append(rep.Measurements, m)
 			row = append(row, m.OpsPerSecPerCore)
+			if each != nil {
+				each(m)
+			}
 		}
 		tbl.AddRow(row...)
 	}
@@ -127,12 +133,42 @@ func Fig8(o Options) (*Report, error) {
 	for _, d := range o.snziDepths([]int{1, 2, 3, 4, 5, 6, 7, 8, 9}, []int{1, 4, 8}) {
 		algos = append(algos, fmt.Sprintf("snzi-%d", d))
 	}
-	algos = append(algos, "dyn")
-	if err := runSeries(o, rep, "fanin", algos, ProcsSweep(o.MaxProcs), o.n(defaultN)); err != nil {
+	algos = append(algos, "dyn", "adaptive")
+	if err := runSeries(o, rep, "fanin", algos, ProcsSweep(o.MaxProcs), o.n(defaultN), nil); err != nil {
 		return nil, err
 	}
 	rep.Notes = append(rep.Notes,
-		"expected shape: fetchadd best at p=1, worst for p≥2; dyn best for p≥2; fixed snzi improves with depth then plateaus")
+		"expected shape: fetchadd best at p=1, worst for p≥2; dyn best for p≥2; fixed snzi improves with depth then plateaus",
+		"adaptive tracks fetchadd at p=1 and promotes toward dyn as contention grows")
+	return rep, nil
+}
+
+// PhaseShift measures the contention phase-shift kernel (not a figure
+// of the paper; see internal/workload.PhaseShift): one finish counter
+// living through a low-contention prologue and then a fan-in storm,
+// across the static algorithms and the adaptive counter. The last
+// column reports how many counters the adaptive algorithm promoted —
+// which algorithm it "settled on".
+func PhaseShift(o Options) (*Report, error) {
+	o = o.fill()
+	rep := &Report{Figure: "Phase shift", Title: "Low-contention prologue into fan-in storm, one finish counter"}
+	n := o.n(defaultN / 4)
+	// Promotions get their own per-proc row (not a sweep total): the
+	// signal the figure exists to show is *which core counts* push the
+	// adaptive counter off the cell.
+	promRow := []interface{}{"adaptive promotions"}
+	err := runSeries(o, rep, "phase-shift", []string{"fetchadd", "dyn", "adaptive"},
+		ProcsSweep(o.MaxProcs), n, func(m Measurement) {
+			if m.Spec.Algo == "adaptive" {
+				promRow = append(promRow, fmt.Sprintf("%d", m.Promotions))
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	rep.Tables[len(rep.Tables)-1].AddRow(promRow...)
+	rep.Notes = append(rep.Notes,
+		"expected shape: fetchadd wins the prologue, dyn the storm; adaptive starts as the cell and promotes when the storm hits (promotions > 0 at contended core counts)")
 	return rep, nil
 }
 
@@ -173,7 +209,7 @@ func Fig10(o Options) (*Report, error) {
 	o = o.fill()
 	rep := &Report{Figure: "Figure 10", Title: "Indegree-2 benchmark, varying cores and counter algorithm"}
 	if err := runSeries(o, rep, "indegree2",
-		[]string{"fetchadd", "snzi-2", "snzi-4", "dyn"}, ProcsSweep(o.MaxProcs), o.n(defaultN)); err != nil {
+		[]string{"fetchadd", "snzi-2", "snzi-4", "dyn"}, ProcsSweep(o.MaxProcs), o.n(defaultN), nil); err != nil {
 		return nil, err
 	}
 	rep.Notes = append(rep.Notes,

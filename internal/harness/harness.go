@@ -8,6 +8,7 @@ package harness
 import (
 	"fmt"
 	"runtime"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/counter"
@@ -19,8 +20,8 @@ import (
 
 // Spec is one measurement point.
 type Spec struct {
-	Bench     string // fanin | indegree2 | fanin-work | fanin-numa | snzi-stress
-	Algo      string // fetchadd | dyn | snzi-D (counter.Parse syntax)
+	Bench     string // fanin | indegree2 | fanin-work | fanin-numa | phase-shift | snzi-stress
+	Algo      string // fetchadd | dyn | adaptive[:K] | snzi-D (counter.Parse syntax)
 	Procs     int
 	N         uint64
 	Threshold uint64              // dyn grow denominator; 0 → 25·Procs (paper default)
@@ -40,6 +41,10 @@ type Measurement struct {
 	Vertices         int64
 	IncounterNodes   int64
 	Steals           uint64
+	// Promotions counts adaptive counters that migrated to the
+	// in-counter across the measured runs (0 for static algorithms) —
+	// the "which algorithm did adaptive settle on" statistic.
+	Promotions uint64
 }
 
 func (m Measurement) String() string {
@@ -70,6 +75,9 @@ func (m Measurement) Block() *report.Block {
 		Out("nb_steals", m.Steals).
 		Out("nb_incounter_nodes", m.IncounterNodes).
 		Out("killed", 0)
+	if strings.HasPrefix(m.Spec.Algo, "adaptive") {
+		b.Out("nb_promotions", m.Promotions)
+	}
 	return b
 }
 
@@ -127,18 +135,24 @@ func Run(spec Spec) (Measurement, error) {
 			return workload.FaninNUMA(rt, spec.N, spec.Numa)
 		case "indegree2":
 			return workload.Indegree2(rt, spec.N)
+		case "phase-shift":
+			return workload.PhaseShift(rt, spec.N)
 		default:
 			panic(fmt.Sprintf("harness: unknown bench %q", spec.Bench))
 		}
 	}
 	switch spec.Bench {
-	case "fanin", "fanin-work", "fanin-numa", "indegree2":
+	case "fanin", "fanin-work", "fanin-numa", "indegree2", "phase-shift":
 	default:
 		return Measurement{}, fmt.Errorf("harness: unknown bench %q", spec.Bench)
 	}
 
 	one() // warmup
 	steals0 := rt.Scheduler().Stats().Steals
+	var prom0 uint64
+	if pr, ok := alg.(counter.PromotionReporter); ok {
+		prom0 = pr.Promotions()
+	}
 	times := make([]float64, 0, spec.Runs)
 	var last workload.Result
 	for i := 0; i < spec.Runs; i++ {
@@ -154,6 +168,11 @@ func Run(spec Spec) (Measurement, error) {
 		IncounterNodes:   last.FinalNodes,
 		Steals:           rt.Scheduler().Stats().Steals - steals0,
 		OpsPerSecPerCore: float64(last.CounterOps) / sum.Mean / float64(spec.Procs),
+	}
+	if pr, ok := alg.(counter.PromotionReporter); ok {
+		// Delta against the warmup, like Steals: the stats sink is
+		// shared across every run on this runtime.
+		m.Promotions = pr.Promotions() - prom0
 	}
 	m.Spec.Threshold = threshold
 	return m, nil

@@ -31,7 +31,7 @@ func TestRunFaninSpec(t *testing.T) {
 }
 
 func TestRunAllBenches(t *testing.T) {
-	for _, bench := range []string{"fanin", "indegree2", "fanin-work", "fanin-numa"} {
+	for _, bench := range []string{"fanin", "indegree2", "fanin-work", "fanin-numa", "phase-shift"} {
 		m, err := Run(Spec{Bench: bench, Algo: "fetchadd", Procs: 1, N: 1024, WorkNs: 5, Runs: 1})
 		if err != nil {
 			t.Fatalf("%s: %v", bench, err)
@@ -39,6 +39,29 @@ func TestRunAllBenches(t *testing.T) {
 		if m.OpsPerSecPerCore <= 0 {
 			t.Fatalf("%s: no throughput", bench)
 		}
+	}
+}
+
+// TestRunAdaptiveSpec: the adaptive spec strings flow through the
+// measurement path, and the artifact block carries the promotion
+// count for adaptive specs only.
+func TestRunAdaptiveSpec(t *testing.T) {
+	m, err := Run(Spec{Bench: "phase-shift", Algo: "adaptive:1", Procs: 2, N: 2048, Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.OpsPerSecPerCore <= 0 {
+		t.Fatal("no throughput")
+	}
+	if !strings.Contains(m.Block().String(), "nb_promotions") {
+		t.Fatal("adaptive artifact block missing nb_promotions")
+	}
+	m, err = Run(Spec{Bench: "fanin", Algo: "dyn", Procs: 1, N: 256, Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(m.Block().String(), "nb_promotions") {
+		t.Fatal("static algorithm artifact block reports promotions")
 	}
 }
 

@@ -2,6 +2,8 @@ package nested
 
 import (
 	"testing"
+
+	"repro/internal/counter"
 )
 
 // TestAsyncSteadyStateAllocs asserts the end-to-end hot-path budget at
@@ -11,6 +13,12 @@ import (
 // own allocation, not the runtime's); everything the runtime itself
 // needs — vertices, counter states, decrement pairs, task contexts,
 // run machinery — comes from pools.
+//
+// The budget is asserted for both the default algorithm (the
+// contention-adaptive counter, whose uncontended cell phase must
+// allocate nothing per spawn — the "promotion heuristic must be free
+// when idle" requirement) and the paper's in-counter (whose per-spawn
+// states and pairs are pooled).
 func TestAsyncSteadyStateAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation changes allocation behaviour")
@@ -18,36 +26,47 @@ func TestAsyncSteadyStateAllocs(t *testing.T) {
 	if !poolCtx {
 		t.Skip("nestedchecks disables Ctx pooling by design")
 	}
-	rt := New(Config{Workers: 1, Seed: 42})
-	defer rt.Close()
-
-	const asyncs = 2048
-	leaf := func(*Ctx) {}
-	var spawn func(c *Ctx, n int)
-	spawn = func(c *Ctx, n int) {
-		for i := 0; i < n; i++ {
-			c.Async(leaf)
-		}
+	algos := []struct {
+		name string
+		alg  counter.Algorithm // nil = the runtime default (adaptive)
+	}{
+		{"default-adaptive", nil},
+		{"dyn", counter.Dynamic{Threshold: 25}},
 	}
-	body := func(c *Ctx) { spawn(c, asyncs) }
+	for _, a := range algos {
+		t.Run(a.name, func(t *testing.T) {
+			rt := New(Config{Workers: 1, Seed: 42, Algorithm: a.alg})
+			defer rt.Close()
 
-	// Warm every pool (and the scheduler's deques) outside the window.
-	if err := rt.Run(body); err != nil {
-		t.Fatal(err)
-	}
+			const asyncs = 2048
+			leaf := func(*Ctx) {}
+			var spawn func(c *Ctx, n int)
+			spawn = func(c *Ctx, n int) {
+				for i := 0; i < n; i++ {
+					c.Async(leaf)
+				}
+			}
+			body := func(c *Ctx) { spawn(c, asyncs) }
 
-	allocs := testing.AllocsPerRun(20, func() {
-		if err := rt.Run(body); err != nil {
-			t.Fatal(err)
-		}
-	})
-	// Per-run fixed overhead (root/final pair, top-level counter,
-	// computation record, …) is real but small; the budget that matters
-	// is per async.
-	perAsync := (allocs - 64) / asyncs
-	if perAsync > 1 {
-		t.Fatalf("steady-state Async allocates %.2f objects each (%.0f per run), want ≤ 1",
-			perAsync, allocs)
+			// Warm every pool (and the scheduler's deques) outside the window.
+			if err := rt.Run(body); err != nil {
+				t.Fatal(err)
+			}
+
+			allocs := testing.AllocsPerRun(20, func() {
+				if err := rt.Run(body); err != nil {
+					t.Fatal(err)
+				}
+			})
+			// Per-run fixed overhead (root/final pair, top-level counter,
+			// computation record, …) is real but small; the budget that matters
+			// is per async.
+			perAsync := (allocs - 64) / asyncs
+			if perAsync > 1 {
+				t.Fatalf("steady-state Async allocates %.2f objects each (%.0f per run), want ≤ 1",
+					perAsync, allocs)
+			}
+			t.Logf("run allocations: %.0f total for %d asyncs (%.3f per async)", allocs, asyncs, allocs/asyncs)
+		})
 	}
-	t.Logf("run allocations: %.0f total for %d asyncs (%.3f per async)", allocs, asyncs, allocs/asyncs)
 }

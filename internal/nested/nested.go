@@ -87,8 +87,20 @@ type Config struct {
 	// `proc` axis); ≤ 0 means GOMAXPROCS.
 	Workers int
 	// Algorithm is the dependency-counter algorithm; nil means the
-	// paper's in-counter with threshold 25·Workers (§5).
+	// contention-adaptive counter: a fetch-and-add cell per finish
+	// block that promotes itself to the paper's in-counter (grow
+	// threshold 25·Workers, §5) when it observes sustained contention.
+	// Set counter.Dynamic explicitly to force the in-counter from
+	// birth, as the pre-adaptive default did.
 	Algorithm counter.Algorithm
+	// CounterSpec selects the algorithm by its artifact-style spec
+	// string ("adaptive[:K]", "dyn", "fetchadd", "snzi-D") instead;
+	// it is resolved by New, against the resolved worker count, so
+	// the paper-default grow threshold (25·Workers) is computed from
+	// the actual worker count regardless of field or option order.
+	// Algorithm, when non-nil, takes precedence. New panics on a
+	// malformed spec.
+	CounterSpec string
 	// Seed fixes scheduler randomness for reproducible tests.
 	Seed uint64
 	// Recorder optionally observes dag construction (validation runs).
@@ -114,8 +126,15 @@ func New(cfg Config) *Runtime {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	alg := cfg.Algorithm
+	if alg == nil && cfg.CounterSpec != "" {
+		a, err := counter.Parse(cfg.CounterSpec, DefaultThreshold(workers))
+		if err != nil {
+			panic("nested: Config.CounterSpec: " + err.Error())
+		}
+		alg = a
+	}
 	if alg == nil {
-		alg = counter.Dynamic{Threshold: DefaultThreshold(workers)}
+		alg = counter.NewAdaptive(0, DefaultThreshold(workers))
 	}
 	sopts := []sched.Option{sched.WithPolicy(cfg.Policy)}
 	if cfg.Seed != 0 {

@@ -274,7 +274,10 @@ func (u *Vertex) Spawn() (v, w *Vertex) {
 // implementation's pool, if the implementation supports it. Callers
 // must only invoke it after the State's terminal operation (its
 // Increment or Decrement); Chain hands the State to the successor
-// instead and must not release.
+// instead and must not release. The Releaser check is per State
+// object: two-phase counters hand out shared (non-releasable) states
+// in one phase and pooled (releasable) ones in the other, so the
+// assertion must not be cached per algorithm.
 func (u *Vertex) releaseState() {
 	if r, ok := u.st.(counter.Releaser); ok {
 		r.Release()

@@ -42,6 +42,13 @@ func algorithms() []counter.Algorithm {
 		counter.Dynamic{Threshold: 16},
 		counter.FetchAdd{},
 		counter.FixedSNZI{Depth: 2},
+		// The two-phase adaptive counter: exercises the mixed
+		// Releaser/shared-state release discipline (its cell phase
+		// shares one state like fetchadd, its promoted phase hands out
+		// pooled in-counter states), and — at contention threshold 1 —
+		// promotion mid-dag under the concurrent tests.
+		counter.NewAdaptive(0, 1),
+		counter.NewAdaptive(1, 16),
 	}
 }
 

@@ -8,6 +8,9 @@
 //     the per-finish-allocation stress test;
 //   - FaninWork (appendix C.3): fanin with a calibrated amount of
 //     dummy work per leaf task — the granularity study;
+//   - PhaseShift: a low-contention prologue into a fan-in storm on a
+//     single finish counter — the adaptive counter's migration
+//     workload (neither static algorithm wins both phases);
 //   - Fib (Figure 4): the classic parallel Fibonacci;
 //   - SnziStress (appendix C.1): the raw arrive/depart microbenchmark
 //     of the original SNZI paper's Figure 10, without a dag runtime.
@@ -125,6 +128,53 @@ func FaninWork(rt *nested.Runtime, n uint64, work int) Result {
 		N:          n,
 		Elapsed:    elapsed,
 		CounterOps: faninOps(n),
+		Vertices:   rt.Dag().VertexCount() - v0,
+		FinalNodes: final.NodeCount(),
+		Workers:    rt.Workers(),
+	}
+}
+
+// PhaseShift runs the contention phase-shift kernel: one top-level
+// finish block that lives through two regimes. The prologue issues
+// n/4 sequential asyncs, each carrying enough calibrated work
+// (prologueWorkNs per leaf) that counter operations are spaced out in
+// time — the regime where the flat fetch-and-add cell is optimal and
+// the in-counter only pays tree overhead. The storm then builds the
+// Figure 6 recursive binary fanin with n leaves, whose joins all
+// synchronize at the same finish counter in a short window — the
+// regime where the cell serializes and the in-counter wins.
+//
+// Because both regimes hit a single dependency counter, neither static
+// algorithm wins the whole kernel; it exists to measure the adaptive
+// counter's promotion mid-flight (callers can read the promotion count
+// from the algorithm's stats after the run).
+func PhaseShift(rt *nested.Runtime, n uint64) Result {
+	const prologueWorkNs = 200
+	CalibrateWork()
+	prologue := n / 4
+	v0 := rt.Dag().VertexCount()
+	var rec func(c *nested.Ctx, n uint64)
+	rec = func(c *nested.Ctx, n uint64) {
+		if n >= 2 {
+			h := n / 2
+			c.Async(func(c *nested.Ctx) { rec(c, h) })
+			c.Async(func(c *nested.Ctx) { rec(c, h) })
+		}
+	}
+	start := time.Now()
+	final, err := rt.RunMeasured(func(c *nested.Ctx) {
+		for i := uint64(0); i < prologue; i++ {
+			c.Async(func(*nested.Ctx) { Work(prologueWorkNs) })
+		}
+		rec(c, n)
+	})
+	elapsed := time.Since(start)
+	mustRun("phase-shift", err)
+	return Result{
+		Name:       "phase-shift",
+		N:          n,
+		Elapsed:    elapsed,
+		CounterOps: 2*prologue + faninOps(n),
 		Vertices:   rt.Dag().VertexCount() - v0,
 		FinalNodes: final.NodeCount(),
 		Workers:    rt.Workers(),

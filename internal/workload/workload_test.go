@@ -57,6 +57,31 @@ func TestFaninAllAlgorithms(t *testing.T) {
 	}
 }
 
+// TestPhaseShiftAllAlgorithms: the phase-shift kernel completes and
+// accounts its vertices under every algorithm family, adaptive
+// included (the kernel exists to drive its migration).
+func TestPhaseShiftAllAlgorithms(t *testing.T) {
+	for _, alg := range []counter.Algorithm{
+		counter.FetchAdd{}, counter.Dynamic{Threshold: 50}, counter.NewAdaptive(1, 50),
+	} {
+		rt := newRT(t, 2, alg)
+		const n = 512
+		res := PhaseShift(rt, n)
+		// Prologue: 2 vertices per async (task + continuation). Storm:
+		// the fanin shape. Plus the run's root/final pair.
+		want := int64(2 + 2*(n/4) + 2*2*(n-1))
+		if res.Vertices != want {
+			t.Fatalf("%s: vertices = %d, want %d", alg.Name(), res.Vertices, want)
+		}
+		if res.CounterOps != 2*(n/4)+faninOps(n) {
+			t.Fatalf("%s: counter ops = %d", alg.Name(), res.CounterOps)
+		}
+		if res.OpsPerSecPerCore() <= 0 {
+			t.Fatalf("%s: no throughput reported", alg.Name())
+		}
+	}
+}
+
 func TestFaninSmallN(t *testing.T) {
 	rt := newRT(t, 1, nil)
 	res := Fanin(rt, 1)

@@ -98,8 +98,39 @@ type Option func(*Config)
 func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
 
 // WithAlgorithm selects the dependency-counter algorithm (nil means
-// the paper's in-counter with threshold 25·workers, §5).
-func WithAlgorithm(a CounterAlgorithm) Option { return func(c *Config) { c.Algorithm = a } }
+// the contention-adaptive counter: fetch-and-add until a finish block
+// observes sustained contention, the paper's in-counter after).
+func WithAlgorithm(a CounterAlgorithm) Option {
+	return func(c *Config) {
+		c.Algorithm = a
+		c.CounterSpec = ""
+	}
+}
+
+// WithCounter selects the dependency-counter algorithm by its
+// artifact-style spec string: "adaptive" (the default), "adaptive:K"
+// (promote after K observed collisions), "dyn", "fetchadd", or
+// "snzi-D". The spec is resolved at construction, after every option
+// has applied, so the paper-default dynamic grow threshold
+// (25·workers) always uses the configured worker count regardless of
+// option order. WithCounter panics on a malformed spec — the spec is
+// almost always a literal, and a Runtime must not start with a
+// different algorithm than the one it was asked for; use
+// ParseAlgorithm + WithAlgorithm to handle user-supplied specs
+// gracefully. WithCounter and WithAlgorithm override each other; the
+// last one listed wins.
+func WithCounter(spec string) Option {
+	// Validate eagerly (the threshold does not affect validity) so the
+	// panic carries the caller's stack; construction resolves the real
+	// algorithm against the final worker count.
+	if _, err := counter.Parse(spec, 1); err != nil {
+		panic("repro: WithCounter: " + err.Error())
+	}
+	return func(c *Config) {
+		c.Algorithm = nil
+		c.CounterSpec = spec
+	}
+}
 
 // WithSeed fixes scheduler randomness for reproducible runs.
 func WithSeed(seed uint64) Option { return func(c *Config) { c.Seed = seed } }
@@ -162,18 +193,29 @@ type Stats struct {
 	Vertices int64  // dag vertices created so far
 	Steals   uint64 // successful steals
 	Executed uint64 // vertices executed
+	// Promotions counts finish counters that migrated from the
+	// fetch-and-add cell to the in-counter under contention. It is 0
+	// for statically configured algorithms; under the default adaptive
+	// algorithm, Promotions == 0 after a run means every finish block
+	// settled on fetch-and-add, Promotions > 0 that contention pushed
+	// some onto the in-counter.
+	Promotions uint64
 }
 
 // Stats snapshots the runtime's scheduler and dag counters.
 func (r *Runtime) Stats() Stats {
 	st := r.n.Scheduler().Stats()
-	return Stats{
+	s := Stats{
 		Workers:  r.n.Workers(),
 		Parked:   r.n.Scheduler().ParkedWorkers(),
 		Vertices: r.n.Dag().VertexCount(),
 		Steals:   st.Steals,
 		Executed: st.Executed,
 	}
+	if pr, ok := r.n.Dag().Algorithm().(counter.PromotionReporter); ok {
+		s.Promotions = pr.Promotions()
+	}
+	return s
 }
 
 // Scheduler exposes the underlying scheduler (advanced: stats,
@@ -189,8 +231,8 @@ func (r *Runtime) Dag() *spdag.Dag { return r.n.Dag() }
 func (r *Runtime) Nested() *nested.Runtime { return r.n }
 
 // The package-level default runtime: started lazily on first use with
-// all defaults (GOMAXPROCS workers, the paper's in-counter), shared
-// process-wide, never closed.
+// all defaults (GOMAXPROCS workers, the contention-adaptive counter),
+// shared process-wide, never closed.
 var (
 	defaultOnce sync.Once
 	defaultRT   *Runtime
@@ -221,7 +263,8 @@ func DefaultThreshold(workers int) uint64 { return nested.DefaultThreshold(worke
 // be configured with; see counter.Algorithm.
 type CounterAlgorithm = counter.Algorithm
 
-// Dependency-counter algorithms from the paper's evaluation.
+// Dependency-counter algorithms from the paper's evaluation, plus the
+// contention-adaptive composite this library defaults to.
 type (
 	// InCounterAlgorithm is the paper's dynamic in-counter ("dyn").
 	InCounterAlgorithm = counter.Dynamic
@@ -229,10 +272,22 @@ type (
 	FetchAddAlgorithm = counter.FetchAdd
 	// FixedSNZIAlgorithm is the fixed-depth SNZI tree baseline.
 	FixedSNZIAlgorithm = counter.FixedSNZI
+	// AdaptiveAlgorithm starts every finish counter as a fetch-and-add
+	// cell and promotes it to the in-counter under contention
+	// ("adaptive"); it is the default when no algorithm is configured.
+	AdaptiveAlgorithm = counter.Adaptive
 )
 
+// NewAdaptiveAlgorithm returns an AdaptiveAlgorithm with a fresh stats
+// sink (required for Stats.Promotions): contention is the promotion
+// threshold in observed cell collisions (0 means the package default)
+// and grow the in-counter grow denominator.
+func NewAdaptiveAlgorithm(contention, grow uint64) AdaptiveAlgorithm {
+	return counter.NewAdaptive(contention, grow)
+}
+
 // ParseAlgorithm resolves an artifact-style algorithm name
-// ("fetchadd", "dyn", "snzi-D").
+// ("fetchadd", "dyn", "adaptive[:K]", "snzi-D").
 func ParseAlgorithm(name string, threshold uint64) (CounterAlgorithm, error) {
 	return counter.Parse(name, threshold)
 }

@@ -329,6 +329,90 @@ func TestConcurrentRunsPublic(t *testing.T) {
 	}
 }
 
+// TestWithCounterSpecs: the spec-string option configures the
+// algorithm the runtime actually uses, defaults included; malformed
+// specs panic at construction.
+func TestWithCounterSpecs(t *testing.T) {
+	for _, spec := range []string{"adaptive", "adaptive:50", "dyn", "fetchadd", "snzi-2"} {
+		rt := repro.NewRuntime(repro.WithWorkers(1), repro.WithCounter(spec))
+		if err := rt.Run(func(c *repro.Ctx) {
+			c.ParallelFor(0, 64, 8, func(int) {})
+		}); err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		want := spec
+		if i := strings.IndexByte(spec, ':'); i >= 0 {
+			want = spec[:i]
+		}
+		if got := rt.Dag().Algorithm().Name(); got != want {
+			t.Errorf("WithCounter(%q) runtime uses %q", spec, got)
+		}
+		rt.Close()
+	}
+	// Option order must not change the resolved tuning: the paper's
+	// grow threshold (25·workers) is computed at construction from the
+	// final worker count, even when WithCounter is listed first.
+	rt := repro.NewRuntime(repro.WithCounter("dyn"), repro.WithWorkers(8))
+	if d, ok := rt.Dag().Algorithm().(repro.InCounterAlgorithm); !ok || d.Threshold != 200 {
+		t.Errorf("WithCounter before WithWorkers: algorithm %+v, want dyn threshold 200", rt.Dag().Algorithm())
+	}
+	rt.Close()
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithCounter with a malformed spec did not panic")
+		}
+	}()
+	repro.NewRuntime(repro.WithCounter("adaptive:bogus"))
+}
+
+// TestDefaultAlgorithmIsAdaptive: an unconfigured Runtime uses the
+// contention-adaptive counter, and Stats exposes its promotion count
+// (zero on an uncontended run).
+func TestDefaultAlgorithmIsAdaptive(t *testing.T) {
+	rt := repro.NewRuntime(repro.WithWorkers(1))
+	defer rt.Close()
+	if got := rt.Dag().Algorithm().Name(); got != "adaptive" {
+		t.Fatalf("default algorithm = %q, want adaptive", got)
+	}
+	if err := rt.Run(func(c *repro.Ctx) {
+		c.ParallelFor(0, 256, 16, func(int) {})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p := rt.Stats().Promotions; p != 0 {
+		t.Fatalf("single-worker run promoted %d counters, want 0", p)
+	}
+}
+
+// TestStatsPromotionsUnderContention: with a promotion threshold of 1
+// and parallel workers hammering one finish block, at least one
+// counter should migrate, and Stats must surface it. Contention is
+// scheduling-dependent (a 1-CPU host may interleave too politely), so
+// the assertion is made eventually across rounds and skips rather than
+// fails when the host cannot produce a single collision.
+func TestStatsPromotionsUnderContention(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs ≥ 2 Ps for cell collisions")
+	}
+	rt := repro.NewRuntime(
+		repro.WithWorkers(4),
+		repro.WithAlgorithm(repro.NewAdaptiveAlgorithm(1, 1)),
+	)
+	defer rt.Close()
+	for round := 0; round < 50; round++ {
+		if err := rt.Run(func(c *repro.Ctx) {
+			c.ParallelFor(0, 1<<12, 1, func(int) {})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if rt.Stats().Promotions > 0 {
+			return
+		}
+	}
+	t.Skip("no cell collision observed in 50 contended rounds (single-core host?)")
+}
+
 func TestPanicErrorFormatting(t *testing.T) {
 	rt := repro.NewRuntime(repro.WithWorkers(1))
 	defer rt.Close()
