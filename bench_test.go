@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/counter"
@@ -96,6 +97,58 @@ func BenchmarkPhaseShift(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkBurst — the elastic worker pool's motivating workload (not
+// a figure of the paper): alternating idle gaps and concurrent
+// fan-out storms, on a pool fixed at the floor, fixed at the ceiling,
+// and elastic between the two. The ops/s metric (total, not per-core —
+// the three pools deliberately run different worker counts) is what
+// benchgate gates: the elastic cell must hold the fixed-max cell's
+// throughput while the peak/steady metrics show it growing to the
+// ceiling during storms and renting back down after (the direct
+// elastic-vs-fixed-max ratio is asserted in elastic_test.go).
+func BenchmarkBurst(b *testing.B) {
+	const maxW = 4
+	cfg := workload.BurstConfig{
+		Leaves: benchN / 16, Storms: 4, Lanes: 2 * maxW,
+		Gap: 2 * time.Millisecond,
+	}
+	pools := []struct {
+		name     string
+		min, max int
+	}{
+		{"fixed-min", 1, 0},
+		{"fixed-max", maxW, 0},
+		{"elastic", 1, maxW},
+	}
+	for _, pool := range pools {
+		b.Run(pool.name, func(b *testing.B) {
+			rt := nested.New(nested.Config{
+				Workers: pool.min, MaxWorkers: pool.max, Seed: 1,
+				RetireAfter: 25 * time.Millisecond,
+			})
+			b.Cleanup(rt.Close)
+			// Aggregate over all iterations (not the last run alone):
+			// a single 4-storm run is short enough that scheduler noise
+			// would dominate the gated metric.
+			var ops uint64
+			var busy time.Duration
+			peak := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := workload.Burst(rt, cfg)
+				ops += res.CounterOps
+				busy += res.Elapsed
+				if res.Workers > peak {
+					peak = res.Workers
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(ops)/busy.Seconds(), "ops/s")
+			b.ReportMetric(float64(peak), "peak-workers")
+		})
 	}
 }
 

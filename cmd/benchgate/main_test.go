@@ -10,6 +10,7 @@ import (
 const sampleBench = `goos: linux
 BenchmarkFig08Fanin/fetchadd/p=1  20  7206504 ns/op  7601466 ops/s/core  787053 B/op  32775 allocs/op
 BenchmarkFig08Fanin/dyn/p=1       20 11947133 ns/op  4353865 ops/s/core 1018252 B/op  33987 allocs/op
+BenchmarkBurst/elastic            20 50000000 ns/op  9000000 ops/s  4.000 peak-workers  500000 B/op  39999 allocs/op
 BenchmarkZeroAlloc                10      100 ns/op        0 B/op            0 allocs/op
 PASS
 `
@@ -28,8 +29,8 @@ func TestParseBenchLines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(order) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3: %v", len(order), order)
+	if len(order) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(order), order)
 	}
 	fa := res["BenchmarkFig08Fanin/fetchadd/p=1"]
 	if fa.Iterations != 20 || fa.NsPerOp != 7206504 || fa.AllocsOp != 32775 ||
@@ -62,7 +63,7 @@ func runGate(t *testing.T, current, baseline string, lim limits) (failures, comp
 
 func TestGateIdenticalRunsPass(t *testing.T) {
 	failures, compared, out := runGate(t, sampleBench, sampleBench, defaultLimits())
-	if failures != 0 || compared != 3 {
+	if failures != 0 || compared != 4 {
 		t.Fatalf("failures=%d compared=%d\n%s", failures, compared, out)
 	}
 }
@@ -92,6 +93,18 @@ func TestGateThroughputCollapseFails(t *testing.T) {
 	}
 }
 
+// TestGateTotalThroughputCollapseFails: cells that report total ops/s
+// (the burst benchmark — its pool configurations run different worker
+// counts, so per-core numbers would compare nothing) are gated exactly
+// like ops/s/core cells.
+func TestGateTotalThroughputCollapseFails(t *testing.T) {
+	slow := strings.Replace(sampleBench, "9000000 ops/s", "1000 ops/s", 1)
+	failures, _, out := runGate(t, slow, sampleBench, defaultLimits())
+	if failures != 1 || !strings.Contains(out, "ops/s 1000") {
+		t.Fatalf("failures=%d\n%s", failures, out)
+	}
+}
+
 // TestGateMissingCellFails: a baseline cell absent from the run (a
 // renamed or deleted benchmark) is a gate failure by default — the
 // gate must not silently narrow.
@@ -107,8 +120,8 @@ func TestGateMissingCellFails(t *testing.T) {
 	if failures != 1 || !strings.Contains(out, "missing from this run") {
 		t.Fatalf("failures=%d\n%s", failures, out)
 	}
-	if compared != 2 {
-		t.Fatalf("compared=%d, want 2", compared)
+	if compared != 3 {
+		t.Fatalf("compared=%d, want 3", compared)
 	}
 
 	lim := defaultLimits()
@@ -125,7 +138,7 @@ func TestGateMissingCellFails(t *testing.T) {
 func TestGateExtraCellIsNotCompared(t *testing.T) {
 	current := sampleBench + "BenchmarkBrandNew  5  10 ns/op  1 allocs/op\n"
 	failures, compared, out := runGate(t, current, sampleBench, defaultLimits())
-	if failures != 0 || compared != 3 {
+	if failures != 0 || compared != 4 {
 		t.Fatalf("failures=%d compared=%d\n%s", failures, compared, out)
 	}
 }

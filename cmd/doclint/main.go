@@ -1,0 +1,157 @@
+// Command doclint is the documentation gate run by the docs CI job.
+// It enforces two invariants that would otherwise rot silently:
+//
+//  1. every Go package in the tree carries a package comment (a doc
+//     comment on the package clause of at least one non-test file) —
+//     the repository's convention is that each internal package states
+//     the paper section it implements and its key invariant;
+//  2. every relative link in the given markdown files resolves to an
+//     existing file, so README/DESIGN/EXPERIMENTS cross-references
+//     cannot dangle.
+//
+// Usage:
+//
+//	doclint                            # lint packages under ., default md files
+//	doclint -md README.md,DESIGN.md ./internal ./cmd
+//
+// Exit status is non-zero if any problem is found; each problem is
+// printed on its own line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	md := flag.String("md", "README.md,DESIGN.md,EXPERIMENTS.md",
+		"comma-separated markdown files whose relative links must resolve (empty: skip)")
+	flag.Parse()
+
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+
+	var problems []string
+	for _, root := range roots {
+		p, err := lintPackages(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+		problems = append(problems, p...)
+	}
+	if *md != "" {
+		for _, file := range strings.Split(*md, ",") {
+			problems = append(problems, lintMarkdown(strings.TrimSpace(file))...)
+		}
+	}
+
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("doclint: all packages documented, all markdown links resolve")
+}
+
+// skipDirs are directories that never hold package code of ours.
+var skipDirs = map[string]bool{
+	".git": true, ".github": true, "testdata": true, "bench": true,
+}
+
+// lintPackages walks root and reports every directory that contains
+// non-test Go files but no package comment on any of them.
+func lintPackages(root string) ([]string, error) {
+	// dir → (has Go files, has a package doc comment)
+	type state struct{ hasGo, hasDoc bool }
+	dirs := map[string]*state{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if skipDirs[d.Name()] || (strings.HasPrefix(d.Name(), ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		st := dirs[dir]
+		if st == nil {
+			st = &state{}
+			dirs[dir] = st
+		}
+		st.hasGo = true
+		if st.hasDoc {
+			return nil
+		}
+		// PackageClauseOnly stops after the package line but keeps the
+		// doc comment attached to it — all doclint needs.
+		f, perr := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if perr != nil {
+			return fmt.Errorf("%s: %v", path, perr)
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			st.hasDoc = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for dir, st := range dirs {
+		if st.hasGo && !st.hasDoc {
+			problems = append(problems, fmt.Sprintf("%s: package has no package comment (document its paper section and key invariant)", dir))
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// mdLink matches [text](target); targets with a scheme or pure
+// anchors are skipped by the caller.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// lintMarkdown reports relative links in file that do not resolve to
+// an existing file, and a missing file itself.
+func lintMarkdown(file string) []string {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", file, err)}
+	}
+	var problems []string
+	base := filepath.Dir(file)
+	for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+		target := m[1]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+			continue // external
+		}
+		if i := strings.IndexByte(target, '#'); i >= 0 {
+			target = target[:i]
+		}
+		if target == "" {
+			continue // in-document anchor
+		}
+		if _, err := os.Stat(filepath.Join(base, target)); err != nil {
+			problems = append(problems, fmt.Sprintf("%s: broken link %s", file, m[1]))
+		}
+	}
+	return problems
+}

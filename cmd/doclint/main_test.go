@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLintPackages(t *testing.T) {
+	root := t.TempDir()
+	write(t, filepath.Join(root, "good", "doc.go"), "// Package good implements §0.\npackage good\n")
+	write(t, filepath.Join(root, "good", "impl.go"), "package good\n")
+	write(t, filepath.Join(root, "bad", "impl.go"), "package bad\n")
+	// A doc comment only in a test file does not document the package.
+	write(t, filepath.Join(root, "testonly", "impl.go"), "package testonly\n")
+	write(t, filepath.Join(root, "testonly", "impl_test.go"), "// Package testonly is documented in the wrong place.\npackage testonly\n")
+	// Skipped trees never count.
+	write(t, filepath.Join(root, "testdata", "ignored.go"), "package ignored\n")
+	write(t, filepath.Join(root, ".git", "hook.go"), "package hook\n")
+
+	problems, err := lintPackages(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 2 {
+		t.Fatalf("problems = %v, want exactly the two undocumented packages", problems)
+	}
+	for i, frag := range []string{"bad", "testonly"} {
+		if !strings.Contains(problems[i], frag) {
+			t.Fatalf("problems[%d] = %q, want mention of %q", i, problems[i], frag)
+		}
+	}
+}
+
+func TestLintMarkdown(t *testing.T) {
+	root := t.TempDir()
+	write(t, filepath.Join(root, "DESIGN.md"), "# design\n")
+	write(t, filepath.Join(root, "README.md"), strings.Join([]string{
+		"[ok](DESIGN.md)",
+		"[ok-with-anchor](DESIGN.md#section)",
+		"[external](https://example.com/x.md)",
+		"[anchor-only](#local)",
+		"[broken](MISSING.md)",
+	}, "\n"))
+
+	problems := lintMarkdown(filepath.Join(root, "README.md"))
+	if len(problems) != 1 || !strings.Contains(problems[0], "MISSING.md") {
+		t.Fatalf("problems = %v, want exactly the one broken link", problems)
+	}
+	if p := lintMarkdown(filepath.Join(root, "NOPE.md")); len(p) != 1 {
+		t.Fatalf("missing markdown file not reported: %v", p)
+	}
+}
+
+// TestRepositoryIsClean runs the linter against the actual repository
+// the way CI does: every package documented, every committed markdown
+// link resolving.
+func TestRepositoryIsClean(t *testing.T) {
+	repoRoot := "../.."
+	problems, err := lintPackages(repoRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, md := range []string{"README.md", "DESIGN.md", "EXPERIMENTS.md"} {
+		problems = append(problems, lintMarkdown(filepath.Join(repoRoot, md))...)
+	}
+	if len(problems) > 0 {
+		t.Fatalf("doclint problems in the repository:\n%s", strings.Join(problems, "\n"))
+	}
+}

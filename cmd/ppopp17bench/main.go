@@ -2,18 +2,22 @@
 // PPoPP'17 paper "Contention in Structured Concurrency" (Acar,
 // Ben-David, Rainey): Figures 8-15 of the paper and its appendices,
 // the stall-model contention experiment, and the design ablations —
-// plus two extensions beyond the paper: the contention-adaptive
+// plus three extensions beyond the paper: the contention-adaptive
 // counter ("adaptive[:K]" in every algorithm axis; Figure 8 carries an
-// adaptive series) and the phase-shift experiment (-fig phase), whose
+// adaptive series), the phase-shift experiment (-fig phase), whose
 // table includes how many counters the adaptive algorithm promoted —
 // i.e. which algorithm it settled on (also emitted as nb_promotions in
-// artifact records).
+// artifact records) — and the bursty-service experiment (-fig burst),
+// which compares fixed-min, fixed-max, and elastic worker pools on
+// alternating idle gaps and fan-out storms (throughput, peak and
+// steady resident workers, spawn/retire counts).
 //
 // Usage:
 //
 //	ppopp17bench -fig all                 # every figure, host-scaled defaults
 //	ppopp17bench -fig 8,9 -n 8388608      # paper-scale fanin figures
 //	ppopp17bench -fig phase               # prologue-into-storm, adaptive promotion
+//	ppopp17bench -fig burst               # elastic vs fixed pools on bursty storms
 //	ppopp17bench -fig stalls -quick       # contention in the stall model
 //	ppopp17bench -fig 8 -format artifact  # artifact-style result records
 //	ppopp17bench -fig 8 -out results/     # write per-figure files

@@ -1,0 +1,212 @@
+package repro_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+// These tests pin the elastic worker pool's public contract: a Runtime
+// built with WithWorkers(min) and WithMaxWorkers(max) grows under
+// burst load, serves it at fixed-max throughput, and quiesces back to
+// min live workers and ~0 CPU when the load is gone. The scheduler-
+// level protocol tests live in internal/sched; these exercise the same
+// machinery end-to-end through the supported API, the way README
+// presents it.
+
+func elasticRT(t *testing.T, min, max int, retire time.Duration) *repro.Runtime {
+	t.Helper()
+	rt := repro.NewRuntime(repro.WithConfig(repro.Config{
+		Workers: min, MaxWorkers: max, RetireAfter: retire, Seed: 3,
+	}))
+	t.Cleanup(func() { rt.Close() })
+	return rt
+}
+
+// cpuTime returns the process's cumulative user+system CPU time.
+func cpuTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}
+
+// TestElasticRuntimeQuiescesToFloor is the acceptance criterion of the
+// elastic pool in public-API form: a 1..8 Runtime that just served a
+// burst sheds the extra workers — Stats.Workers returns to 1, with the
+// movement visible in SpawnedWorkers/RetiredWorkers — and then idles
+// at ~0 CPU.
+func TestElasticRuntimeQuiescesToFloor(t *testing.T) {
+	rt := elasticRT(t, 1, 8, 5*time.Millisecond)
+
+	// A storm of concurrent computations (injected roots) is the spawn
+	// signal; 16 lanes over an 8-worker ceiling keeps the backlog
+	// sustained while the pool ramps.
+	res := workload.Burst(rt.Nested(), workload.BurstConfig{
+		Leaves: 512, Storms: 3, Lanes: 16, Gap: time.Millisecond,
+	})
+	if res.Workers < 2 {
+		t.Fatalf("burst never grew the pool (peak workers = %d)", res.Workers)
+	}
+	st := rt.Stats()
+	if st.SpawnedWorkers == 0 {
+		t.Fatalf("Stats.SpawnedWorkers = 0 after the pool demonstrably grew to %d", res.Workers)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st = rt.Stats()
+		if st.Workers == 1 && st.Parked == 1 && st.RetiredWorkers == st.SpawnedWorkers {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("runtime did not quiesce to the floor: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if testing.Short() {
+		return // the CPU half is timing-based
+	}
+	start := cpuTime()
+	time.Sleep(300 * time.Millisecond)
+	if used, limit := cpuTime()-start, 30*time.Millisecond; used > limit {
+		t.Fatalf("idle elastic Runtime used %v CPU over 300ms (limit %v)", used, limit)
+	}
+}
+
+// TestElasticBurstThroughputNearFixedMax is the throughput half of the
+// acceptance criterion: on the bursty workload a warm elastic pool
+// must deliver at least 90% of the fixed-max pool's throughput. Both
+// pools are measured identically, best-of-5, in the same process —
+// noise hits both sides alike.
+func TestElasticBurstThroughputNearFixedMax(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based")
+	}
+	const max = 4
+	cfg := workload.BurstConfig{Leaves: 1024, Storms: 4, Lanes: 2 * max, Gap: 2 * time.Millisecond}
+	fixed := elasticRT(t, max, max, 25*time.Millisecond)
+	elastic := elasticRT(t, 1, max, 25*time.Millisecond)
+
+	measure := func(rt *repro.Runtime) float64 {
+		workload.Burst(rt.Nested(), cfg) // warm: pool grown, pools/freelists populated
+		best := 0.0
+		for i := 0; i < 5; i++ {
+			if ops := workload.Burst(rt.Nested(), cfg).OpsPerSec(); ops > best {
+				best = ops
+			}
+		}
+		return best
+	}
+	fixedOps := measure(fixed)
+	elasticOps := measure(elastic)
+	if ratio := elasticOps / fixedOps; ratio < 0.90 {
+		t.Fatalf("elastic burst throughput %.0f ops/s is %.0f%% of fixed-max %.0f ops/s (want ≥ 90%%)",
+			elasticOps, ratio*100, fixedOps)
+	}
+}
+
+// TestElasticChurnPublic cycles burst → idle → burst through the
+// public API with the retirement threshold inside the idle gaps, so
+// every round shrinks the pool the next round regrows. The shadow
+// live-count (executed leaf tasks per round) catches lost vertices;
+// the watchdog catches lost wake-ups; the final poll asserts the pool
+// lands back on its floor with balanced spawn/retire accounting.
+func TestElasticChurnPublic(t *testing.T) {
+	rounds := 30
+	if testing.Short() {
+		rounds = 8
+	}
+	const (
+		lanes  = 4
+		leaves = 256
+	)
+	rt := elasticRT(t, 1, 4, time.Millisecond)
+
+	errc := make(chan error, 1)
+	go func() {
+		for round := 0; round < rounds; round++ {
+			var executed atomic.Int64
+			var wg sync.WaitGroup
+			for lane := 0; lane < lanes; lane++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					err := rt.Run(func(c *repro.Ctx) {
+						c.ParallelFor(0, leaves, 1, func(int) { executed.Add(1) })
+					})
+					if err != nil {
+						select {
+						case errc <- fmt.Errorf("round %d: %v", round, err):
+						default:
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if got := executed.Load(); got != lanes*leaves {
+				errc <- fmt.Errorf("round %d: %d leaf tasks ran, want %d (lost vertices)", round, got, lanes*leaves)
+				return
+			}
+			time.Sleep(3 * time.Millisecond) // outlast the retirement threshold
+		}
+		errc <- nil
+	}()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatalf("hang during retire/respawn churn: %+v", rt.Stats())
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := rt.Stats()
+		if st.Workers == 1 && st.RetiredWorkers == st.SpawnedWorkers {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool did not return to the floor after churn: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestMaxWorkersValidation: a ceiling below the floor is a
+// configuration bug and must fail loudly at construction.
+func TestMaxWorkersValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithMaxWorkers below WithWorkers did not panic")
+		}
+	}()
+	repro.NewRuntime(repro.WithWorkers(4), repro.WithMaxWorkers(2))
+}
+
+// TestFixedPoolReportsNoMovement: without WithMaxWorkers nothing
+// changes — Workers is constant and the movement counters stay zero.
+func TestFixedPoolReportsNoMovement(t *testing.T) {
+	rt := repro.NewRuntime(repro.WithWorkers(2), repro.WithSeed(5))
+	defer rt.Close()
+	for i := 0; i < 10; i++ {
+		if err := rt.Run(func(c *repro.Ctx) {
+			c.ParallelFor(0, 128, 8, func(int) {})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := rt.Stats()
+	if st.Workers != 2 || st.SpawnedWorkers != 0 || st.RetiredWorkers != 0 {
+		t.Fatalf("fixed pool moved: %+v", st)
+	}
+}

@@ -18,12 +18,20 @@
 //	go run ./examples/contention -n 8192 -max 512
 //	go run ./examples/contention -algo adaptive:8 -workers 4
 //	go run ./examples/contention -algo dyn           # force the in-counter
+//	go run ./examples/contention -workers 1 -maxworkers 4  # elastic pool
+//
+// With -maxworkers the live demo's worker pool is elastic (floor
+// -workers, growing under sustained backlog, retiring after idling);
+// the demo then runs the phase-shift storm on several concurrent lanes
+// so the backlog actually materializes, and prints the spawn/retire
+// counters next to the promotion verdict.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"repro"
 	"repro/internal/stallsim"
@@ -32,10 +40,11 @@ import (
 
 func main() {
 	var (
-		n       = flag.Uint64("n", 2048, "fanin leaf count")
-		max     = flag.Int("max", 256, "largest simulated processor count")
-		algo    = flag.String("algo", "adaptive", "counter spec for the live demo: adaptive[:K] | dyn | fetchadd | snzi-D")
-		workers = flag.Int("workers", 0, "workers for the live demo (0 = GOMAXPROCS)")
+		n          = flag.Uint64("n", 2048, "fanin leaf count")
+		max        = flag.Int("max", 256, "largest simulated processor count")
+		algo       = flag.String("algo", "adaptive", "counter spec for the live demo: adaptive[:K] | dyn | fetchadd | snzi-D")
+		workers    = flag.Int("workers", 0, "workers for the live demo (0 = GOMAXPROCS)")
+		maxworkers = flag.Int("maxworkers", 0, "worker-pool ceiling for the live demo; > workers makes the pool elastic (0 = fixed)")
 	)
 	flag.Parse()
 
@@ -66,18 +75,45 @@ func main() {
 		fmt.Fprintln(os.Stderr, "contention:", err)
 		os.Exit(2)
 	}
-	rt := repro.NewRuntime(repro.WithWorkers(*workers), repro.WithCounter(*algo))
+	rt := repro.NewRuntime(repro.WithWorkers(*workers), repro.WithMaxWorkers(*maxworkers), repro.WithCounter(*algo))
 	defer rt.Close()
-	fmt.Printf("\nlive runtime (%d workers, counter %q): phase-shift, %d prologue tasks then a %d-leaf storm\n",
-		rt.Workers(), *algo, *n/4, *n)
+	pool := fmt.Sprintf("%d workers", rt.Workers())
+	if *maxworkers > 0 {
+		pool = fmt.Sprintf("%d..%d workers, elastic", rt.Workers(), *maxworkers)
+	}
+	fmt.Printf("\nlive runtime (%s, counter %q): phase-shift, %d prologue tasks then a %d-leaf storm\n",
+		pool, *algo, *n/4, *n)
 
 	// The canonical kernel (internal/workload.PhaseShift: calibrated
 	// low-contention prologue, then the fan-in storm) rather than an
 	// inline copy that could drift from what the benchmarks measure.
 	before := rt.Stats().Promotions
-	res := workload.PhaseShift(rt.Nested(), *n)
+	var res workload.Result
+	if *maxworkers > 0 {
+		// One computation is one injected root — no backlog, nothing to
+		// spawn from. Run the storm on concurrent lanes so the elastic
+		// pool has a burst to respond to.
+		lanes := 2 * *maxworkers
+		var wg sync.WaitGroup
+		results := make([]workload.Result, lanes)
+		for lane := 0; lane < lanes; lane++ {
+			wg.Add(1)
+			go func(lane int) {
+				defer wg.Done()
+				results[lane] = workload.PhaseShift(rt.Nested(), *n)
+			}(lane)
+		}
+		wg.Wait()
+		res = results[0]
+	} else {
+		res = workload.PhaseShift(rt.Nested(), *n)
+	}
 	fmt.Printf("%s\n", res)
 	stats := rt.Stats()
+	if *maxworkers > 0 {
+		fmt.Printf("elastic pool: live=%d spawned=%d retired=%d (parked workers retire after idling)\n",
+			stats.Workers, stats.SpawnedWorkers, stats.RetiredWorkers)
+	}
 	switch {
 	case rt.Dag().Algorithm().Name() != "adaptive":
 		fmt.Printf("counter %q is static — nothing to settle (vertices=%d steals=%d)\n",

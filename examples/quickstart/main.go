@@ -3,19 +3,33 @@
 // It doubles a slice in parallel on the package-level default runtime,
 // then creates an explicit runtime (work-stealing scheduler + sp-dag +
 // in-counter dependency tracking), sums the slice with a typed
-// parallel reduction, and prints runtime statistics. Run with:
+// parallel reduction, and prints runtime statistics. With -maxworkers
+// the explicit runtime's pool is elastic: it grows from -workers up to
+// the ceiling under a burst of concurrent computations and retires the
+// extra workers once the burst is over — the spawn/retire counters
+// printed at the end show the movement. Run with:
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -workers 1 -maxworkers 8
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"sync"
+	"time"
 
 	"repro"
 )
 
 func main() {
+	var (
+		workers    = flag.Int("workers", 0, "worker-pool floor (0 = GOMAXPROCS)")
+		maxworkers = flag.Int("maxworkers", 0, "worker-pool ceiling; > workers makes the pool elastic (0 = fixed)")
+	)
+	flag.Parse()
+
 	const n = 1 << 20
 	xs := make([]int64, n)
 	for i := range xs {
@@ -35,7 +49,10 @@ func main() {
 
 	// Typed parallel reduction on an explicit runtime: sum the slice
 	// with divide-and-conquer ForkJoins under the hood.
-	rt := repro.NewRuntime(repro.WithWorkers(0)) // 0 = GOMAXPROCS
+	rt := repro.NewRuntime(
+		repro.WithWorkers(*workers),
+		repro.WithMaxWorkers(*maxworkers),
+	)
 	defer rt.Close()
 
 	total, err := repro.ParallelReduce(rt, 0, n, 4096,
@@ -58,4 +75,32 @@ func main() {
 	st := rt.Stats()
 	fmt.Printf("sum of doubled [0,%d) = %d\n", n, total)
 	fmt.Printf("workers=%d vertices=%d steals=%d\n", st.Workers, st.Vertices, st.Steals)
+
+	if *maxworkers <= 0 {
+		return
+	}
+	// Elastic demo: a burst of concurrent computations (each Run
+	// injects its own root, and sustained injector backlog is the
+	// spawn signal) grows the pool toward the ceiling; once the burst
+	// ends, workers that stay parked retire back to the floor.
+	var wg sync.WaitGroup
+	for lane := 0; lane < 2*(*maxworkers); lane++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := rt.Run(func(c *repro.Ctx) {
+				c.ParallelFor(0, n/8, 1024, func(i int) { xs[i] += 1 })
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	wg.Wait()
+	st = rt.Stats()
+	fmt.Printf("after burst:   workers=%d spawned=%d retired=%d\n",
+		st.Workers, st.SpawnedWorkers, st.RetiredWorkers)
+	time.Sleep(500 * time.Millisecond) // outlast the retirement threshold
+	st = rt.Stats()
+	fmt.Printf("after quiesce: workers=%d spawned=%d retired=%d\n",
+		st.Workers, st.SpawnedWorkers, st.RetiredWorkers)
 }

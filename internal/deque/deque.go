@@ -136,6 +136,22 @@ func (d *Deque[T]) Steal() (x *T, empty bool) {
 	return x, false
 }
 
+// ReleaseStorage drops the ring buffer of an empty deque so a dormant
+// owner (a retired scheduler worker) does not pin it until the slot is
+// reused. Owner-only, and only on an empty deque — it panics
+// otherwise, since dropping the ring would lose the queued elements.
+// Concurrent thieves are safe: with the deque empty they observe
+// top ≥ bottom and return before touching the array (and a nil array
+// also reads as empty). The indices are left where they are; the next
+// PushBottom lazily allocates a fresh ring and keeps counting from the
+// same positions.
+func (d *Deque[T]) ReleaseStorage() {
+	if d.Size() != 0 {
+		panic("deque: ReleaseStorage on a non-empty deque")
+	}
+	d.array.Store(nil)
+}
+
 // Size returns a snapshot of the number of elements. It is exact only
 // when no operations are concurrent; use it for monitoring and tests.
 func (d *Deque[T]) Size() int64 {

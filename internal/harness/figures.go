@@ -79,6 +79,7 @@ func Figures() map[string]func(Options) (*Report, error) {
 		"14":        Fig14,
 		"15":        Fig15,
 		"phase":     PhaseShift,
+		"burst":     Burst,
 		"stalls":    StallModel,
 		"ablations": Ablations,
 	}
@@ -86,7 +87,7 @@ func Figures() map[string]func(Options) (*Report, error) {
 
 // FigureOrder lists the drivers in presentation order.
 func FigureOrder() []string {
-	return []string{"8", "9", "10", "11", "12", "13", "14", "15", "phase", "stalls", "ablations"}
+	return []string{"8", "9", "10", "11", "12", "13", "14", "15", "phase", "burst", "stalls", "ablations"}
 }
 
 // runSeries measures one spec per procs value and adds a table row per
@@ -169,6 +170,52 @@ func PhaseShift(o Options) (*Report, error) {
 	rep.Tables[len(rep.Tables)-1].AddRow(promRow...)
 	rep.Notes = append(rep.Notes,
 		"expected shape: fetchadd wins the prologue, dyn the storm; adaptive starts as the cell and promotes when the storm hits (promotions > 0 at contended core counts)")
+	return rep, nil
+}
+
+// Burst measures the bursty service kernel (not a figure of the
+// paper; see internal/workload.Burst): alternating idle gaps and
+// concurrent fan-out storms, across three pool configurations — fixed
+// at the floor (cheap but slow in the storms), fixed at the ceiling
+// (fast but permanently resident), and elastic (floor 1, growing to
+// the ceiling under the storms' injector backlog). The workers columns
+// show what the figure exists to show: the elastic pool reaches the
+// fixed-max pool's peak during storms yet quiesces back to one
+// resident worker, with the spawn/retire counters recording the
+// movement.
+func Burst(o Options) (*Report, error) {
+	o = o.fill()
+	rep := &Report{Figure: "Burst", Title: "Bursty fan-out storms: fixed-min vs fixed-max vs elastic pool"}
+	n := o.n(defaultN / 16)
+	ceiling := o.MaxProcs
+	configs := []struct {
+		name        string
+		procs, elas int
+	}{
+		{"fixed-min", 1, 0},
+		{fmt.Sprintf("fixed-max(%d)", ceiling), ceiling, 0},
+		{fmt.Sprintf("elastic(1..%d)", ceiling), 1, ceiling},
+	}
+	tbl := stats.NewTable(fmt.Sprintf("burst n=%d/lane: throughput and worker residency by pool", n),
+		"pool", "ops/sec", "peak workers", "steady workers", "spawned", "retired")
+	for _, cfg := range configs {
+		o.progress("burst %s", cfg.name)
+		m, err := Run(Spec{Bench: "burst", Algo: "adaptive", Procs: cfg.procs,
+			MaxWorkers: cfg.elas, N: n, Runs: o.Runs, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		rep.Measurements = append(rep.Measurements, m)
+		tbl.AddRow(cfg.name,
+			m.OpsPerSecPerCore*float64(max(m.PeakWorkers, cfg.procs)),
+			fmt.Sprintf("%d", m.PeakWorkers),
+			fmt.Sprintf("%d", m.SteadyWorkers),
+			fmt.Sprintf("%d", m.Spawned),
+			fmt.Sprintf("%d", m.Retired))
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	rep.Notes = append(rep.Notes,
+		"expected shape: elastic throughput within ~10% of fixed-max, steady workers back at 1 (fixed-max stays resident at its full size through every idle gap)")
 	return rep, nil
 }
 

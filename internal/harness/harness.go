@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/counter"
@@ -20,16 +21,20 @@ import (
 
 // Spec is one measurement point.
 type Spec struct {
-	Bench     string // fanin | indegree2 | fanin-work | fanin-numa | phase-shift | snzi-stress
-	Algo      string // fetchadd | dyn | adaptive[:K] | snzi-D (counter.Parse syntax)
-	Procs     int
-	N         uint64
-	Threshold uint64              // dyn grow denominator; 0 → 25·Procs (paper default)
-	WorkNs    int                 // dummy work per leaf (fanin-work)
-	Numa      workload.NumaPolicy // placement proxy (fanin-numa)
-	Variant   uint8               // in-counter ablation variant bits
-	Runs      int                 // measured repetitions (≥1)
-	Seed      uint64
+	Bench string // fanin | indegree2 | fanin-work | fanin-numa | phase-shift | burst | snzi-stress
+	Algo  string // fetchadd | dyn | adaptive[:K] | snzi-D (counter.Parse syntax)
+	Procs int
+	// MaxWorkers, when > Procs, runs the benchmark on an elastic pool
+	// with floor Procs and ceiling MaxWorkers (0 = fixed pool of
+	// Procs). Used by the burst figure.
+	MaxWorkers int
+	N          uint64
+	Threshold  uint64              // dyn grow denominator; 0 → 25·max(Procs, MaxWorkers) (paper default)
+	WorkNs     int                 // dummy work per leaf (fanin-work)
+	Numa       workload.NumaPolicy // placement proxy (fanin-numa)
+	Variant    uint8               // in-counter ablation variant bits
+	Runs       int                 // measured repetitions (≥1)
+	Seed       uint64
 }
 
 // Measurement is the averaged result of one Spec.
@@ -45,6 +50,16 @@ type Measurement struct {
 	// in-counter across the measured runs (0 for static algorithms) —
 	// the "which algorithm did adaptive settle on" statistic.
 	Promotions uint64
+	// Elastic-pool movement (burst benchmark): peak live workers
+	// observed during the measured runs, the resident worker count
+	// after the pool was given time to quiesce, and the runtime's
+	// cumulative spawn/retire counts (warmup included — a warm pool
+	// spawns once and stays grown through the measured runs). For a
+	// fixed pool Peak == Steady == Procs and the movement counts are 0.
+	PeakWorkers   int
+	SteadyWorkers int
+	Spawned       uint64
+	Retired       uint64
 }
 
 func (m Measurement) String() string {
@@ -78,6 +93,13 @@ func (m Measurement) Block() *report.Block {
 	if strings.HasPrefix(m.Spec.Algo, "adaptive") {
 		b.Out("nb_promotions", m.Promotions)
 	}
+	if m.Spec.Bench == "burst" {
+		b.In("maxproc", m.Spec.MaxWorkers).
+			Out("nb_peak_workers", m.PeakWorkers).
+			Out("nb_steady_workers", m.SteadyWorkers).
+			Out("nb_spawned_workers", m.Spawned).
+			Out("nb_retired_workers", m.Retired)
+	}
 	return b
 }
 
@@ -95,7 +117,9 @@ func Run(spec Spec) (Measurement, error) {
 	}
 	threshold := spec.Threshold
 	if threshold == 0 {
-		threshold = nested.DefaultThreshold(spec.Procs)
+		// The ceiling, like nested.New: the contention-relevant p of an
+		// elastic pool is how many workers can actually collide.
+		threshold = nested.DefaultThreshold(max(spec.Procs, spec.MaxWorkers))
 	}
 
 	if spec.Bench == "snzi-stress" {
@@ -122,7 +146,15 @@ func Run(spec Spec) (Measurement, error) {
 		alg = d
 	}
 
-	rt := nested.New(nested.Config{Workers: spec.Procs, Algorithm: alg, Seed: spec.Seed})
+	// The burst benchmark keeps its idle gaps below the retirement
+	// threshold, so an elastic pool stays warm across the storms of one
+	// run but sheds its extra workers between measurement points.
+	const burstRetireAfter = 25 * time.Millisecond
+	rt := nested.New(nested.Config{
+		Workers: spec.Procs, MaxWorkers: spec.MaxWorkers,
+		RetireAfter: burstRetireAfter,
+		Algorithm:   alg, Seed: spec.Seed,
+	})
 	defer rt.Close()
 
 	one := func() workload.Result {
@@ -137,42 +169,78 @@ func Run(spec Spec) (Measurement, error) {
 			return workload.Indegree2(rt, spec.N)
 		case "phase-shift":
 			return workload.PhaseShift(rt, spec.N)
+		case "burst":
+			ceiling := spec.MaxWorkers
+			if ceiling < spec.Procs {
+				ceiling = spec.Procs
+			}
+			return workload.Burst(rt, workload.BurstConfig{
+				Leaves: spec.N, Storms: 4, Lanes: 2 * ceiling,
+				Gap: 2 * time.Millisecond,
+			})
 		default:
 			panic(fmt.Sprintf("harness: unknown bench %q", spec.Bench))
 		}
 	}
 	switch spec.Bench {
-	case "fanin", "fanin-work", "fanin-numa", "indegree2", "phase-shift":
+	case "fanin", "fanin-work", "fanin-numa", "indegree2", "phase-shift", "burst":
 	default:
 		return Measurement{}, fmt.Errorf("harness: unknown bench %q", spec.Bench)
 	}
 
 	one() // warmup
-	steals0 := rt.Scheduler().Stats().Steals
+	sc := rt.Scheduler()
+	steals0 := sc.Stats().Steals
 	var prom0 uint64
 	if pr, ok := alg.(counter.PromotionReporter); ok {
 		prom0 = pr.Promotions()
 	}
 	times := make([]float64, 0, spec.Runs)
 	var last workload.Result
+	peak := 0
 	for i := 0; i < spec.Runs; i++ {
 		last = one()
 		times = append(times, last.Elapsed.Seconds())
+		if last.Workers > peak {
+			peak = last.Workers
+		}
 	}
 	sum := stats.Summarize(times)
+	// Per-core throughput divides by the workers that were actually
+	// available: the fixed pool's size, or the elastic pool's observed
+	// peak.
+	cores := max(spec.Procs, peak)
 	m := Measurement{
 		Spec:             spec,
 		Seconds:          sum,
 		CounterOps:       last.CounterOps,
 		Vertices:         last.Vertices,
 		IncounterNodes:   last.FinalNodes,
-		Steals:           rt.Scheduler().Stats().Steals - steals0,
-		OpsPerSecPerCore: float64(last.CounterOps) / sum.Mean / float64(spec.Procs),
+		Steals:           sc.Stats().Steals - steals0,
+		OpsPerSecPerCore: float64(last.CounterOps) / sum.Mean / float64(cores),
+		PeakWorkers:      peak,
 	}
 	if pr, ok := alg.(counter.PromotionReporter); ok {
 		// Delta against the warmup, like Steals: the stats sink is
 		// shared across every run on this runtime.
 		m.Promotions = pr.Promotions() - prom0
+	}
+	if spec.Bench == "burst" {
+		// Resident worker count once the load is gone: give the pool a
+		// few retirement periods to quiesce, then read what is left —
+		// the floor for a healthy elastic pool, the full size for a
+		// fixed one.
+		deadline := time.Now().Add(10 * burstRetireAfter)
+		for sc.NumWorkers() > sc.MinWorkers() && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		m.SteadyWorkers = sc.NumWorkers()
+		// Cumulative, not a delta against the warmup: a warm elastic
+		// pool spawns during the warmup and then stays grown through
+		// the measured runs, so the delta would hide the movement the
+		// figure exists to show.
+		m.Spawned = sc.SpawnedWorkers()
+		m.Retired = sc.RetiredWorkers()
 	}
 	m.Spec.Threshold = threshold
 	return m, nil

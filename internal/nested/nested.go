@@ -53,8 +53,10 @@ package nested
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/counter"
 	"repro/internal/sched"
@@ -84,8 +86,21 @@ type Runtime struct {
 // Config tunes a Runtime.
 type Config struct {
 	// Workers is the number of scheduler workers (the evaluation's
-	// `proc` axis); ≤ 0 means GOMAXPROCS.
+	// `proc` axis); ≤ 0 means GOMAXPROCS. With MaxWorkers set it is the
+	// floor of an elastic pool.
 	Workers int
+	// MaxWorkers, when > Workers, makes the worker pool elastic: the
+	// scheduler grows from Workers up to MaxWorkers under sustained
+	// injector backlog and retires the extra workers after long parks
+	// (see internal/sched's doc.go). 0 means a fixed pool of exactly
+	// Workers; New panics when 0 < MaxWorkers < Workers — with
+	// Workers ≤ 0 resolving to GOMAXPROCS, a too-small ceiling is
+	// always a configuration bug better reported than guessed around.
+	MaxWorkers int
+	// RetireAfter is how long an elastic worker above the floor stays
+	// parked before it retires; ≤ 0 means the scheduler default
+	// (100ms). Ignored by fixed pools.
+	RetireAfter time.Duration
 	// Algorithm is the dependency-counter algorithm; nil means the
 	// contention-adaptive counter: a fetch-and-add cell per finish
 	// block that promotes itself to the paper's in-counter (grow
@@ -125,20 +140,33 @@ func New(cfg Config) *Runtime {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	maxWorkers := cfg.MaxWorkers
+	if maxWorkers <= 0 {
+		maxWorkers = workers
+	}
+	if maxWorkers < workers {
+		panic(fmt.Sprintf("nested: Config.MaxWorkers (%d) below Workers (%d)", maxWorkers, workers))
+	}
 	alg := cfg.Algorithm
+	// The paper-default grow threshold is 25·p for p processors (§5);
+	// for an elastic pool the contention-relevant p is the ceiling —
+	// that is how many workers can actually collide on a counter.
 	if alg == nil && cfg.CounterSpec != "" {
-		a, err := counter.Parse(cfg.CounterSpec, DefaultThreshold(workers))
+		a, err := counter.Parse(cfg.CounterSpec, DefaultThreshold(maxWorkers))
 		if err != nil {
 			panic("nested: Config.CounterSpec: " + err.Error())
 		}
 		alg = a
 	}
 	if alg == nil {
-		alg = counter.NewAdaptive(0, DefaultThreshold(workers))
+		alg = counter.NewAdaptive(0, DefaultThreshold(maxWorkers))
 	}
-	sopts := []sched.Option{sched.WithPolicy(cfg.Policy)}
+	sopts := []sched.Option{sched.WithPolicy(cfg.Policy), sched.WithMaxWorkers(maxWorkers)}
 	if cfg.Seed != 0 {
 		sopts = append(sopts, sched.WithSeed(cfg.Seed))
+	}
+	if cfg.RetireAfter > 0 {
+		sopts = append(sopts, sched.WithRetireAfter(cfg.RetireAfter))
 	}
 	s := sched.New(workers, sopts...)
 	dopts := []spdag.Option{spdag.WithScheduler(s.Submit)}
@@ -174,7 +202,9 @@ func (r *Runtime) Scheduler() *sched.Scheduler { return r.sched }
 // Dag exposes the underlying dag (for stats and validation).
 func (r *Runtime) Dag() *spdag.Dag { return r.dag }
 
-// Workers returns the worker count.
+// Workers returns the live worker count: constant for a fixed pool,
+// load-tracking for an elastic one (an idle elastic Runtime quiesces
+// to Config.Workers).
 func (r *Runtime) Workers() int { return r.sched.NumWorkers() }
 
 // Run executes f under a top-level finish and blocks the calling

@@ -97,6 +97,75 @@ func TestParkedWorkersBurnNoCPU(t *testing.T) {
 	}
 }
 
+// TestElasticIdleQuiesceBurnsNoCPU extends the idle-cost criterion to
+// the elastic pool: a Runtime sized 1..8 that just served a burst must
+// shed the extra workers and then cost ~0 CPU — the combination the
+// elastic pool exists for (a fixed 8-worker pool would hold 8 deques,
+// stacks, and steal-loop participants through the idle window; a pool
+// that failed to quiesce would burn timer wake-ups forever).
+func TestElasticIdleQuiesceBurnsNoCPU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based")
+	}
+	const max = 8
+	s := New(1, WithSeed(11), WithMaxWorkers(max), WithRetireAfter(10*time.Millisecond))
+	d := spdag.New(counter.FetchAdd{}, spdag.WithScheduler(s.Submit))
+	s.Start()
+	defer s.Shutdown()
+
+	// Grow the pool deterministically: wedge every spawnable worker on
+	// a blocking vertex while submissions keep arriving. release must
+	// close before the deferred Shutdown (deferred later, so it runs
+	// first), or a failure would strand the wedged workers and hang
+	// Shutdown's wait.
+	release := make(chan struct{})
+	released := false
+	defer func() {
+		if !released {
+			close(release)
+		}
+	}()
+	var blocked atomic.Int64
+	submit := func(body spdag.Body) {
+		v := d.NewVertex(nil, nil, 0)
+		v.SetBody(body)
+		v.TrySchedule()
+	}
+	for i := 0; i < max; i++ {
+		submit(func(*spdag.Vertex) { blocked.Add(1); <-release })
+		time.Sleep(time.Millisecond)
+	}
+	// Every spawn needs a run of backlogged wake attempts; keep feeding
+	// no-op submissions until the whole pool is wedged.
+	deadline := time.Now().Add(10 * time.Second)
+	for blocked.Load() != max {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool did not grow: %d of %d workers wedged (live=%d)", blocked.Load(), max, s.NumWorkers())
+		}
+		submit(func(*spdag.Vertex) {})
+		time.Sleep(time.Millisecond)
+	}
+	released = true
+	close(release)
+
+	// Quiesce: back to the 1-worker floor, that worker parked.
+	deadline = time.Now().Add(10 * time.Second)
+	for s.NumWorkers() != 1 || s.ParkedWorkers() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool did not quiesce: live=%d parked=%d retired=%d",
+				s.NumWorkers(), s.ParkedWorkers(), s.RetiredWorkers())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := cpuTime()
+	time.Sleep(300 * time.Millisecond)
+	used := cpuTime() - start
+	if limit := 30 * time.Millisecond; used > limit {
+		t.Fatalf("idle elastic scheduler used %v CPU over 300ms (limit %v) after quiescing to the floor", used, limit)
+	}
+}
+
 // TestShutdownWakesParkedWorkers: Shutdown must not hang on parked
 // workers.
 func TestShutdownWakesParkedWorkers(t *testing.T) {

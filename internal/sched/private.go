@@ -14,10 +14,11 @@ package sched
 // of synchronization — the trade-off is steal latency bounded by the
 // victim's polling interval (one vertex execution).
 //
-// Interaction with parking: a parked worker cannot answer steal
-// requests, so thieves skip parked victims, and a thief whose victim
-// parks mid-request withdraws the request. Withdrawal and answering
-// are serialized through the victim's request cell: the victim CASes
+// Interaction with parking and retirement: a parked or dormant worker
+// cannot answer steal requests, so thieves skip parked and dormant
+// victims, and a thief whose victim parks — or retires — mid-request
+// withdraws the request. Withdrawal and answering are serialized
+// through the victim's request cell: the victim CASes
 // the request out (committing to answer) BEFORE storing into the
 // thief's transfer cell, and the thief CASes the same cell to
 // withdraw, so exactly one side wins. If the withdrawal wins, no
@@ -51,9 +52,7 @@ type privateState struct {
 
 func (w *worker) pushPrivate(v *spdag.Vertex) {
 	w.pd.queue = append(w.pd.queue, v)
-	if w.s.nparked.Load() != 0 {
-		w.s.wakeOne()
-	}
+	w.s.signalWork()
 }
 
 func (w *worker) popPrivate() *spdag.Vertex {
@@ -112,7 +111,11 @@ func (w *worker) runPrivate() {
 		}
 		if v == nil {
 			idleRounds++
-			if w.backoff(idleRounds) {
+			woken, retired := w.backoff(idleRounds)
+			if retired {
+				return // retire already released any waiting thief
+			}
+			if woken {
 				idleRounds = 0 // parked and woken: rescan eagerly
 			}
 			continue
@@ -145,8 +148,8 @@ func (w *worker) findWorkPrivate() *spdag.Vertex {
 		return nil
 	}
 	victim := w.s.workers[w.g.Uint64n(uint64(n))]
-	if victim == w || victim.parked.Load() {
-		return nil // self, or a victim that cannot answer
+	if victim == w || victim.parked.Load() || !victim.live() {
+		return nil // self, or a parked/dormant victim that cannot answer
 	}
 	if !victim.pd.request.CompareAndSwap(noThief, int32(w.id)) {
 		return nil // victim busy with another thief; back off and retry
@@ -165,15 +168,17 @@ func (w *worker) findWorkPrivate() *spdag.Vertex {
 		if w.s.stop.Load() {
 			return nil
 		}
-		if victim.parked.Load() {
-			// The victim went to sleep without committing to an answer.
-			// Withdraw the request so it does not block other thieves when
-			// the victim wakes. The CAS races with the victim's commit CAS
-			// in respond, and exactly one wins: success here means the
-			// victim never committed, so no answer is or ever will be in
-			// flight and leaving is safe; failure means the victim
-			// committed and the answer is imminent — keep looping, the
-			// swap above will collect it.
+		if victim.parked.Load() || !victim.live() {
+			// The victim went to sleep — or retired — without committing
+			// to an answer. Withdraw the request so it does not block
+			// other thieves when the victim wakes (or a fresh spawn
+			// reclaims the slot). The CAS races with the victim's commit
+			// CAS in respond — the retire path runs one final respond
+			// after marking the slot dormant — and exactly one wins:
+			// success here means the victim never committed, so no answer
+			// is or ever will be in flight and leaving is safe; failure
+			// means the victim committed and the answer is imminent —
+			// keep looping, the swap above will collect it.
 			if victim.pd.request.CompareAndSwap(int32(w.id), noThief) {
 				return nil
 			}

@@ -1,19 +1,3 @@
-// Package sched implements the work-stealing scheduler substrate the
-// paper's runtime builds on (its reference [2]): a fixed pool of
-// workers, each with a Chase–Lev deque of ready sp-dag vertices,
-// executing locally in LIFO order and stealing from random victims in
-// FIFO order when idle.
-//
-// The scheduler is deliberately simple — the subject of the paper is
-// the dependency counter, and the evaluation's `proc` axis only needs
-// a faithful structured-scheduling environment: local pushes from
-// running vertices, randomized stealing, and an external injection
-// path for roots. Two costs are engineered away so that measured
-// throughput reflects the counter rather than the scheduler: external
-// submission is a lock-free intrusive queue (injector.go), and idle
-// workers park on a semaphore after a short spin/yield phase instead
-// of sleep-polling, so an idle multi-tenant Runtime consumes no CPU
-// (see the worker lifecycle notes on park).
 package sched
 
 import (
@@ -21,16 +5,21 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/deque"
 	"repro/internal/rng"
 	"repro/internal/spdag"
 )
 
-// Scheduler executes sp-dag vertices on a fixed set of workers.
+// Scheduler executes sp-dag vertices on an elastic pool of workers:
+// between min (New's worker count) and max (WithMaxWorkers) of the
+// fixed worker slots are live at any time. See doc.go for the
+// lifecycle.
 type Scheduler struct {
-	workers []*worker
+	workers []*worker // all slots, len == max; never mutated after New
 	policy  Policy
+	min     int
 	stop    atomic.Bool
 	wg      sync.WaitGroup
 	started atomic.Bool
@@ -39,6 +28,26 @@ type Scheduler struct {
 	// Producers read it on every push; it only changes on park/unpark
 	// transitions, so in a busy scheduler the line is read-shared.
 	nparked atomic.Int32
+
+	// nlive counts live workers (running or parked; not dormant slots).
+	// It moves only on spawn/retire, both rare.
+	nlive atomic.Int32
+
+	// elastic is min < max, precomputed: fixed pools must pay nothing
+	// for the spawn machinery on the push path.
+	elastic     bool
+	retireAfter time.Duration
+
+	// pressure counts consecutive wake attempts that found injector
+	// backlog but no parked worker to claim; crossing spawnPressure
+	// spawns a worker (the sustained-backlog signal, see doc.go).
+	pressure atomic.Int32
+
+	// spawnMu serializes goroutine creation against Shutdown so a spawn
+	// cannot race the WaitGroup's final Wait.
+	spawnMu sync.Mutex
+	spawned atomic.Uint64 // elastic spawns (beyond Start's min workers)
+	retired atomic.Uint64 // retirements
 
 	inj injector
 }
@@ -63,6 +72,29 @@ func (p Policy) String() string {
 	return "chase-lev"
 }
 
+// Worker slot states (worker.state). A slot is dormant when no
+// goroutine runs its loop — either it has not been spawned yet or its
+// worker retired; its storage (deque ring, freelist) has been released
+// and only the identity fields remain. retiring is the drain window in
+// between: thieves already treat the slot as unable to answer, but a
+// spawner must not claim it until the departing goroutine has finished
+// handing its storage back — the dormant store is what publishes the
+// drained state to the claiming CAS.
+const (
+	wsDormant int32 = iota
+	wsRetiring
+	wsLive
+)
+
+// Spawn/retire tuning. spawnPressure is the number of consecutive
+// backlogged wake attempts that constitute a sustained backlog;
+// defaultRetireAfter is how long a worker above the minimum stays
+// parked before it retires.
+const (
+	spawnPressure      = 2
+	defaultRetireAfter = 100 * time.Millisecond
+)
+
 // workerStats holds the per-worker counters on a cache line of their
 // own: the leading pad shields them from the worker's scheduling state
 // (deque indices, park flag), the trailing pad from whatever follows
@@ -75,7 +107,8 @@ type workerStats struct {
 	_        [48]byte
 }
 
-// worker is one scheduling thread: a goroutine pinned to a deque.
+// worker is one scheduling slot: a goroutine pinned to a deque while
+// live, an empty shell while dormant.
 type worker struct {
 	s   *Scheduler
 	id  int
@@ -84,21 +117,38 @@ type worker struct {
 	g   *rng.Xoshiro256ss
 	ctx spdag.ExecContext
 
+	// state is the slot lifecycle flag (wsDormant/wsLive). Spawners CAS
+	// dormant→live; the retiring worker itself stores dormant. Thieves
+	// under PrivateDeques read it to avoid posting requests to victims
+	// that cannot answer.
+	state atomic.Int32
+
 	// Parking state: parked is the claim flag (a waker CASes it
 	// true→false to take responsibility for exactly one wake), sema the
-	// binary semaphore the parked goroutine blocks on. See park.
+	// binary semaphore the parked goroutine blocks on. See park. A
+	// retiring worker decommissions the flag with the same CAS a waker
+	// uses, claiming itself (see parkTimed).
 	parked atomic.Bool
 	sema   chan struct{}
 
+	// timer arms timed parks (retirement); lazily allocated and reused
+	// (Go 1.23 timer semantics: Reset/Stop discard any pending tick,
+	// so no drain discipline is needed — or safe, see parkTimed).
+	timer *time.Timer
+
 	stats workerStats
 }
+
+func (w *worker) live() bool { return w.state.Load() == wsLive }
 
 // Option configures a Scheduler.
 type Option func(*config)
 
 type config struct {
-	seed   uint64
-	policy Policy
+	seed        uint64
+	policy      Policy
+	max         int
+	retireAfter time.Duration
 }
 
 // WithSeed fixes the per-worker RNG seeds for reproducible runs.
@@ -111,8 +161,25 @@ func WithPolicy(p Policy) Option {
 	return func(c *config) { c.policy = p }
 }
 
-// New creates a scheduler with p workers (p ≤ 0 means GOMAXPROCS).
-// Call Start to launch the workers.
+// WithMaxWorkers makes the pool elastic: it may grow from New's worker
+// count (the minimum) up to max under sustained injector backlog, and
+// shrinks back when the extra workers stay parked. max ≤ 0 (the
+// default) means a fixed pool of exactly the minimum; New panics when
+// 0 < max < min, which is always a configuration bug.
+func WithMaxWorkers(max int) Option {
+	return func(c *config) { c.max = max }
+}
+
+// WithRetireAfter sets how long a worker above the minimum stays
+// parked before it retires (default 100ms). It only matters for
+// elastic pools; d ≤ 0 keeps the default.
+func WithRetireAfter(d time.Duration) Option {
+	return func(c *config) { c.retireAfter = d }
+}
+
+// New creates a scheduler with p workers (p ≤ 0 means GOMAXPROCS);
+// with WithMaxWorkers(max), p is the minimum of an elastic pool that
+// can grow to max. Call Start to launch the (minimum) workers.
 func New(p int, opts ...Option) *Scheduler {
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
@@ -121,8 +188,24 @@ func New(p int, opts ...Option) *Scheduler {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	s := &Scheduler{workers: make([]*worker, p), policy: cfg.policy}
+	if cfg.max <= 0 {
+		cfg.max = p
+	}
+	if cfg.max < p {
+		panic(fmt.Sprintf("sched: WithMaxWorkers(%d) below the minimum worker count %d", cfg.max, p))
+	}
+	if cfg.retireAfter <= 0 {
+		cfg.retireAfter = defaultRetireAfter
+	}
+	s := &Scheduler{
+		workers:     make([]*worker, cfg.max),
+		policy:      cfg.policy,
+		min:         p,
+		elastic:     cfg.max > p,
+		retireAfter: cfg.retireAfter,
+	}
 	s.inj.init()
+	s.nlive.Store(int32(p))
 	for i := range s.workers {
 		w := &worker{s: s, id: i, g: rng.NewXoshiro(cfg.seed + uint64(i)*0x9e37), sema: make(chan struct{}, 1)}
 		w.pd.request.Store(noThief)
@@ -131,6 +214,9 @@ func New(p int, opts ...Option) *Scheduler {
 			push = w.pushPrivate
 		}
 		w.ctx = spdag.ExecContext{G: w.g, Push: push}
+		if i < p {
+			w.state.Store(wsLive)
+		}
 		s.workers[i] = w
 	}
 	return s
@@ -139,27 +225,52 @@ func New(p int, opts ...Option) *Scheduler {
 // Policy returns the stealing mechanism in use.
 func (s *Scheduler) Policy() Policy { return s.policy }
 
-// NumWorkers returns the worker count (the `proc` axis of the
-// evaluation).
-func (s *Scheduler) NumWorkers() int { return len(s.workers) }
+// NumWorkers returns the number of live workers — the `proc` axis of
+// the evaluation. For a fixed pool it is constant; for an elastic pool
+// it moves between MinWorkers and MaxWorkers with load, and an idle
+// scheduler quiesces to MinWorkers.
+func (s *Scheduler) NumWorkers() int { return int(s.nlive.Load()) }
+
+// MinWorkers returns the pool's floor: the worker count New was given.
+func (s *Scheduler) MinWorkers() int { return s.min }
+
+// MaxWorkers returns the pool's ceiling (== MinWorkers for a fixed
+// pool).
+func (s *Scheduler) MaxWorkers() int { return len(s.workers) }
+
+// SpawnedWorkers returns how many workers the elastic pool spawned
+// beyond Start's initial minimum (cumulative; 0 for a fixed pool).
+func (s *Scheduler) SpawnedWorkers() uint64 { return s.spawned.Load() }
+
+// RetiredWorkers returns how many workers have retired (cumulative; 0
+// for a fixed pool).
+func (s *Scheduler) RetiredWorkers() uint64 { return s.retired.Load() }
 
 // ParkedWorkers returns the number of workers currently parked. A
 // started scheduler with no work quiesces to ParkedWorkers() ==
 // NumWorkers(); tests use this to assert an idle Runtime costs no CPU.
 func (s *Scheduler) ParkedWorkers() int { return int(s.nparked.Load()) }
 
-// Start launches the worker goroutines. It may be called once.
+// Start launches the minimum worker goroutines. It may be called once.
 func (s *Scheduler) Start() {
 	if s.started.Swap(true) {
 		panic("sched: Start called twice")
 	}
 	for _, w := range s.workers {
-		s.wg.Add(1)
-		if s.policy == PrivateDeques {
-			go w.runPrivate()
-		} else {
-			go w.run()
+		if !w.live() {
+			continue
 		}
+		s.wg.Add(1)
+		go w.loop()
+	}
+}
+
+// loop dispatches to the policy's worker loop.
+func (w *worker) loop() {
+	if w.s.policy == PrivateDeques {
+		w.runPrivate()
+	} else {
+		w.run()
 	}
 }
 
@@ -171,7 +282,12 @@ func (s *Scheduler) Start() {
 // frontend's Close, which drains in-flight Runs) first. Start must
 // happen before — not concurrently with — the first Shutdown.
 func (s *Scheduler) Shutdown() {
+	// stop is set under spawnMu so trySpawn can never wg.Add a new
+	// worker after the final Wait has begun: a spawner either observes
+	// stop and backs out, or completed its Add before we got the lock.
+	s.spawnMu.Lock()
 	s.stop.Store(true)
+	s.spawnMu.Unlock()
 	s.wakeAll()
 	s.wg.Wait()
 }
@@ -183,26 +299,103 @@ func (s *Scheduler) Shutdown() {
 // is what lets many Run/nested.Runtime.Run calls proceed concurrently
 // over one scheduler: each computation injects its own root here and
 // the workers interleave them; idle workers drain the injector FIFO
-// before attempting steals, and a parked worker is woken per Submit.
+// before attempting steals, and each Submit wakes a parked worker — or
+// feeds the elastic pool's spawn signal when there is none to wake.
 func (s *Scheduler) Submit(v *spdag.Vertex) {
 	s.inj.push(v)
-	s.wakeOne()
+	s.signalWork()
 }
 
-// wakeOne claims one parked worker and signals its semaphore. The
-// claim (the parked CAS) pairs with exactly one semaphore token, which
-// the worker consumes either in park's sleep or in cancelPark.
-func (s *Scheduler) wakeOne() {
-	if s.nparked.Load() == 0 {
+// signalWork is the producer side of the park/spawn protocol: wake one
+// parked worker if there is one; otherwise, on an elastic pool, treat
+// the attempt as spawn pressure when the injector backlog is
+// non-empty. On the hot path of a busy fixed pool this is a single
+// read of nparked.
+func (s *Scheduler) signalWork() {
+	if s.wakeOne() {
+		if s.elastic {
+			s.pressure.Store(0)
+		}
 		return
+	}
+	if s.elastic {
+		s.maybeSpawn()
+	}
+}
+
+// maybeSpawn implements the sustained-backlog signal: a wake attempt
+// that found no parked worker raises pressure only while the injector
+// holds work *beyond the submission that triggered the attempt*, and
+// the spawnPressure-th consecutive such attempt spawns. The ≥ 2 floor
+// matters because pressure is only sampled at wake attempts: a lone
+// submission into a momentarily-unparked pool always observes its own
+// vertex (size 1), so without the floor a sequence of such one-shot
+// spikes — each fully drained before the next — would masquerade as a
+// sustained backlog.
+func (s *Scheduler) maybeSpawn() {
+	if s.inj.size.Load() < 2 {
+		s.pressure.Store(0)
+		return
+	}
+	if s.pressure.Add(1) < spawnPressure {
+		return
+	}
+	s.pressure.Store(0)
+	s.trySpawn()
+}
+
+// trySpawn launches one dormant slot, if the pool is below max and the
+// scheduler is running. The nlive CAS loop reserves the capacity; the
+// slot scan then claims a dormant worker. The scan can transiently
+// find none (a retiring worker gives up its nlive share just before
+// its slot goes dormant); the reservation is then returned and the
+// next pressure crossing retries.
+func (s *Scheduler) trySpawn() {
+	if !s.started.Load() || s.stop.Load() {
+		return
+	}
+	for {
+		n := s.nlive.Load()
+		if int(n) >= len(s.workers) {
+			return
+		}
+		if s.nlive.CompareAndSwap(n, n+1) {
+			break
+		}
+	}
+	s.spawnMu.Lock()
+	defer s.spawnMu.Unlock()
+	if s.stop.Load() {
+		s.nlive.Add(-1)
+		return
+	}
+	for _, w := range s.workers {
+		if w.state.CompareAndSwap(wsDormant, wsLive) {
+			s.spawned.Add(1)
+			s.wg.Add(1)
+			go w.loop()
+			return
+		}
+	}
+	s.nlive.Add(-1)
+}
+
+// wakeOne claims one parked worker and signals its semaphore,
+// reporting whether it claimed one. The claim (the parked CAS) pairs
+// with exactly one semaphore token, which the worker consumes either
+// in park's sleep or in cancelPark.
+func (s *Scheduler) wakeOne() bool {
+	if s.nparked.Load() == 0 {
+		return false
 	}
 	for _, w := range s.workers {
 		if w.parked.Load() && w.parked.CompareAndSwap(true, false) {
 			s.nparked.Add(-1)
 			w.sema <- struct{}{}
-			return
+			return true
 		}
 	}
+	return false
 }
 
 // wakeAll wakes every parked worker (shutdown).
@@ -238,7 +431,8 @@ type Stats struct {
 }
 
 // Stats sums the per-worker counters. It is exact when the scheduler
-// is quiescent.
+// is quiescent: retired workers leave their stats block with the slot,
+// so totals survive retire/respawn cycles.
 func (s *Scheduler) Stats() Stats {
 	var st Stats
 	for _, w := range s.workers {
@@ -250,23 +444,28 @@ func (s *Scheduler) Stats() Stats {
 
 // String describes the scheduler.
 func (s *Scheduler) String() string {
-	return fmt.Sprintf("sched.Scheduler{workers=%d, policy=%s}", len(s.workers), s.policy)
+	if s.elastic {
+		return fmt.Sprintf("sched.Scheduler{workers=%d..%d, live=%d, policy=%s}",
+			s.min, len(s.workers), s.NumWorkers(), s.policy)
+	}
+	return fmt.Sprintf("sched.Scheduler{workers=%d, policy=%s}", s.min, s.policy)
 }
 
 // push is the worker-local schedule operation for the ChaseLev policy.
-// The nparked read is the only cost it pays for the parking protocol:
-// in a busy scheduler the counter is zero and read-shared, so the
-// common case adds one uncontended load to the push path.
+// The nparked read inside signalWork is the only cost it pays for the
+// parking protocol on a fixed pool: in a busy scheduler the counter is
+// zero and read-shared, so the common case adds one uncontended load
+// to the push path. An elastic pool additionally reads the injector
+// size when nobody is parked, feeding the spawn signal.
 func (w *worker) push(v *spdag.Vertex) {
 	w.dq.PushBottom(v)
-	if w.s.nparked.Load() != 0 {
-		w.s.wakeOne()
-	}
+	w.s.signalWork()
 }
 
 // Worker lifecycle: run ↔ findWork, then spin → yield → park as
-// idleness persists (see backoff/park for the protocol and DESIGN.md
-// for the diagram).
+// idleness persists, and possibly retire out of a long park (see
+// backoff/park for the protocol, doc.go for the diagram, and DESIGN.md
+// §7 for the invariant argument).
 func (w *worker) run() {
 	defer w.s.wg.Done()
 	idleRounds := 0
@@ -277,7 +476,11 @@ func (w *worker) run() {
 		}
 		if v == nil {
 			idleRounds++
-			if w.backoff(idleRounds) {
+			woken, retired := w.backoff(idleRounds)
+			if retired {
+				return
+			}
+			if woken {
 				idleRounds = 0 // parked and woken: rescan eagerly
 			}
 			continue
@@ -289,7 +492,10 @@ func (w *worker) run() {
 }
 
 // findWork polls the external injector, then attempts a round of
-// random steals.
+// random steals. Dormant victims are harmless under ChaseLev — their
+// deques are empty by the retire invariant — so the victim loop does
+// not filter them; it just wastes the occasional attempt on an empty
+// slot.
 func (w *worker) findWork() *spdag.Vertex {
 	if v := w.s.inj.pop(); v != nil {
 		return v
@@ -329,43 +535,140 @@ const (
 )
 
 // backoff escalates with persistent idleness; it reports whether the
-// worker parked (and has since been woken).
-func (w *worker) backoff(rounds int) bool {
+// worker parked and was woken, and whether it retired (in which case
+// the caller must exit its loop — the worker's goroutine is done).
+func (w *worker) backoff(rounds int) (woken, retired bool) {
 	switch {
 	case rounds < spinRounds:
 		// spin
 	case rounds < yieldRounds:
 		runtime.Gosched()
 	default:
-		w.park()
-		return true
+		return w.park()
 	}
-	return false
+	return false, false
 }
 
-// park blocks the worker until new work may exist. The lost-wake-up
-// race is closed by ordering: the worker (1) registers as parked, then
-// (2) rechecks every work source it can observe, then (3) sleeps.
-// Producers enqueue first and read nparked second. Under sequential
-// consistency, either the producer sees the registration (and wakes
-// us) or the recheck sees the enqueued work (and cancels the park) —
-// there is no interleaving in which work is enqueued, no wake is sent,
-// and the recheck sees nothing.
+// park blocks the worker until new work may exist, or — when the
+// worker is above the pool minimum and nothing wakes it for
+// retireAfter — retires it. The lost-wake-up race is closed by
+// ordering: the worker (1) registers as parked, then (2) rechecks
+// every work source it can observe, then (3) sleeps. Producers enqueue
+// first and read nparked second. Under sequential consistency, either
+// the producer sees the registration (and wakes us) or the recheck
+// sees the enqueued work (and cancels the park) — there is no
+// interleaving in which work is enqueued, no wake is sent, and the
+// recheck sees nothing.
 //
 // Under PrivateDeques the recheck cannot inspect other workers' queues
 // (they are unsynchronized by design); completion is still guaranteed
 // because a queue's owner is, by construction, awake and drains it
 // itself, waking us on every subsequent push.
-func (w *worker) park() {
+func (w *worker) park() (woken, retired bool) {
 	s := w.s
 	s.nparked.Add(1)
 	w.parked.Store(true)
 
 	if s.stop.Load() || w.parkRecheck() {
 		w.cancelPark()
-		return
+		return true, false
 	}
-	<-w.sema
+	// Retirement is possible only on an elastic pool with live workers
+	// to spare. The eligibility read is racy but sound: if nlive rises
+	// after we chose the untimed sleep (a spawn racing our
+	// registration), the capacity above the minimum lives in workers
+	// that are awake — and any of them that later parks re-evaluates
+	// with the higher nlive, takes the timed branch, and retires — so
+	// an untimed sleeper never permanently strands the pool above its
+	// floor.
+	if !s.elastic || int(s.nlive.Load()) <= s.min {
+		<-w.sema
+		return true, false
+	}
+	return w.parkTimed()
+}
+
+// parkTimed sleeps like park but with the retirement timer armed; when
+// the timer fires first the worker tries to retire.
+func (w *worker) parkTimed() (woken, retired bool) {
+	s := w.s
+	if w.timer == nil {
+		w.timer = time.NewTimer(s.retireAfter)
+	} else {
+		w.timer.Reset(s.retireAfter)
+	}
+	select {
+	case <-w.sema:
+		// Go 1.23+ timer semantics (this module's go.mod): Stop
+		// discards any already-fired, un-received tick, so no drain —
+		// draining here would block forever when the timer fired in the
+		// same instant the wake token arrived.
+		w.timer.Stop()
+		return true, false
+	case <-w.timer.C:
+	}
+	// The timer fired with no wake. First reserve the capacity: retire
+	// only while the pool stays at or above its minimum without us.
+	for {
+		n := s.nlive.Load()
+		if int(n) <= s.min {
+			// Eligibility evaporated (others retired first). Fall back
+			// to an untimed sleep; see park for why eligibility cannot
+			// return while we sleep.
+			<-w.sema
+			return true, false
+		}
+		if s.nlive.CompareAndSwap(n, n-1) {
+			break
+		}
+	}
+	// Decommission the wake-claim flag with the waker's own CAS: either
+	// we claim ourselves (no token is or will be outstanding — a waker
+	// only sends after winning this CAS) and may exit, or a waker beat
+	// us and its token is imminent — consume it and resume.
+	if !w.parked.CompareAndSwap(true, false) {
+		s.nlive.Add(1) // return the reservation
+		<-w.sema
+		return true, false
+	}
+	s.nparked.Add(-1)
+	w.retire()
+	return false, true
+}
+
+// retire decommissions the worker in two published steps. First the
+// slot is marked retiring: from here on thieves treat it like a parked
+// victim (they post no new requests and withdraw in-flight ones), and
+// any thief caught mid-request is released through the normal
+// commit-or-withdraw protocol. Then the storage the worker accumulated
+// is handed back — the deque ring (empty by the park invariant,
+// asserted) and the vertex freelist (drained into the shared pool) —
+// and only then does the slot go dormant, making it claimable by
+// trySpawn: the dormant store is the release point that makes the
+// drain visible to the claiming CAS, so a respawned goroutine can
+// never observe the drain half-done. The stats block stays with the
+// slot so Stats() remains exact. The caller exits the worker loop
+// immediately after.
+func (w *worker) retire() {
+	w.state.Store(wsRetiring)
+	if w.s.policy == PrivateDeques {
+		// Release a thief that posted before the state store landed; a
+		// thief that posts after will observe the state and withdraw,
+		// exactly as it does for a parked victim.
+		w.respond()
+		if len(w.pd.queue) != 0 {
+			panic("sched: retiring worker holds queued vertices (park invariant violated)")
+		}
+		w.pd.queue = nil
+	} else {
+		if w.dq.Size() != 0 {
+			panic("sched: retiring worker holds queued vertices (park invariant violated)")
+		}
+		w.dq.ReleaseStorage()
+	}
+	w.ctx.DrainFree()
+	w.s.retired.Add(1)
+	w.state.Store(wsDormant)
 }
 
 // parkRecheck reports whether any observable work source is (or may

@@ -100,6 +100,21 @@ func (v *Vertex) reset() {
 	v.injNext.Store(nil)
 }
 
+// DrainFree hands every vertex of the context's freelist — and the
+// freelist's own backing array — to the process-wide shared pool. A
+// retiring scheduler worker calls it so a dormant slot does not hoard
+// up to freeListCap vertices that other workers could be reusing.
+// Owner-only, like every freelist operation; after DrainFree the
+// context is still usable (grab falls back to the shared pool and
+// recycle re-grows the list lazily).
+func (ctx *ExecContext) DrainFree() {
+	for i, v := range ctx.free {
+		ctx.free[i] = nil
+		vertexPool.Put(v)
+	}
+	ctx.free = nil
+}
+
 // Recycle returns a dead vertex to the worker-local pool of the
 // execution context it last ran under. It is exported for frontends
 // that retire vertices outside Execute — package nested recycles

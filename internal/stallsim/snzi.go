@@ -1,16 +1,7 @@
-// Package stallsim re-expresses the paper's counter algorithms — the
-// in-counter, fetch-and-add, and fixed-depth SNZI — as step machines
-// over the simulated shared memory of internal/memmodel, and drives
-// the fanin workload through them to measure contention (stalls per
-// operation) in exactly the model of the paper's Theorem 4.9.
-//
-// The native packages (internal/snzi, internal/core) execute on real
-// atomics for throughput experiments; this package exists because
-// contention is a model-level quantity that real hardware and the Go
-// scheduler obscure. The two implementations share the algorithmic
-// structure line for line, so the model results speak for the native
-// code.
 package stallsim
+
+// This file holds the simulated SNZI tree and in-counter word layouts;
+// see doc.go for the package story.
 
 import "repro/internal/memmodel"
 

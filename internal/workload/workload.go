@@ -11,6 +11,10 @@
 //   - PhaseShift: a low-contention prologue into a fan-in storm on a
 //     single finish counter — the adaptive counter's migration
 //     workload (neither static algorithm wins both phases);
+//   - Burst: alternating idle gaps and concurrent fan-out storms — the
+//     elastic worker pool's motivating workload (a fixed big pool
+//     wastes resident workers through every gap, a fixed small pool
+//     loses storm throughput);
 //   - Fib (Figure 4): the classic parallel Fibonacci;
 //   - SnziStress (appendix C.1): the raw arrive/depart microbenchmark
 //     of the original SNZI paper's Figure 10, without a dag runtime.

@@ -82,6 +82,38 @@ func TestPhaseShiftAllAlgorithms(t *testing.T) {
 	}
 }
 
+// TestBurstCounts: the bursty kernel accounts its work — every lane of
+// every storm runs a full fanin — on both a fixed and an elastic pool.
+func TestBurstCounts(t *testing.T) {
+	for _, maxWorkers := range []int{0, 4} { // 0 = fixed pool
+		rt := nested.New(nested.Config{
+			Workers: 1, MaxWorkers: maxWorkers, Seed: 3,
+			RetireAfter: time.Millisecond,
+		})
+		t.Cleanup(rt.Close)
+		cfg := BurstConfig{Leaves: 256, Storms: 3, Lanes: 4, Gap: 2 * time.Millisecond}
+		res := Burst(rt, cfg)
+		if res.Name != "burst" || res.N != 3*4*256 {
+			t.Fatalf("max=%d: result header %+v", maxWorkers, res)
+		}
+		lanes := uint64(cfg.Storms * cfg.Lanes)
+		if want := lanes * faninOps(cfg.Leaves); res.CounterOps != want {
+			t.Fatalf("max=%d: counter ops = %d, want %d", maxWorkers, res.CounterOps, want)
+		}
+		// Each lane: root+final plus 2 vertices per async (shadow
+		// live-count against lost or leaked vertices).
+		if want := int64(lanes) * int64(2+2*2*(cfg.Leaves-1)); res.Vertices != want {
+			t.Fatalf("max=%d: vertices = %d, want %d", maxWorkers, res.Vertices, want)
+		}
+		if res.Elapsed <= 0 || res.OpsPerSec() <= 0 {
+			t.Fatalf("max=%d: degenerate timing %+v", maxWorkers, res)
+		}
+		if res.Workers < 1 || (maxWorkers > 0 && res.Workers > maxWorkers) {
+			t.Fatalf("max=%d: peak workers = %d out of range", maxWorkers, res.Workers)
+		}
+	}
+}
+
 func TestFaninSmallN(t *testing.T) {
 	rt := newRT(t, 1, nil)
 	res := Fanin(rt, 1)

@@ -94,8 +94,20 @@ type Runtime struct {
 type Option func(*Config)
 
 // WithWorkers sets the number of scheduler workers (≤ 0 means
-// GOMAXPROCS) — the evaluation's `proc` axis.
+// GOMAXPROCS) — the evaluation's `proc` axis. With WithMaxWorkers it
+// is the floor of the elastic pool.
 func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithMaxWorkers makes the worker pool elastic: the scheduler keeps
+// WithWorkers workers as the floor, spawns more — up to max — while
+// the submission backlog stays non-empty across wake attempts, and
+// retires workers that stay parked past the retirement threshold, so
+// a Runtime sized for burst traffic holds only the workers its current
+// load amortizes. max ≤ 0 (the default) keeps the pool fixed;
+// NewRuntime panics when 0 < max < workers.
+// Stats reports the pool's movement (Workers, SpawnedWorkers,
+// RetiredWorkers).
+func WithMaxWorkers(max int) Option { return func(c *Config) { c.MaxWorkers = max } }
 
 // WithAlgorithm selects the dependency-counter algorithm (nil means
 // the contention-adaptive counter: fetch-and-add until a finish block
@@ -183,16 +195,23 @@ func (r *Runtime) Close() error {
 	return nil
 }
 
-// Workers returns the worker count.
+// Workers returns the live worker count: constant for a fixed pool,
+// load-tracking for an elastic one (see WithMaxWorkers).
 func (r *Runtime) Workers() int { return r.n.Workers() }
 
 // Stats is a snapshot of runtime counters (exact when quiescent).
 type Stats struct {
-	Workers  int    // scheduler workers
+	Workers  int    // live scheduler workers (an idle elastic runtime quiesces to its floor)
 	Parked   int    // workers currently parked (idle runtime: Parked == Workers)
 	Vertices int64  // dag vertices created so far
 	Steals   uint64 // successful steals
 	Executed uint64 // vertices executed
+	// SpawnedWorkers and RetiredWorkers count the elastic pool's
+	// movement since construction: workers spawned beyond the floor
+	// under sustained backlog, and workers retired after long parks.
+	// Both stay 0 on a fixed pool (no WithMaxWorkers).
+	SpawnedWorkers uint64
+	RetiredWorkers uint64
 	// Promotions counts finish counters that migrated from the
 	// fetch-and-add cell to the in-counter under contention. It is 0
 	// for statically configured algorithms; under the default adaptive
@@ -204,13 +223,16 @@ type Stats struct {
 
 // Stats snapshots the runtime's scheduler and dag counters.
 func (r *Runtime) Stats() Stats {
-	st := r.n.Scheduler().Stats()
+	sc := r.n.Scheduler()
+	st := sc.Stats()
 	s := Stats{
-		Workers:  r.n.Workers(),
-		Parked:   r.n.Scheduler().ParkedWorkers(),
-		Vertices: r.n.Dag().VertexCount(),
-		Steals:   st.Steals,
-		Executed: st.Executed,
+		Workers:        r.n.Workers(),
+		Parked:         sc.ParkedWorkers(),
+		Vertices:       r.n.Dag().VertexCount(),
+		Steals:         st.Steals,
+		Executed:       st.Executed,
+		SpawnedWorkers: sc.SpawnedWorkers(),
+		RetiredWorkers: sc.RetiredWorkers(),
 	}
 	if pr, ok := r.n.Dag().Algorithm().(counter.PromotionReporter); ok {
 		s.Promotions = pr.Promotions()
