@@ -23,6 +23,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/snzi"
 	"repro/internal/stallsim"
+	"repro/internal/topology"
 	"repro/internal/workload"
 )
 
@@ -34,7 +35,17 @@ func procsAxis() []int {
 
 func newRT(b *testing.B, procs int, algo counter.Algorithm) *nested.Runtime {
 	b.Helper()
-	rt := nested.New(nested.Config{Workers: procs, Algorithm: algo, Seed: 1})
+	// The topology is pinned flat so the gated baseline cells keep one
+	// meaning on every runner: without this, a multi-socket host's
+	// sysfs would silently switch the cells to topology-aware
+	// scheduling (same rationale as harness.Run; the topology axis has
+	// its own benchmark, BenchmarkFig13Topology).
+	w := procs
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	rt := nested.New(nested.Config{Workers: procs, Algorithm: algo, Seed: 1,
+		Topology: topology.Flat(w)})
 	b.Cleanup(rt.Close)
 	return rt
 }
@@ -128,6 +139,7 @@ func BenchmarkBurst(b *testing.B) {
 			rt := nested.New(nested.Config{
 				Workers: pool.min, MaxWorkers: pool.max, Seed: 1,
 				RetireAfter: 25 * time.Millisecond,
+				Topology:    topology.Flat(maxW), // pinned: see newRT
 			})
 			b.Cleanup(rt.Close)
 			// Aggregate over all iterations (not the last run alone):
@@ -229,18 +241,65 @@ func BenchmarkFig12SnziRepro(b *testing.B) {
 	}
 }
 
-// BenchmarkFig13Numa — Figure 13 (appendix C.2): the NUMA placement
-// study through the simulated-penalty proxy; the check is a null
-// result (policy must not reorder algorithms).
-func BenchmarkFig13Numa(b *testing.B) {
-	for _, policy := range []workload.NumaPolicy{workload.NumaOff, workload.NumaRoundRobin, workload.NumaFirstTouch} {
+// BenchmarkFig13Topology — Figure 13 (appendix C.2) on the real
+// scheduler: fanin under a flat topology vs a synthetic 2-node
+// topology, with the counter algorithm pinned explicitly per cell
+// (nothing follows the runtime default). Beyond ops/s/core, each cell
+// reports the per-iteration local/remote steal split — the mechanism
+// benchgate gates: the locality counters vanishing from a cell means
+// the topology layer came unwired.
+func BenchmarkFig13Topology(b *testing.B) {
+	const workers = 2
+	topos := []struct {
+		name string
+		topo topology.Topology
+	}{
+		{"flat", topology.Flat(workers)},
+		{"2-node", topology.Synthetic(2, 1)},
+	}
+	for _, tp := range topos {
 		for _, algo := range []string{"fetchadd", "dyn"} {
-			b.Run(fmt.Sprintf("%s/%s", policy, algo), func(b *testing.B) {
-				alg, err := counter.Parse(algo, nested.DefaultThreshold(2))
+			b.Run(fmt.Sprintf("%s/%s", tp.name, algo), func(b *testing.B) {
+				alg, err := counter.Parse(algo, nested.DefaultThreshold(workers))
 				if err != nil {
 					b.Fatal(err)
 				}
-				rt := newRT(b, 0, alg)
+				rt := nested.New(nested.Config{Workers: workers, Algorithm: alg, Seed: 1, Topology: tp.topo})
+				b.Cleanup(rt.Close)
+				sc := rt.Scheduler()
+				st0 := sc.Stats()
+				var res workload.Result
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res = workload.Fanin(rt, benchN)
+				}
+				b.StopTimer()
+				reportFanin(b, res)
+				st := sc.Stats()
+				b.ReportMetric(float64(st.LocalSteals-st0.LocalSteals)/float64(b.N), "local-steals")
+				b.ReportMetric(float64(st.RemoteSteals-st0.RemoteSteals)/float64(b.N), "remote-steals")
+			})
+		}
+	}
+}
+
+// BenchmarkFig13NumaProxy — the pre-topology Figure 13: the NUMA
+// placement study through the simulated-penalty proxy
+// (fanin-numa-proxy). Kept alongside BenchmarkFig13Topology for hosts
+// where only the timing shape is wanted; the check is a null result
+// (policy must not reorder algorithms). Workers and the counter
+// algorithm are pinned explicitly so no cell follows the runtime
+// default.
+func BenchmarkFig13NumaProxy(b *testing.B) {
+	const workers = 2
+	for _, policy := range []workload.NumaPolicy{workload.NumaOff, workload.NumaRoundRobin, workload.NumaFirstTouch} {
+		for _, algo := range []string{"fetchadd", "dyn"} {
+			b.Run(fmt.Sprintf("%s/%s", policy, algo), func(b *testing.B) {
+				alg, err := counter.Parse(algo, nested.DefaultThreshold(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rt := newRT(b, workers, alg)
 				var res workload.Result
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
@@ -449,7 +508,8 @@ func BenchmarkAblationPruning(b *testing.B) {
 func BenchmarkSchedulerPolicy(b *testing.B) {
 	for _, policy := range []sched.Policy{sched.ChaseLev, sched.PrivateDeques} {
 		b.Run(policy.String(), func(b *testing.B) {
-			rt := nested.New(nested.Config{Workers: 0, Seed: 1, Policy: policy})
+			rt := nested.New(nested.Config{Workers: 0, Seed: 1, Policy: policy,
+				Topology: topology.Flat(runtime.GOMAXPROCS(0))}) // pinned: see newRT
 			b.Cleanup(rt.Close)
 			var res workload.Result
 			b.ResetTimer()

@@ -11,12 +11,15 @@
 //
 // The JSON file carries, per benchmark: ns/op, allocs/op, B/op, and
 // every custom metric the harness reports (ops/s/core,
-// incounter-nodes). With -baseline, benchgate exits non-zero if any
-// benchmark present in both files regresses beyond the thresholds, or
-// if a baseline benchmark is missing from the run entirely — a renamed
-// or dropped cell must fail its gate, not silently stop being gated
-// (-allow-missing restores the old lenient behavior for partial local
-// runs).
+// incounter-nodes, the Fig13 local-steals/remote-steals locality
+// split). With -baseline, benchgate exits non-zero if any benchmark
+// present in both files regresses beyond the thresholds, if a baseline
+// benchmark is missing from the run entirely, or if any custom metric
+// a baseline cell records is absent from the run's cell — a renamed
+// or dropped cell (or a metric whose instrumentation came unwired)
+// must fail its gate, not silently stop being gated (-allow-missing
+// restores the old lenient behavior for whole missing cells in
+// partial local runs).
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -199,23 +203,27 @@ func gate(w io.Writer, cur map[string]Result, order []string, base map[string]Re
 				name, c.AllocsOp, b.AllocsOp, allocLimit)
 			failures++
 		}
-		// Both throughput spellings are gated: the per-figure benchmarks
-		// report ops/s/core, the burst benchmark reports total ops/s
-		// (its pool configurations deliberately run different worker
-		// counts, so a per-core number would compare nothing).
-		for _, metric := range []string{"ops/s/core", "ops/s"} {
-			bo, ok := b.Metrics[metric]
-			if !ok || bo <= 0 {
-				continue
-			}
+		// Every custom metric in the baseline is a commitment, exactly
+		// like the cells themselves: a metric vanishing from a cell —
+		// ops/s/core, the Fig13 local-steals/remote-steals locality
+		// split, promotions — means the instrumentation behind it came
+		// unwired, which must fail the gate rather than silently stop
+		// being recorded. Throughput metrics (ops/s/core for the
+		// per-figure benchmarks; total ops/s for burst, whose pool
+		// configurations deliberately run different worker counts) are
+		// additionally value-gated; other metrics are
+		// scheduling-dependent counts (steal splits, peak workers), so
+		// presence is the contract and values are left to the figure
+		// tables.
+		for _, metric := range sortedKeys(b.Metrics) {
+			bo := b.Metrics[metric]
 			co, ok := c.Metrics[metric]
-			switch {
-			case !ok:
-				// The metric vanishing would otherwise silently disable
-				// the throughput gate.
+			if !ok {
 				fmt.Fprintf(w, "FAIL %s: %s missing (baseline %.0f)\n", name, metric, bo)
 				failures++
-			case co < bo*lim.minOpsRatio:
+				continue
+			}
+			if (metric == "ops/s/core" || metric == "ops/s") && bo > 0 && co < bo*lim.minOpsRatio {
 				fmt.Fprintf(w, "FAIL %s: %s %.0f vs baseline %.0f (limit ×%.2f)\n",
 					name, metric, co, bo, lim.minOpsRatio)
 				failures++
@@ -223,4 +231,15 @@ func gate(w io.Writer, cur map[string]Result, order []string, base map[string]Re
 		}
 	}
 	return failures, compared
+}
+
+// sortedKeys returns a metric map's keys in sorted order, so gate
+// output (and failure ordering) is stable across runs.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -11,6 +11,7 @@ const sampleBench = `goos: linux
 BenchmarkFig08Fanin/fetchadd/p=1  20  7206504 ns/op  7601466 ops/s/core  787053 B/op  32775 allocs/op
 BenchmarkFig08Fanin/dyn/p=1       20 11947133 ns/op  4353865 ops/s/core 1018252 B/op  33987 allocs/op
 BenchmarkBurst/elastic            20 50000000 ns/op  9000000 ops/s  4.000 peak-workers  500000 B/op  39999 allocs/op
+BenchmarkFig13Topology/2-node/dyn 20 12000000 ns/op  120.5 local-steals  3.500 remote-steals  3000000 ops/s/core  911388 B/op  33441 allocs/op
 BenchmarkZeroAlloc                10      100 ns/op        0 B/op            0 allocs/op
 PASS
 `
@@ -29,8 +30,8 @@ func TestParseBenchLines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(order) != 4 {
-		t.Fatalf("parsed %d benchmarks, want 4: %v", len(order), order)
+	if len(order) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5: %v", len(order), order)
 	}
 	fa := res["BenchmarkFig08Fanin/fetchadd/p=1"]
 	if fa.Iterations != 20 || fa.NsPerOp != 7206504 || fa.AllocsOp != 32775 ||
@@ -63,7 +64,7 @@ func runGate(t *testing.T, current, baseline string, lim limits) (failures, comp
 
 func TestGateIdenticalRunsPass(t *testing.T) {
 	failures, compared, out := runGate(t, sampleBench, sampleBench, defaultLimits())
-	if failures != 0 || compared != 4 {
+	if failures != 0 || compared != 5 {
 		t.Fatalf("failures=%d compared=%d\n%s", failures, compared, out)
 	}
 }
@@ -120,8 +121,8 @@ func TestGateMissingCellFails(t *testing.T) {
 	if failures != 1 || !strings.Contains(out, "missing from this run") {
 		t.Fatalf("failures=%d\n%s", failures, out)
 	}
-	if compared != 3 {
-		t.Fatalf("compared=%d, want 3", compared)
+	if compared != 4 {
+		t.Fatalf("compared=%d, want 4", compared)
 	}
 
 	lim := defaultLimits()
@@ -132,13 +133,41 @@ func TestGateMissingCellFails(t *testing.T) {
 	}
 }
 
+// TestGateVanishedMetricFails: every custom metric a baseline cell
+// records is a commitment — the Fig13 steal-locality split vanishing
+// from a cell means the topology instrumentation came unwired, and
+// must fail the gate rather than silently stop being recorded.
+func TestGateVanishedMetricFails(t *testing.T) {
+	stripped := strings.Replace(sampleBench, "120.5 local-steals  3.500 remote-steals  ", "", 1)
+	failures, _, out := runGate(t, stripped, sampleBench, defaultLimits())
+	if failures != 2 || !strings.Contains(out, "local-steals missing") || !strings.Contains(out, "remote-steals missing") {
+		t.Fatalf("failures=%d, want 2 (both steal metrics vanished)\n%s", failures, out)
+	}
+	noPeak := strings.Replace(sampleBench, "4.000 peak-workers  ", "", 1)
+	failures, _, out = runGate(t, noPeak, sampleBench, defaultLimits())
+	if failures != 1 || !strings.Contains(out, "peak-workers missing") {
+		t.Fatalf("failures=%d\n%s", failures, out)
+	}
+}
+
+// TestGateStealCountValuesNotGated: steal-split values are
+// scheduling-dependent counts, so only their presence is gated — a
+// different split must pass.
+func TestGateStealCountValuesNotGated(t *testing.T) {
+	moved := strings.Replace(sampleBench, "120.5 local-steals", "1.000 local-steals", 1)
+	failures, _, out := runGate(t, moved, sampleBench, defaultLimits())
+	if failures != 0 {
+		t.Fatalf("failures=%d, want 0 (steal counts are presence-gated only)\n%s", failures, out)
+	}
+}
+
 // TestGateExtraCellIsNotCompared: new benchmarks without a baseline
 // row pass through (they gain a gate when the baseline is next
 // regenerated).
 func TestGateExtraCellIsNotCompared(t *testing.T) {
 	current := sampleBench + "BenchmarkBrandNew  5  10 ns/op  1 allocs/op\n"
 	failures, compared, out := runGate(t, current, sampleBench, defaultLimits())
-	if failures != 0 || compared != 4 {
+	if failures != 0 || compared != 5 {
 		t.Fatalf("failures=%d compared=%d\n%s", failures, compared, out)
 	}
 }

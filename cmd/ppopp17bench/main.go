@@ -12,12 +12,25 @@
 // alternating idle gaps and fan-out storms (throughput, peak and
 // steady resident workers, spawn/retire counts).
 //
+// Figure 13 (-fig 13) runs the NUMA study on the real scheduler:
+// fanin under a flat vs synthetic multi-node topologies, exercising
+// the two-phase local-then-remote steal order and per-node vertex
+// pools, with the steal-locality split emitted as
+// nb_local_steals/nb_remote_steals. The pre-topology
+// simulated-placement-penalty proxy survives as -fig 13-proxy
+// (bench fanin-numa-proxy). Artifact records additionally carry a
+// `caveat` output when the host exposes fewer than 2 hardware
+// threads, so readers of the JSON see the measurement limitation
+// EXPERIMENTS.md states in prose.
+//
 // Usage:
 //
 //	ppopp17bench -fig all                 # every figure, host-scaled defaults
 //	ppopp17bench -fig 8,9 -n 8388608      # paper-scale fanin figures
 //	ppopp17bench -fig phase               # prologue-into-storm, adaptive promotion
 //	ppopp17bench -fig burst               # elastic vs fixed pools on bursty storms
+//	ppopp17bench -fig 13                  # topology study on the real scheduler
+//	ppopp17bench -fig 13-proxy            # the simulated placement-penalty proxy
 //	ppopp17bench -fig stalls -quick       # contention in the stall model
 //	ppopp17bench -fig 8 -format artifact  # artifact-style result records
 //	ppopp17bench -fig 8 -out results/     # write per-figure files

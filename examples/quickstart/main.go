@@ -7,26 +7,52 @@
 // the explicit runtime's pool is elastic: it grows from -workers up to
 // the ceiling under a burst of concurrent computations and retires the
 // extra workers once the burst is over — the spawn/retire counters
-// printed at the end show the movement. Run with:
+// printed at the end show the movement. With -topology the scheduler's
+// locality map is set explicitly: workers steal from same-node victims
+// first and the local/remote steal split is printed with the stats.
+// Run with:
 //
 //	go run ./examples/quickstart
 //	go run ./examples/quickstart -workers 1 -maxworkers 8
+//	go run ./examples/quickstart -workers 4 -topology 2x2
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 	"sync"
 	"time"
 
 	"repro"
 )
 
+// parseTopology maps the -topology flag to a repro.Topology:
+// "auto" (detect the host, flat on non-NUMA machines), "flat"
+// (explicitly locality-blind), or "NxS" for a synthetic topology of N
+// nodes × S slots per node (e.g. "2x2") — the way to watch the
+// two-phase steal order work on a host without NUMA hardware.
+func parseTopology(spec string, workers int) (repro.Topology, error) {
+	switch spec {
+	case "", "auto":
+		return repro.DetectTopology(), nil
+	case "flat":
+		return repro.FlatTopology(workers), nil
+	}
+	var nodes, slots int
+	if _, err := fmt.Sscanf(spec, "%dx%d", &nodes, &slots); err != nil || nodes < 1 || slots < 1 ||
+		spec != fmt.Sprintf("%dx%d", nodes, slots) {
+		return repro.Topology{}, fmt.Errorf("bad -topology %q (want auto, flat, or NxS like 2x2)", spec)
+	}
+	return repro.SyntheticTopology(nodes, slots), nil
+}
+
 func main() {
 	var (
 		workers    = flag.Int("workers", 0, "worker-pool floor (0 = GOMAXPROCS)")
 		maxworkers = flag.Int("maxworkers", 0, "worker-pool ceiling; > workers makes the pool elastic (0 = fixed)")
+		topoSpec   = flag.String("topology", "auto", "locality map: auto | flat | NxS synthetic (e.g. 2x2)")
 	)
 	flag.Parse()
 
@@ -47,11 +73,17 @@ func main() {
 		log.Fatal(err)
 	}
 
+	topo, err := parseTopology(*topoSpec, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Typed parallel reduction on an explicit runtime: sum the slice
 	// with divide-and-conquer ForkJoins under the hood.
 	rt := repro.NewRuntime(
 		repro.WithWorkers(*workers),
 		repro.WithMaxWorkers(*maxworkers),
+		repro.WithTopology(topo),
 	)
 	defer rt.Close()
 
@@ -74,7 +106,10 @@ func main() {
 	}
 	st := rt.Stats()
 	fmt.Printf("sum of doubled [0,%d) = %d\n", n, total)
-	fmt.Printf("workers=%d vertices=%d steals=%d\n", st.Workers, st.Vertices, st.Steals)
+	topoDesc := strings.TrimPrefix(rt.Scheduler().Topology().String(), "topology.")
+	fmt.Printf("topology=%s\n", topoDesc)
+	fmt.Printf("workers=%d vertices=%d steals=%d (local=%d remote=%d)\n",
+		st.Workers, st.Vertices, st.Steals, st.LocalSteals, st.RemoteSteals)
 
 	if *maxworkers <= 0 {
 		return

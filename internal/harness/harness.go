@@ -16,25 +16,31 @@ import (
 	"repro/internal/nested"
 	"repro/internal/report"
 	"repro/internal/stats"
+	"repro/internal/topology"
 	"repro/internal/workload"
 )
 
 // Spec is one measurement point.
 type Spec struct {
-	Bench string // fanin | indegree2 | fanin-work | fanin-numa | phase-shift | burst | snzi-stress
+	Bench string // fanin | indegree2 | fanin-work | fanin-numa | fanin-numa-proxy | phase-shift | burst | snzi-stress
 	Algo  string // fetchadd | dyn | adaptive[:K] | snzi-D (counter.Parse syntax)
 	Procs int
 	// MaxWorkers, when > Procs, runs the benchmark on an elastic pool
 	// with floor Procs and ceiling MaxWorkers (0 = fixed pool of
 	// Procs). Used by the burst figure.
 	MaxWorkers int
-	N          uint64
-	Threshold  uint64              // dyn grow denominator; 0 → 25·max(Procs, MaxWorkers) (paper default)
-	WorkNs     int                 // dummy work per leaf (fanin-work)
-	Numa       workload.NumaPolicy // placement proxy (fanin-numa)
-	Variant    uint8               // in-counter ablation variant bits
-	Runs       int                 // measured repetitions (≥1)
-	Seed       uint64
+	// Nodes runs the benchmark on a synthetic topology of that many
+	// locality nodes (workers spread evenly; 0/1 = the flat topology).
+	// Used by the fanin-numa figure: it measures the real scheduler's
+	// topology-aware stealing, not a timing proxy.
+	Nodes     int
+	N         uint64
+	Threshold uint64              // dyn grow denominator; 0 → 25·max(Procs, MaxWorkers) (paper default)
+	WorkNs    int                 // dummy work per leaf (fanin-work)
+	Numa      workload.NumaPolicy // placement proxy (fanin-numa-proxy)
+	Variant   uint8               // in-counter ablation variant bits
+	Runs      int                 // measured repetitions (≥1)
+	Seed      uint64
 }
 
 // Measurement is the averaged result of one Spec.
@@ -46,6 +52,18 @@ type Measurement struct {
 	Vertices         int64
 	IncounterNodes   int64
 	Steals           uint64
+	// LocalSteals and RemoteSteals split Steals by victim locality
+	// under the runtime's topology (Spec.Nodes); on a flat topology
+	// every steal is local. They are the nb_local_steals /
+	// nb_remote_steals artifact fields.
+	LocalSteals  uint64
+	RemoteSteals uint64
+	// Caveat flags measurement-environment limitations (currently: the
+	// host exposed fewer than 2 hardware threads, so multi-worker cells
+	// measure oversubscribed interleaving, not parallel contention). It
+	// is emitted into the artifact record so readers of the JSON see
+	// what EXPERIMENTS.md says in prose.
+	Caveat string
 	// Promotions counts adaptive counters that migrated to the
 	// in-counter across the measured runs (0 for static algorithms) —
 	// the "which algorithm did adaptive settle on" statistic.
@@ -81,6 +99,9 @@ func (m Measurement) Block() *report.Block {
 	if m.Spec.Numa != workload.NumaOff {
 		b.In("numa", m.Spec.Numa.String())
 	}
+	if m.Spec.Nodes > 1 {
+		b.In("nodes", m.Spec.Nodes)
+	}
 	b.Out("exectime", fmt.Sprintf("%.6f", m.Seconds.Mean)).
 		Out("exectime_stddev", fmt.Sprintf("%.6f", m.Seconds.Std)).
 		Out("nb_runs", m.Seconds.N).
@@ -88,10 +109,15 @@ func (m Measurement) Block() *report.Block {
 		Out("nb_operations", m.CounterOps).
 		Out("nb_vertices", m.Vertices).
 		Out("nb_steals", m.Steals).
+		Out("nb_local_steals", m.LocalSteals).
+		Out("nb_remote_steals", m.RemoteSteals).
 		Out("nb_incounter_nodes", m.IncounterNodes).
 		Out("killed", 0)
 	if strings.HasPrefix(m.Spec.Algo, "adaptive") {
 		b.Out("nb_promotions", m.Promotions)
+	}
+	if m.Caveat != "" {
+		b.Out("caveat", m.Caveat)
 	}
 	if m.Spec.Bench == "burst" {
 		b.In("maxproc", m.Spec.MaxWorkers).
@@ -150,20 +176,32 @@ func Run(spec Spec) (Measurement, error) {
 	// threshold, so an elastic pool stays warm across the storms of one
 	// run but sheds its extra workers between measurement points.
 	const burstRetireAfter = 25 * time.Millisecond
+	// Spec.Nodes > 1 spreads the worker slots over a synthetic
+	// multi-node topology (the fanin-numa real-scheduler study); the
+	// default is the explicit flat topology, so the measurement is not
+	// at the mercy of what the runner's sysfs happens to expose.
+	slots := max(spec.Procs, spec.MaxWorkers)
+	topo := topology.Flat(slots)
+	if spec.Nodes > 1 {
+		topo = topology.Synthetic(spec.Nodes, (slots+spec.Nodes-1)/spec.Nodes)
+	}
 	rt := nested.New(nested.Config{
 		Workers: spec.Procs, MaxWorkers: spec.MaxWorkers,
 		RetireAfter: burstRetireAfter,
 		Algorithm:   alg, Seed: spec.Seed,
+		Topology: topo,
 	})
 	defer rt.Close()
 
 	one := func() workload.Result {
 		switch spec.Bench {
-		case "fanin":
+		case "fanin", "fanin-numa":
+			// fanin-numa is plain fanin measured under the spec's
+			// topology: the figure's axis is Nodes, not the workload.
 			return workload.Fanin(rt, spec.N)
 		case "fanin-work":
 			return workload.FaninWork(rt, spec.N, spec.WorkNs)
-		case "fanin-numa":
+		case "fanin-numa-proxy":
 			return workload.FaninNUMA(rt, spec.N, spec.Numa)
 		case "indegree2":
 			return workload.Indegree2(rt, spec.N)
@@ -183,14 +221,14 @@ func Run(spec Spec) (Measurement, error) {
 		}
 	}
 	switch spec.Bench {
-	case "fanin", "fanin-work", "fanin-numa", "indegree2", "phase-shift", "burst":
+	case "fanin", "fanin-work", "fanin-numa", "fanin-numa-proxy", "indegree2", "phase-shift", "burst":
 	default:
 		return Measurement{}, fmt.Errorf("harness: unknown bench %q", spec.Bench)
 	}
 
 	one() // warmup
 	sc := rt.Scheduler()
-	steals0 := sc.Stats().Steals
+	st0 := sc.Stats()
 	var prom0 uint64
 	if pr, ok := alg.(counter.PromotionReporter); ok {
 		prom0 = pr.Promotions()
@@ -210,15 +248,19 @@ func Run(spec Spec) (Measurement, error) {
 	// available: the fixed pool's size, or the elastic pool's observed
 	// peak.
 	cores := max(spec.Procs, peak)
+	st := sc.Stats()
 	m := Measurement{
 		Spec:             spec,
 		Seconds:          sum,
 		CounterOps:       last.CounterOps,
 		Vertices:         last.Vertices,
 		IncounterNodes:   last.FinalNodes,
-		Steals:           sc.Stats().Steals - steals0,
+		Steals:           st.Steals - st0.Steals,
+		LocalSteals:      st.LocalSteals - st0.LocalSteals,
+		RemoteSteals:     st.RemoteSteals - st0.RemoteSteals,
 		OpsPerSecPerCore: float64(last.CounterOps) / sum.Mean / float64(cores),
 		PeakWorkers:      peak,
+		Caveat:           hostCaveat(),
 	}
 	if pr, ok := alg.(counter.PromotionReporter); ok {
 		// Delta against the warmup, like Steals: the stats sink is
@@ -268,7 +310,21 @@ func runStress(spec Spec) (Measurement, error) {
 		Seconds:          sum,
 		CounterOps:       last.CounterOps,
 		OpsPerSecPerCore: float64(last.CounterOps) / sum.Mean / float64(spec.Procs),
+		Caveat:           hostCaveat(),
 	}, nil
+}
+
+// hostCaveat returns the measurement-environment caveat for the
+// current host, or "" when there is none. The GOMAXPROCS < 2 case is
+// the EXPERIMENTS.md "measured on 1 hardware thread" caveat; putting
+// it in every artifact record means benchgate logs and artifact
+// readers see it next to the numbers instead of having to know the
+// prose.
+func hostCaveat() string {
+	if runtime.GOMAXPROCS(0) < 2 {
+		return "measured on 1 hardware thread: multi-worker cells are oversubscribed (interleaving, not parallel contention)"
+	}
+	return ""
 }
 
 // ProcsSweep returns the list of worker counts to sweep: 1..max with

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -31,7 +32,7 @@ func TestRunFaninSpec(t *testing.T) {
 }
 
 func TestRunAllBenches(t *testing.T) {
-	for _, bench := range []string{"fanin", "indegree2", "fanin-work", "fanin-numa", "phase-shift"} {
+	for _, bench := range []string{"fanin", "indegree2", "fanin-work", "fanin-numa", "fanin-numa-proxy", "phase-shift"} {
 		m, err := Run(Spec{Bench: bench, Algo: "fetchadd", Procs: 1, N: 1024, WorkNs: 5, Runs: 1})
 		if err != nil {
 			t.Fatalf("%s: %v", bench, err)
@@ -39,6 +40,79 @@ func TestRunAllBenches(t *testing.T) {
 		if m.OpsPerSecPerCore <= 0 {
 			t.Fatalf("%s: no throughput", bench)
 		}
+	}
+}
+
+// TestRunTopologySpec: Spec.Nodes runs the real scheduler under a
+// synthetic topology, the steal split always accounts for every steal,
+// and the artifact block carries the nb_local_steals/nb_remote_steals
+// fields plus the topology input.
+func TestRunTopologySpec(t *testing.T) {
+	m, err := Run(Spec{Bench: "fanin-numa", Algo: "dyn", Procs: 2, Nodes: 2, N: 4096, Runs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.OpsPerSecPerCore <= 0 {
+		t.Fatal("no throughput")
+	}
+	if m.Steals != m.LocalSteals+m.RemoteSteals {
+		t.Fatalf("steal split does not add up: %+v", m)
+	}
+	blk := m.Block().String()
+	for _, want := range []string{"bench fanin-numa", "\nnodes 2", "nb_local_steals", "nb_remote_steals"} {
+		if !strings.Contains(blk, want) {
+			t.Fatalf("artifact block missing %q:\n%s", want, blk)
+		}
+	}
+	// Flat cells omit the topology input but still carry the split.
+	m, err = Run(Spec{Bench: "fanin", Algo: "fetchadd", Procs: 1, N: 256, Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk = m.Block().String()
+	if strings.Contains(blk, "\nnodes ") {
+		t.Fatalf("flat artifact block carries a nodes input:\n%s", blk)
+	}
+	if !strings.Contains(blk, "nb_local_steals") {
+		t.Fatalf("flat artifact block missing the steal split:\n%s", blk)
+	}
+	if m.RemoteSteals != 0 {
+		t.Fatalf("remote steals on a flat topology: %+v", m)
+	}
+}
+
+// TestCaveatFollowsHostParallelism: the artifact caveat field mirrors
+// GOMAXPROCS at measurement time — present on a 1-thread host, absent
+// otherwise (the EXPERIMENTS.md prose caveat, machine-readable).
+func TestCaveatFollowsHostParallelism(t *testing.T) {
+	run := func() Measurement {
+		t.Helper()
+		m, err := Run(Spec{Bench: "fanin", Algo: "fetchadd", Procs: 2, N: 256, Runs: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	runtime.GOMAXPROCS(1)
+	m := run()
+	if m.Caveat == "" || !strings.Contains(m.Block().String(), "caveat measured on 1 hardware thread") {
+		t.Fatalf("1-thread measurement lost its caveat: %q\n%s", m.Caveat, m.Block().String())
+	}
+	runtime.GOMAXPROCS(4)
+	if m = run(); m.Caveat != "" {
+		t.Fatalf("multi-thread measurement carries a caveat: %q", m.Caveat)
+	}
+	// The stress path (no dag runtime) carries the same caveat wiring.
+	runtime.GOMAXPROCS(1)
+	m, err := Run(Spec{Bench: "snzi-stress", Algo: "fetchadd", Procs: 1, N: 256, Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Caveat == "" {
+		t.Fatal("snzi-stress measurement on 1 thread lost its caveat")
 	}
 }
 

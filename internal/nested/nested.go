@@ -61,6 +61,7 @@ import (
 	"repro/internal/counter"
 	"repro/internal/sched"
 	"repro/internal/spdag"
+	"repro/internal/topology"
 )
 
 // Task is user code executing as one fine-grained thread.
@@ -123,6 +124,12 @@ type Config struct {
 	// Policy selects the stealing mechanism (default: concurrent
 	// Chase-Lev deques; the paper's own runtime uses PrivateDeques).
 	Policy sched.Policy
+	// Topology maps worker slots to locality nodes: the steal loop
+	// prefers same-node victims, vertex storage pools per node, and
+	// elastic spawns pick the least-loaded node. The zero value
+	// auto-detects the host (flat on non-NUMA machines); use
+	// topology.Synthetic to test multi-node behavior anywhere.
+	Topology topology.Topology
 }
 
 // DefaultThreshold returns the paper's growth-probability denominator
@@ -162,6 +169,9 @@ func New(cfg Config) *Runtime {
 		alg = counter.NewAdaptive(0, DefaultThreshold(maxWorkers))
 	}
 	sopts := []sched.Option{sched.WithPolicy(cfg.Policy), sched.WithMaxWorkers(maxWorkers)}
+	if !cfg.Topology.IsZero() {
+		sopts = append(sopts, sched.WithTopology(cfg.Topology))
+	}
 	if cfg.Seed != 0 {
 		sopts = append(sopts, sched.WithSeed(cfg.Seed))
 	}

@@ -4,7 +4,13 @@
 // sp-dag vertices, executing locally in LIFO order and stealing from
 // random victims in FIFO order when idle. Two stealing policies are
 // provided — concurrent Chase–Lev deques and the paper's private
-// deques with receiver-initiated communication (private.go).
+// deques with receiver-initiated communication (private.go). Victim
+// selection is topology-aware in both: under a multi-node locality
+// map (WithTopology, internal/topology) thieves make a randomized
+// round over same-node victims before falling back to remote nodes,
+// vertex storage pools per node, and elastic spawns land on the
+// least-loaded node — locality is a preference, never a correctness
+// condition (DESIGN.md §8).
 //
 // The scheduler is deliberately simple — the subject of the paper is
 // the dependency counter, and the evaluation's `proc` axis only needs
@@ -63,7 +69,7 @@
 // succeeds, no token is or ever will be outstanding, and the worker
 // exits after handing its storage back: the deque must be empty (the
 // park invariant, asserted), its ring is released, the vertex freelist
-// drains into the shared pool (spdag.ExecContext.DrainFree), and the
+// drains into the slot's node pool (spdag.ExecContext.DrainFree), and the
 // stats block stays with the slot so Stats() remains exact across
 // retire/respawn cycles. Under PrivateDeques the dormant state behaves
 // exactly like the parked state for thieves: they do not post requests

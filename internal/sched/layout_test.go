@@ -7,7 +7,7 @@ import (
 
 // Compile-time layout assertions: workerStats must span exactly two
 // cache lines — a leading 64-byte shield against the worker's
-// scheduling state plus one line holding the two counters — so that
+// scheduling state plus one line holding the three counters — so that
 // stat updates on one worker never invalidate another worker's (or its
 // own) hot scheduling words. A change to the struct that breaks this
 // fails the build of this test file, not just an assertion at run
@@ -24,10 +24,13 @@ func TestWorkerStatsLayout(t *testing.T) {
 	if s := unsafe.Sizeof(workerStats{}); s != 128 {
 		t.Fatalf("workerStats size = %d, want 128", s)
 	}
-	if off := unsafe.Offsetof(workerStats{}.steals); off != 64 {
-		t.Fatalf("steals offset = %d, want 64 (first byte of the stats line)", off)
+	if off := unsafe.Offsetof(workerStats{}.localSteals); off != 64 {
+		t.Fatalf("localSteals offset = %d, want 64 (first byte of the stats line)", off)
 	}
-	if off := unsafe.Offsetof(workerStats{}.executed); off != 72 {
-		t.Fatalf("executed offset = %d, want 72", off)
+	if off := unsafe.Offsetof(workerStats{}.remoteSteals); off != 72 {
+		t.Fatalf("remoteSteals offset = %d, want 72", off)
+	}
+	if off := unsafe.Offsetof(workerStats{}.executed); off != 80 {
+		t.Fatalf("executed offset = %d, want 80", off)
 	}
 }

@@ -48,6 +48,14 @@ type privateState struct {
 	queue    []*spdag.Vertex // private LIFO; owner-only
 	request  atomic.Int32    // id of a thief awaiting work, or noThief
 	transfer atomic.Pointer[spdag.Vertex]
+
+	// lastStat is the locality counter of the most recently posted
+	// steal request (owner-only, plain field): if a
+	// shutdown-interrupted wait leaves a committed answer for the
+	// defensive entry drain to collect, this is the phase the steal
+	// belongs to — a vertex can only be in the transfer cell because
+	// that request was answered.
+	lastStat *atomic.Uint64
 }
 
 func (w *worker) pushPrivate(v *spdag.Vertex) {
@@ -128,38 +136,66 @@ func (w *worker) runPrivate() {
 	w.respond()
 }
 
-// findWorkPrivate polls the injector, then posts a steal request to
-// one random victim and waits for the answer (polling its own request
-// cell meanwhile so two idle workers cannot deadlock each other).
+// findWorkPrivate polls the injector, then makes the two-phase steal
+// attempt of the locality order: a request posted to an answerable
+// same-node victim first and, when that phase yields nothing — no
+// candidate, victim busy, or an explicit noWork answer — a request to
+// a remote victim in the *same* call. The same-call fallback matters:
+// a thief must not have to wait for its idle local peers to park
+// before it can discover a backlogged remote node (the ChaseLev
+// rounds get this for free by inspecting deque emptiness directly;
+// here "the local node is dry" is learned from the victim's noWork
+// answer, so the fallback has to chain onto it).
 func (w *worker) findWorkPrivate() *spdag.Vertex {
 	// The commit/withdraw protocol guarantees the transfer cell is empty
-	// here — every answer is collected inside the wait loop below — with
-	// one exception: a shutdown-interrupted wait. Drain defensively so a
-	// vertex can never sit unobserved in the cell.
+	// here — every answer is collected inside stealAttempt's wait loop —
+	// with one exception: a shutdown-interrupted wait. Drain defensively
+	// so a vertex can never sit unobserved in the cell, crediting the
+	// phase whose request the answer belongs to (only an answered
+	// request puts a vertex here, so lastStat identifies it; the nil
+	// fallback is pure defense).
 	if v := w.pd.transfer.Swap(nil); v != nil && v != noWork {
-		w.stats.steals.Add(1)
+		if stat := w.pd.lastStat; stat != nil {
+			stat.Add(1)
+		} else {
+			w.stats.localSteals.Add(1)
+		}
 		return v
 	}
 	if v := w.s.inj.pop(); v != nil {
 		return v
 	}
-	n := len(w.s.workers)
-	if n == 1 {
+	if v := w.stealAttempt(w.pickAnswerable(w.localVictims), &w.stats.localSteals); v != nil {
+		return v
+	}
+	if w.s.stop.Load() {
 		return nil
 	}
-	victim := w.s.workers[w.g.Uint64n(uint64(n))]
-	if victim == w || victim.parked.Load() || !victim.live() {
-		return nil // self, or a parked/dormant victim that cannot answer
+	return w.stealAttempt(w.pickAnswerable(w.remoteVictims), &w.stats.remoteSteals)
+}
+
+// stealAttempt posts a steal request to the victim (nil: no candidate,
+// nothing to do) and waits for the answer, polling its own request
+// cell meanwhile so two idle workers cannot deadlock each other. It
+// credits stat and returns the vertex on success; nil means this
+// attempt yielded nothing — the victim was busy with another thief,
+// answered noWork, parked/retired without committing (the request is
+// withdrawn), or the scheduler is stopping — and the caller moves on
+// to its next phase or backs off.
+func (w *worker) stealAttempt(victim *worker, stat *atomic.Uint64) *spdag.Vertex {
+	if victim == nil {
+		return nil
 	}
 	if !victim.pd.request.CompareAndSwap(noThief, int32(w.id)) {
-		return nil // victim busy with another thief; back off and retry
+		return nil // victim busy with another thief
 	}
+	w.pd.lastStat = stat
 	for {
 		if v := w.pd.transfer.Swap(nil); v != nil {
 			if v == noWork {
 				return nil
 			}
-			w.stats.steals.Add(1)
+			stat.Add(1)
 			return v
 		}
 		// While waiting, serve thieves targeting us (we have nothing,
@@ -184,4 +220,26 @@ func (w *worker) findWorkPrivate() *spdag.Vertex {
 			}
 		}
 	}
+}
+
+// pickAnswerable walks the candidate list once, from a random
+// starting point, for a victim that is live and unparked — every
+// candidate is considered exactly once, so an answerable local victim
+// cannot be missed by unlucky sampling (which would escalate the
+// thief to a remote request). The eligibility read is racy by nature
+// (the victim may park an instant later); the wait loop's withdraw
+// protocol handles that, as before.
+func (w *worker) pickAnswerable(victims []*worker) *worker {
+	n := len(victims)
+	if n == 0 {
+		return nil
+	}
+	start := int(w.g.Uint64n(uint64(n)))
+	for attempt := 0; attempt < n; attempt++ {
+		v := victims[(start+attempt)%n]
+		if !v.parked.Load() && v.live() {
+			return v
+		}
+	}
+	return nil
 }

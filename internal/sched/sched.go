@@ -10,6 +10,7 @@ import (
 	"repro/internal/deque"
 	"repro/internal/rng"
 	"repro/internal/spdag"
+	"repro/internal/topology"
 )
 
 // Scheduler executes sp-dag vertices on an elastic pool of workers:
@@ -23,6 +24,15 @@ type Scheduler struct {
 	stop    atomic.Bool
 	wg      sync.WaitGroup
 	started atomic.Bool
+
+	// topo maps worker slots to locality nodes; it drives the
+	// two-phase victim preference in both steal policies, the per-node
+	// vertex pools, and least-loaded-node spawn placement. Always
+	// non-zero after New (an unspecified topology resolves to
+	// topology.Detect, which degrades to flat). Correctness never
+	// depends on it: locality is only a preference.
+	topo  topology.Topology
+	pools *spdag.NodePools // per-node vertex overflow pools
 
 	// nparked counts workers currently parked (registered for wake-up).
 	// Producers read it on every push; it only changes on park/unpark
@@ -99,12 +109,15 @@ const (
 // own: the leading pad shields them from the worker's scheduling state
 // (deque indices, park flag), the trailing pad from whatever follows
 // the worker in memory. Layout is asserted at compile time in
-// layout_test.go.
+// layout_test.go. Steals are split by victim locality — localSteals
+// from same-node victims, remoteSteals from other nodes (on a flat
+// topology every victim is local); their sum is the total steal count.
 type workerStats struct {
-	_        [64]byte
-	steals   atomic.Uint64 // successful steals
-	executed atomic.Uint64 // vertices executed
-	_        [48]byte
+	_            [64]byte
+	localSteals  atomic.Uint64 // successful steals from same-node victims
+	remoteSteals atomic.Uint64 // successful steals from remote-node victims
+	executed     atomic.Uint64 // vertices executed
+	_            [40]byte
 }
 
 // worker is one scheduling slot: a goroutine pinned to a deque while
@@ -116,6 +129,16 @@ type worker struct {
 	pd  privateState              // PrivateDeques policy
 	g   *rng.Xoshiro256ss
 	ctx spdag.ExecContext
+
+	// node is the slot's locality node under the scheduler's topology;
+	// localVictims/remoteVictims are the victim candidate lists the
+	// two-phase steal order draws from (same node minus self, then
+	// everyone else). All three are fixed at New — slots never move
+	// between nodes — so the steal loop reads them without
+	// synchronization.
+	node          int
+	localVictims  []*worker
+	remoteVictims []*worker
 
 	// state is the slot lifecycle flag (wsDormant/wsLive). Spawners CAS
 	// dormant→live; the retiring worker itself stores dormant. Thieves
@@ -149,6 +172,7 @@ type config struct {
 	policy      Policy
 	max         int
 	retireAfter time.Duration
+	topo        topology.Topology
 }
 
 // WithSeed fixes the per-worker RNG seeds for reproducible runs.
@@ -177,6 +201,20 @@ func WithRetireAfter(d time.Duration) Option {
 	return func(c *config) { c.retireAfter = d }
 }
 
+// WithTopology sets the locality map from worker slots to nodes: the
+// steal loops prefer same-node victims (falling back to remote nodes
+// only when the local round comes up empty), vertex storage overflows
+// into per-node pools, and the elastic pool spawns onto the
+// least-loaded node. The zero Topology (the default) auto-detects the
+// host via topology.Detect, which degrades to a flat single-node map
+// on hosts without NUMA sysfs — identical scheduling to the
+// pre-topology scheduler. Use topology.Synthetic to exercise
+// multi-node behavior on any host, or topology.Flat to force locality
+// blindness.
+func WithTopology(t topology.Topology) Option {
+	return func(c *config) { c.topo = t }
+}
+
 // New creates a scheduler with p workers (p ≤ 0 means GOMAXPROCS);
 // with WithMaxWorkers(max), p is the minimum of an elastic pool that
 // can grow to max. Call Start to launch the (minimum) workers.
@@ -197,33 +235,58 @@ func New(p int, opts ...Option) *Scheduler {
 	if cfg.retireAfter <= 0 {
 		cfg.retireAfter = defaultRetireAfter
 	}
+	if cfg.topo.IsZero() {
+		cfg.topo = topology.Detect()
+	}
 	s := &Scheduler{
 		workers:     make([]*worker, cfg.max),
 		policy:      cfg.policy,
 		min:         p,
 		elastic:     cfg.max > p,
 		retireAfter: cfg.retireAfter,
+		topo:        cfg.topo,
 	}
+	s.pools = spdag.NewNodePools(s.topo.Nodes())
 	s.inj.init()
 	s.nlive.Store(int32(p))
 	for i := range s.workers {
-		w := &worker{s: s, id: i, g: rng.NewXoshiro(cfg.seed + uint64(i)*0x9e37), sema: make(chan struct{}, 1)}
+		w := &worker{s: s, id: i, node: s.topo.NodeOf(i),
+			g: rng.NewXoshiro(cfg.seed + uint64(i)*0x9e37), sema: make(chan struct{}, 1)}
 		w.pd.request.Store(noThief)
 		push := w.push
 		if cfg.policy == PrivateDeques {
 			push = w.pushPrivate
 		}
-		w.ctx = spdag.ExecContext{G: w.g, Push: push}
+		w.ctx = spdag.ExecContext{G: w.g, Push: push, Pool: s.pools, Node: w.node}
 		if i < p {
 			w.state.Store(wsLive)
 		}
 		s.workers[i] = w
+	}
+	// Victim candidate lists for the two-phase steal order. Built once:
+	// the slot→node map never changes, and keeping them per worker (not
+	// per node) lets the steal loop index them with zero indirection.
+	for _, w := range s.workers {
+		for _, v := range s.workers {
+			if v == w {
+				continue
+			}
+			if v.node == w.node {
+				w.localVictims = append(w.localVictims, v)
+			} else {
+				w.remoteVictims = append(w.remoteVictims, v)
+			}
+		}
 	}
 	return s
 }
 
 // Policy returns the stealing mechanism in use.
 func (s *Scheduler) Policy() Policy { return s.policy }
+
+// Topology returns the locality map the scheduler was built with
+// (after auto-detection: never the zero value).
+func (s *Scheduler) Topology() topology.Topology { return s.topo }
 
 // NumWorkers returns the number of live workers — the `proc` axis of
 // the evaluation. For a fixed pool it is constant; for an elastic pool
@@ -346,10 +409,14 @@ func (s *Scheduler) maybeSpawn() {
 
 // trySpawn launches one dormant slot, if the pool is below max and the
 // scheduler is running. The nlive CAS loop reserves the capacity; the
-// slot scan then claims a dormant worker. The scan can transiently
-// find none (a retiring worker gives up its nlive share just before
-// its slot goes dormant); the reservation is then returned and the
-// next pressure crossing retries.
+// slot scan then claims a dormant worker — the dormant slot on the
+// node with the fewest live workers, so elastic growth spreads across
+// nodes instead of piling every spawn onto the first free slot (under
+// a flat topology every slot ties on node 0 and the scan reduces to
+// the old first-dormant order). The scan can transiently find none (a
+// retiring worker gives up its nlive share just before its slot goes
+// dormant); the reservation is then returned and the next pressure
+// crossing retries.
 func (s *Scheduler) trySpawn() {
 	if !s.started.Load() || s.stop.Load() {
 		return
@@ -369,13 +436,38 @@ func (s *Scheduler) trySpawn() {
 		s.nlive.Add(-1)
 		return
 	}
+	// Load per node, counting retiring slots too: a retiring worker's
+	// storage is still homed on its node, and by the time the spawn
+	// lands it is usually dormant — counting it live only makes the
+	// scan slightly conservative.
+	load := make([]int, s.topo.Nodes())
 	for _, w := range s.workers {
-		if w.state.CompareAndSwap(wsDormant, wsLive) {
+		if w.state.Load() != wsDormant {
+			load[w.node]++
+		}
+	}
+	for {
+		var best *worker
+		for _, w := range s.workers {
+			if w.state.Load() != wsDormant {
+				continue
+			}
+			if best == nil || load[w.node] < load[best.node] {
+				best = w
+			}
+		}
+		if best == nil {
+			break
+		}
+		if best.state.CompareAndSwap(wsDormant, wsLive) {
 			s.spawned.Add(1)
 			s.wg.Add(1)
-			go w.loop()
+			go best.loop()
 			return
 		}
+		// Unreachable in practice — dormant→live transitions are
+		// serialized under spawnMu, so the claim cannot be contended —
+		// but rescanning keeps the loop correct if that ever changes.
 	}
 	s.nlive.Add(-1)
 }
@@ -424,10 +516,14 @@ func (s *Scheduler) Run(d *spdag.Dag, body spdag.Body) {
 }
 
 // Stats is an aggregate of per-worker counters, mirroring the
-// artifact's nb_steals-style output.
+// artifact's nb_steals-style output. Steals always equals LocalSteals
+// + RemoteSteals; on a flat (single-node) topology every steal is
+// local.
 type Stats struct {
-	Steals   uint64
-	Executed uint64
+	Steals       uint64 // successful steals (local + remote)
+	LocalSteals  uint64 // steals from same-node victims
+	RemoteSteals uint64 // steals from remote-node victims
+	Executed     uint64 // vertices executed
 }
 
 // Stats sums the per-worker counters. It is exact when the scheduler
@@ -436,19 +532,26 @@ type Stats struct {
 func (s *Scheduler) Stats() Stats {
 	var st Stats
 	for _, w := range s.workers {
-		st.Steals += w.stats.steals.Load()
+		st.LocalSteals += w.stats.localSteals.Load()
+		st.RemoteSteals += w.stats.remoteSteals.Load()
 		st.Executed += w.stats.executed.Load()
 	}
+	st.Steals = st.LocalSteals + st.RemoteSteals
 	return st
 }
 
-// String describes the scheduler.
+// String describes the scheduler. Multi-node topologies are called
+// out; the common flat case keeps the compact pre-topology format.
 func (s *Scheduler) String() string {
-	if s.elastic {
-		return fmt.Sprintf("sched.Scheduler{workers=%d..%d, live=%d, policy=%s}",
-			s.min, len(s.workers), s.NumWorkers(), s.policy)
+	nodes := ""
+	if s.topo.Nodes() > 1 {
+		nodes = fmt.Sprintf(", nodes=%d", s.topo.Nodes())
 	}
-	return fmt.Sprintf("sched.Scheduler{workers=%d, policy=%s}", s.min, s.policy)
+	if s.elastic {
+		return fmt.Sprintf("sched.Scheduler{workers=%d..%d, live=%d, policy=%s%s}",
+			s.min, len(s.workers), s.NumWorkers(), s.policy, nodes)
+	}
+	return fmt.Sprintf("sched.Scheduler{workers=%d, policy=%s%s}", s.min, s.policy, nodes)
 }
 
 // push is the worker-local schedule operation for the ChaseLev policy.
@@ -491,29 +594,44 @@ func (w *worker) run() {
 	}
 }
 
-// findWork polls the external injector, then attempts a round of
-// random steals. Dormant victims are harmless under ChaseLev — their
-// deques are empty by the retire invariant — so the victim loop does
-// not filter them; it just wastes the occasional attempt on an empty
-// slot.
+// findWork polls the external injector, then attempts the two-phase
+// steal order: a randomized round over same-node victims first, and
+// only when that comes up empty a randomized round over remote-node
+// victims. Locality is purely a preference — the remote phase
+// guarantees any reachable work is still found, so completion is
+// unchanged from the single-phase loop; what changes is that a steal
+// crossing the interconnect happens only when the whole local node is
+// dry. Dormant victims are harmless under ChaseLev — their deques are
+// empty by the retire invariant — so the victim rounds do not filter
+// them; they just waste the occasional attempt on an empty slot.
 func (w *worker) findWork() *spdag.Vertex {
 	if v := w.s.inj.pop(); v != nil {
 		return v
 	}
-	n := len(w.s.workers)
-	if n == 1 {
+	if v := w.stealRound(w.localVictims, &w.stats.localSteals); v != nil {
+		return v
+	}
+	return w.stealRound(w.remoteVictims, &w.stats.remoteSteals)
+}
+
+// stealRound makes one round of steal attempts over the given victim
+// list — a full cyclic walk from a random starting point, so every
+// victim is tried exactly once per round (sampling with replacement
+// would skip an available victim with probability ≈ 1/e per round,
+// and a skipped local victim here escalates the thief to a remote
+// steal) — crediting successes to the given counter.
+func (w *worker) stealRound(victims []*worker, stat *atomic.Uint64) *spdag.Vertex {
+	n := len(victims)
+	if n == 0 {
 		return nil
 	}
-	// One full randomized round over the other workers.
+	start := int(w.g.Uint64n(uint64(n)))
 	for attempt := 0; attempt < n; attempt++ {
-		victim := w.s.workers[w.g.Uint64n(uint64(n))]
-		if victim == w {
-			continue
-		}
+		victim := victims[(start+attempt)%n]
 		for {
 			v, empty := victim.dq.Steal()
 			if v != nil {
-				w.stats.steals.Add(1)
+				stat.Add(1)
 				return v
 			}
 			if empty {
@@ -642,8 +760,9 @@ func (w *worker) parkTimed() (woken, retired bool) {
 // any thief caught mid-request is released through the normal
 // commit-or-withdraw protocol. Then the storage the worker accumulated
 // is handed back — the deque ring (empty by the park invariant,
-// asserted) and the vertex freelist (drained into the shared pool) —
-// and only then does the slot go dormant, making it claimable by
+// asserted) and the vertex freelist (drained into the slot's node
+// pool, so the storage stays home for the next worker spawned on that
+// node) — and only then does the slot go dormant, making it claimable by
 // trySpawn: the dormant store is the release point that makes the
 // drain visible to the claiming CAS, so a respawned goroutine can
 // never observe the drain half-done. The stats block stays with the

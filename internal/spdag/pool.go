@@ -43,9 +43,68 @@ import (
 // every vertex of the computation.
 const freeListCap = 512
 
-// vertexPool is the process-wide overflow pool shared by all dags;
-// vertices are fully reset before reuse, so cross-dag sharing is safe.
+// vertexPool is the process-wide overflow pool of last resort, shared
+// by all dags: contexts not owned by a scheduler (inline executions,
+// hand-built ExecContexts) overflow and underflow here. Scheduler
+// workers overflow into their NodePools instead, so on a multi-node
+// topology the storage a node's workers recycle stays home.
+// Vertices are fully reset before reuse, so cross-dag (and cross-pool)
+// sharing is safe.
 var vertexPool = sync.Pool{New: func() any { return new(Vertex) }}
+
+// NodePools is a set of per-locality-node vertex overflow pools — the
+// topology-aware replacement for the single shared pool. A scheduler
+// creates one NodePools sized to its topology and points every
+// worker's ExecContext at it (Pool + Node); a worker's freelist then
+// overflows into — and a retiring worker's DrainFree returns to — the
+// pool of the node the worker runs on, so vertex storage recycled on
+// one socket is rehomed to that socket's workers instead of bouncing
+// across the interconnect. Each per-node pool is a sync.Pool: sharded
+// and GC-aware exactly like the process-wide fallback.
+//
+// Correctness does not depend on the homing: a vertex is fully reset
+// at reuse, so a stolen vertex executed (and recycled) on the "wrong"
+// node merely migrates its storage there — the cost is locality, never
+// consistency.
+type NodePools struct {
+	pools []sync.Pool
+}
+
+// NewNodePools creates one overflow pool per locality node (nodes < 1
+// is treated as 1).
+func NewNodePools(nodes int) *NodePools {
+	if nodes < 1 {
+		nodes = 1
+	}
+	p := &NodePools{pools: make([]sync.Pool, nodes)}
+	for i := range p.pools {
+		p.pools[i].New = func() any { return new(Vertex) }
+	}
+	return p
+}
+
+// Nodes returns the number of per-node pools.
+func (p *NodePools) Nodes() int { return len(p.pools) }
+
+// get takes a vertex from the node's pool (allocating when empty).
+func (p *NodePools) get(node int) *Vertex {
+	return p.pools[p.clamp(node)].Get().(*Vertex)
+}
+
+// put returns a vertex to the node's pool.
+func (p *NodePools) put(node int, v *Vertex) {
+	p.pools[p.clamp(node)].Put(v)
+}
+
+// clamp guards against contexts configured with a node id outside the
+// pool set (a topology/scheduler mismatch is a bug, but the pools must
+// not turn it into a panic on the hot path).
+func (p *NodePools) clamp(node int) int {
+	if node < 0 || node >= len(p.pools) {
+		return 0
+	}
+	return node
+}
 
 // inlineContext packs an ExecContext and its generator into a single
 // allocation for executions that arrive without a worker context
@@ -65,18 +124,21 @@ func newInlineContext() *ExecContext {
 }
 
 // grab takes a recycled vertex from the context freelist (worker-local,
-// no synchronization), falling back to the shared pool.
+// no synchronization), falling back to the context's node pool and
+// then the process-wide pool.
 func grab(ctx *ExecContext) *Vertex {
-	if ctx != nil {
-		if n := len(ctx.free); n > 0 {
-			v := ctx.free[n-1]
-			ctx.free[n-1] = nil
-			ctx.free = ctx.free[:n-1]
-			v.reset()
-			return v
-		}
+	var v *Vertex
+	switch {
+	case ctx != nil && len(ctx.free) > 0:
+		n := len(ctx.free)
+		v = ctx.free[n-1]
+		ctx.free[n-1] = nil
+		ctx.free = ctx.free[:n-1]
+	case ctx != nil && ctx.Pool != nil:
+		v = ctx.Pool.get(ctx.Node)
+	default:
+		v = vertexPool.Get().(*Vertex)
 	}
-	v := vertexPool.Get().(*Vertex)
 	v.reset()
 	return v
 }
@@ -101,16 +163,23 @@ func (v *Vertex) reset() {
 }
 
 // DrainFree hands every vertex of the context's freelist — and the
-// freelist's own backing array — to the process-wide shared pool. A
+// freelist's own backing array — back to the overflow pool it draws
+// from: the owner node's pool on a scheduler context (so a retiring
+// worker's vertices stay home for the slot's node, ready for the next
+// worker spawned there), or the process-wide shared pool otherwise. A
 // retiring scheduler worker calls it so a dormant slot does not hoard
 // up to freeListCap vertices that other workers could be reusing.
 // Owner-only, like every freelist operation; after DrainFree the
-// context is still usable (grab falls back to the shared pool and
-// recycle re-grows the list lazily).
+// context is still usable (grab falls back to the pools and recycle
+// re-grows the list lazily).
 func (ctx *ExecContext) DrainFree() {
 	for i, v := range ctx.free {
 		ctx.free[i] = nil
-		vertexPool.Put(v)
+		if ctx.Pool != nil {
+			ctx.Pool.put(ctx.Node, v)
+		} else {
+			vertexPool.Put(v)
+		}
 	}
 	ctx.free = nil
 }
@@ -137,8 +206,15 @@ func (v *Vertex) recycle() {
 	if v.pinned {
 		return
 	}
-	if ctx := v.ctx; ctx != nil && len(ctx.free) < freeListCap {
+	ctx := v.ctx
+	if ctx != nil && len(ctx.free) < freeListCap {
 		ctx.free = append(ctx.free, v)
+		return
+	}
+	if ctx != nil && ctx.Pool != nil {
+		// Freelist full: overflow to the executing worker's own node —
+		// the vertex's storage is hot in that node's cache right now.
+		ctx.Pool.put(ctx.Node, v)
 		return
 	}
 	vertexPool.Put(v)

@@ -116,6 +116,56 @@ func TestVertexStorageIsReused(t *testing.T) {
 	_ = v2
 }
 
+// TestNodePoolsHoming: a context homed on a node overflows into and
+// draws from that node's pool, and DrainFree returns the freelist to
+// the owner node — the per-node ownership the topology-aware scheduler
+// relies on. sync.Pool may drop objects under GC pressure, so the test
+// asserts identity on an immediate round-trip, not retention.
+func TestNodePoolsHoming(t *testing.T) {
+	pools := NewNodePools(2)
+	if pools.Nodes() != 2 {
+		t.Fatalf("Nodes = %d", pools.Nodes())
+	}
+	ctx := newTestCtx(1)
+	ctx.Pool, ctx.Node = pools, 1
+
+	d := New(counter.FetchAdd{})
+	u, _ := d.Make()
+	u.ctx = ctx
+	v, w := u.Spawn()
+	w.Signal()
+	w.Recycle() // → ctx.free
+	if len(ctx.free) != 1 {
+		t.Fatalf("freelist holds %d vertices, want 1", len(ctx.free))
+	}
+	ctx.DrainFree()
+	if ctx.free != nil {
+		t.Fatal("DrainFree left a freelist behind")
+	}
+	// The drained vertex must be sitting in node 1's pool: a fresh grab
+	// through a context homed there gets that exact storage back, while
+	// node 0's pool allocates fresh.
+	if got := pools.get(1); got != w {
+		t.Fatalf("node 1 pool returned %p, want the drained vertex %p", got, w)
+	}
+	pools.put(1, w)
+	_ = v
+}
+
+// TestNodePoolsClamp: out-of-range node ids (a topology/scheduler
+// mismatch) degrade to node 0 instead of panicking.
+func TestNodePoolsClamp(t *testing.T) {
+	pools := NewNodePools(0) // clamps to one node
+	if pools.Nodes() != 1 {
+		t.Fatalf("Nodes = %d", pools.Nodes())
+	}
+	v := pools.get(5)
+	if v == nil {
+		t.Fatal("get on an out-of-range node returned nil")
+	}
+	pools.put(-3, v) // must not panic
+}
+
 // TestPinnedVerticesAreNotRecycled: Make's root and final stay valid
 // after execution — the Run machinery reads them from the submitting
 // goroutine.

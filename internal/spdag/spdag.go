@@ -54,6 +54,14 @@ type ExecContext struct {
 	G    *rng.Xoshiro256ss
 	Push func(*Vertex)
 
+	// Pool and Node home the context's vertex overflow: a scheduler
+	// sets Pool to its per-node pool set and Node to the worker slot's
+	// locality node, so storage the worker recycles beyond its private
+	// freelist stays on (and is reacquired from) the worker's own node.
+	// A nil Pool falls back to the process-wide shared pool.
+	Pool *NodePools
+	Node int
+
 	free []*Vertex // recycled vertices, owner-only (see pool.go)
 }
 

@@ -1,0 +1,235 @@
+// Package topology gives the scheduler a notion of hardware locality:
+// a Topology maps worker slots to locality nodes (NUMA sockets on a
+// multi-socket host), so the steal loop can prefer same-node victims
+// and the vertex pools can keep storage on the node that allocated it
+// — the cross-socket traffic the paper's appendix C.2 (Figure 13)
+// studies, and exactly the kind of contention its SNZI-style counters
+// exist to avoid.
+//
+// Two constructors cover every use:
+//
+//   - Detect reads the Linux sysfs NUMA layout
+//     (/sys/devices/system/node) and degrades to a flat single-node
+//     topology on hosts that expose none — macOS, containers with
+//     masked sysfs, single-socket machines. Detection is best-effort
+//     and never fails: the flat topology is always correct, merely
+//     locality-blind.
+//   - Synthetic builds an arbitrary nodes×slotsPerNode layout, so
+//     every topology-dependent code path (two-phase stealing,
+//     per-node freelists, least-loaded spawn) is testable on any
+//     host, including the 1-core CI runner.
+//
+// A Topology is a pure value: immutable after construction, safe to
+// share, and meaningful for any slot count — NodeOf wraps slots beyond
+// the described range (slot % Slots), so a scheduler with more worker
+// slots than described CPUs still gets a consistent round-robin-ish
+// placement instead of an error.
+//
+// Correctness never depends on the topology: locality is only a
+// victim *preference* in the steal loop and a *home* for pooled
+// storage. A wrong topology costs throughput, not results.
+package topology
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Topology maps worker slots to locality nodes. The zero value is
+// "unspecified" (IsZero reports true) and behaves as a flat
+// single-node topology; consumers that want hardware locality should
+// replace it with Detect() or Synthetic(...).
+type Topology struct {
+	// nodeOf maps slot index → dense node id (0..nodes-1). nil means
+	// the zero value: a single node covering every slot.
+	nodeOf []int
+	nodes  int
+	name   string
+}
+
+// Flat returns the locality-blind topology: one node owning all slots
+// (slots < 1 is treated as 1). It is what Detect degrades to and the
+// explicit way to switch locality awareness off.
+func Flat(slots int) Topology {
+	if slots < 1 {
+		slots = 1
+	}
+	return Topology{nodeOf: make([]int, slots), nodes: 1, name: "flat"}
+}
+
+// Synthetic returns a block-layout topology of nodes×slotsPerNode
+// slots: node k owns the contiguous slots [k·slotsPerNode,
+// (k+1)·slotsPerNode). Arguments below 1 are raised to 1. It exists so
+// topology-dependent scheduling is testable (and benchmarkable) on
+// hosts with no NUMA hardware at all.
+func Synthetic(nodes, slotsPerNode int) Topology {
+	if nodes < 1 {
+		nodes = 1
+	}
+	if slotsPerNode < 1 {
+		slotsPerNode = 1
+	}
+	nodeOf := make([]int, nodes*slotsPerNode)
+	for i := range nodeOf {
+		nodeOf[i] = i / slotsPerNode
+	}
+	return Topology{nodeOf: nodeOf, nodes: nodes, name: fmt.Sprintf("synthetic(%dx%d)", nodes, slotsPerNode)}
+}
+
+// sysfsNodeRoot is the Linux NUMA topology directory Detect reads.
+const sysfsNodeRoot = "/sys/devices/system/node"
+
+// detectOnce caches the host topology: sysfs cannot change under a
+// running process, and Detect is called on every scheduler
+// construction.
+var detectOnce = sync.OnceValue(func() Topology {
+	return detect(sysfsNodeRoot)
+})
+
+// Detect returns the host's NUMA topology from Linux sysfs: one slot
+// per online CPU, spread across the detected nodes proportionally to
+// each node's CPU count (see detect for why not raw CPU order). On
+// hosts that expose no usable layout (no sysfs, a single node, masked
+// cpulists) it degrades to Flat(GOMAXPROCS). The result is cached:
+// the host does not change under a running process.
+func Detect() Topology {
+	return detectOnce()
+}
+
+// detect is Detect against an explicit sysfs root (tests point it at a
+// fake tree).
+func detect(root string) Topology {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return Flat(runtime.GOMAXPROCS(0))
+	}
+	// CPUs per dense node id, discovered from node*/cpulist.
+	var counts []int
+	total := 0
+	var nodeIDs []int
+	for _, e := range entries {
+		var id int
+		if _, err := fmt.Sscanf(e.Name(), "node%d", &id); err != nil || e.Name() != fmt.Sprintf("node%d", id) {
+			continue
+		}
+		nodeIDs = append(nodeIDs, id)
+	}
+	// Dense node ids in sysfs order: node numbers can have gaps
+	// (offlined sockets), and the scheduler wants 0..nodes-1.
+	sort.Ints(nodeIDs)
+	for _, id := range nodeIDs {
+		data, err := os.ReadFile(fmt.Sprintf("%s/node%d/cpulist", root, id))
+		if err != nil {
+			continue
+		}
+		list, ok := parseCPUList(strings.TrimSpace(string(data)))
+		if !ok || len(list) == 0 {
+			continue
+		}
+		counts = append(counts, len(list))
+		total += len(list)
+	}
+	nodes := len(counts)
+	if nodes < 2 || total < 2 {
+		return Flat(runtime.GOMAXPROCS(0))
+	}
+	// One slot per online CPU, spread across nodes proportionally to
+	// their CPU counts. The Go runtime gives no CPU pinning, so slots
+	// cannot follow actual CPU placement anyway; what matters is that
+	// any *prefix* of the slot list — a scheduler usually runs fewer
+	// slots than the machine has CPUs — preserves the machine's node
+	// proportions. Mapping slot i to the node of the i-th-numbered CPU
+	// would not: with the common block numbering (node0 0-15, node1
+	// 16-31) every pool of ≤16 workers would land entirely on node 0,
+	// degenerating to flat exactly on the hosts this layer targets.
+	// Integer error diffusion keeps every prefix within one slot of
+	// the exact proportion: each node accrues credit equal to its CPU
+	// count per slot, the highest credit (ties: lowest node) wins the
+	// slot and pays one whole share back.
+	nodeOf := make([]int, total)
+	credit := make([]int, nodes)
+	for i := range nodeOf {
+		best := 0
+		for n := 0; n < nodes; n++ {
+			credit[n] += counts[n]
+			if credit[n] > credit[best] {
+				best = n
+			}
+		}
+		nodeOf[i] = best
+		credit[best] -= total
+	}
+	return Topology{nodeOf: nodeOf, nodes: nodes, name: fmt.Sprintf("sysfs(%d nodes)", nodes)}
+}
+
+// parseCPUList parses the sysfs cpulist format: comma-separated CPU
+// ids and inclusive ranges, e.g. "0-3,8-11,16".
+func parseCPUList(s string) ([]int, bool) {
+	if s == "" {
+		return nil, true
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		lo, hi, ok := parseRange(part)
+		if !ok || hi-lo > 1<<12 { // defensive bound: a garbage range must not OOM
+			return nil, false
+		}
+		for c := lo; c <= hi; c++ {
+			out = append(out, c)
+		}
+	}
+	return out, true
+}
+
+func parseRange(part string) (lo, hi int, ok bool) {
+	if a, b, found := strings.Cut(part, "-"); found {
+		lo, err1 := strconv.Atoi(a)
+		hi, err2 := strconv.Atoi(b)
+		return lo, hi, err1 == nil && err2 == nil && lo >= 0 && hi >= lo
+	}
+	n, err := strconv.Atoi(part)
+	return n, n, err == nil && n >= 0
+}
+
+// IsZero reports whether the topology is the unspecified zero value.
+// Consumers (internal/sched) treat a zero topology as "pick for me"
+// and substitute Detect().
+func (t Topology) IsZero() bool { return t.nodeOf == nil }
+
+// Nodes returns the number of locality nodes (≥ 1; 1 for the zero
+// value and every flat topology).
+func (t Topology) Nodes() int {
+	if t.nodeOf == nil || t.nodes < 1 {
+		return 1
+	}
+	return t.nodes
+}
+
+// Slots returns the number of slots the topology describes (0 for the
+// zero value). Schedulers may run more worker slots than this; NodeOf
+// wraps.
+func (t Topology) Slots() int { return len(t.nodeOf) }
+
+// NodeOf returns the locality node of a worker slot. Slots beyond the
+// described range wrap (slot % Slots), so one detected host topology
+// serves any pool size; negative slots map to node 0.
+func (t Topology) NodeOf(slot int) int {
+	if len(t.nodeOf) == 0 || slot < 0 {
+		return 0
+	}
+	return t.nodeOf[slot%len(t.nodeOf)]
+}
+
+// String describes the topology for logs and scheduler String()s.
+func (t Topology) String() string {
+	if t.IsZero() {
+		return "topology.Topology{unspecified}"
+	}
+	return fmt.Sprintf("topology.Topology{%s, %d slots, %d nodes}", t.name, t.Slots(), t.Nodes())
+}

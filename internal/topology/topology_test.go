@@ -1,0 +1,197 @@
+package topology
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestZeroValue(t *testing.T) {
+	var z Topology
+	if !z.IsZero() {
+		t.Fatal("zero value not IsZero")
+	}
+	if z.Nodes() != 1 || z.Slots() != 0 {
+		t.Fatalf("zero value Nodes/Slots = %d/%d, want 1/0", z.Nodes(), z.Slots())
+	}
+	if z.NodeOf(0) != 0 || z.NodeOf(17) != 0 {
+		t.Fatal("zero value must map every slot to node 0")
+	}
+	if !strings.Contains(z.String(), "unspecified") {
+		t.Fatalf("String = %q", z.String())
+	}
+}
+
+func TestFlat(t *testing.T) {
+	f := Flat(4)
+	if f.IsZero() || f.Nodes() != 1 || f.Slots() != 4 {
+		t.Fatalf("Flat(4) = %v", f)
+	}
+	for slot := 0; slot < 10; slot++ {
+		if f.NodeOf(slot) != 0 {
+			t.Fatalf("Flat NodeOf(%d) = %d", slot, f.NodeOf(slot))
+		}
+	}
+	if Flat(0).Slots() != 1 {
+		t.Fatal("Flat(0) must clamp to one slot")
+	}
+}
+
+func TestSynthetic(t *testing.T) {
+	s := Synthetic(2, 2)
+	if s.Nodes() != 2 || s.Slots() != 4 {
+		t.Fatalf("Synthetic(2,2) Nodes/Slots = %d/%d", s.Nodes(), s.Slots())
+	}
+	// Block layout: node k owns the contiguous slots [2k, 2k+2).
+	want := []int{0, 0, 1, 1}
+	for slot, node := range want {
+		if got := s.NodeOf(slot); got != node {
+			t.Fatalf("NodeOf(%d) = %d, want %d", slot, got, node)
+		}
+	}
+	// Slots beyond the described range wrap.
+	if s.NodeOf(4) != 0 || s.NodeOf(6) != 1 {
+		t.Fatalf("wrapped NodeOf = %d,%d, want 0,1", s.NodeOf(4), s.NodeOf(6))
+	}
+	if s.NodeOf(-1) != 0 {
+		t.Fatal("negative slot must map to node 0")
+	}
+	if Synthetic(0, 0).Nodes() != 1 {
+		t.Fatal("Synthetic clamps arguments to 1")
+	}
+	if !strings.Contains(s.String(), "synthetic(2x2)") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+// writeFakeSysfs materializes a /sys/devices/system/node-shaped tree.
+func writeFakeSysfs(t *testing.T, cpulists map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for node, list := range cpulists {
+		dir := filepath.Join(root, node)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "cpulist"), []byte(list+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestDetectTwoSockets(t *testing.T) {
+	// Block CPU numbering, the common server enumeration (node0 owns
+	// 0-3, node1 owns 4-7). Slots must NOT follow raw CPU order — that
+	// would put every pool of ≤ 4 workers entirely on node 0 — but
+	// interleave, so any slot prefix preserves the machine's node
+	// proportions.
+	root := writeFakeSysfs(t, map[string]string{
+		"node0": "0-3",
+		"node1": "4-7",
+	})
+	topo := detect(root)
+	if topo.Nodes() != 2 || topo.Slots() != 8 {
+		t.Fatalf("detect = %v, want 2 nodes / 8 slots", topo)
+	}
+	want := []int{0, 1, 0, 1, 0, 1, 0, 1}
+	for slot, node := range want {
+		if got := topo.NodeOf(slot); got != node {
+			t.Fatalf("NodeOf(%d) = %d, want %d", slot, got, node)
+		}
+	}
+}
+
+// TestDetectPrefixProportions: on an asymmetric machine (12 vs 4
+// CPUs), every slot prefix stays close to the 3:1 ratio — the
+// property pools sized below the CPU count rely on.
+func TestDetectPrefixProportions(t *testing.T) {
+	root := writeFakeSysfs(t, map[string]string{
+		"node0": "0-11",
+		"node1": "12-15",
+	})
+	topo := detect(root)
+	if topo.Nodes() != 2 || topo.Slots() != 16 {
+		t.Fatalf("detect = %v, want 2 nodes / 16 slots", topo)
+	}
+	seen := []int{0, 0}
+	for slot := 0; slot < 16; slot++ {
+		seen[topo.NodeOf(slot)]++
+		// At every prefix the minority node holds between 1/8 and 1/2
+		// of the slots assigned so far (exact 1/4 up to rounding).
+		if slot >= 3 && (seen[1]*8 < slot+1 || seen[1]*2 > slot+1) {
+			t.Fatalf("after %d slots the 4-CPU node holds %d of them", slot+1, seen[1])
+		}
+	}
+	if seen[0] != 12 || seen[1] != 4 {
+		t.Fatalf("full assignment = %v, want [12 4]", seen)
+	}
+}
+
+func TestDetectInterleavedAndGappedNodes(t *testing.T) {
+	// Socket numbering with a gap (node2 offline) and interleaved CPU
+	// ids, as SMT-on hosts enumerate them: node ids must densify, and
+	// the equal-size nodes alternate slot for slot.
+	root := writeFakeSysfs(t, map[string]string{
+		"node0": "0,2,4",
+		"node3": "1,3,5",
+	})
+	topo := detect(root)
+	if topo.Nodes() != 2 || topo.Slots() != 6 {
+		t.Fatalf("detect = %v, want 2 nodes / 6 slots", topo)
+	}
+	want := []int{0, 1, 0, 1, 0, 1}
+	for slot, node := range want {
+		if got := topo.NodeOf(slot); got != node {
+			t.Fatalf("NodeOf(%d) = %d, want %d", slot, got, node)
+		}
+	}
+}
+
+func TestDetectDegradesToFlat(t *testing.T) {
+	cases := map[string]string{
+		"missing root":   filepath.Join(t.TempDir(), "nope"),
+		"no node dirs":   t.TempDir(),
+		"single node":    writeFakeSysfs(t, map[string]string{"node0": "0-7"}),
+		"garbage list":   writeFakeSysfs(t, map[string]string{"node0": "0-1", "node1": "zap"}),
+		"one cpu total":  writeFakeSysfs(t, map[string]string{"node0": "0", "node1": ""}),
+		"absurd range":   writeFakeSysfs(t, map[string]string{"node0": "0-99999999", "node1": "1"}),
+		"negative range": writeFakeSysfs(t, map[string]string{"node0": "-2-4", "node1": "5"}),
+	}
+	for name, root := range cases {
+		topo := detect(root)
+		if topo.Nodes() != 1 {
+			t.Fatalf("%s: detect did not degrade to flat: %v", name, topo)
+		}
+		if topo.Slots() != runtime.GOMAXPROCS(0) {
+			t.Fatalf("%s: flat fallback slots = %d, want GOMAXPROCS", name, topo.Slots())
+		}
+	}
+}
+
+func TestDetectCached(t *testing.T) {
+	if a, b := Detect(), Detect(); a.Nodes() != b.Nodes() || a.Slots() != b.Slots() {
+		t.Fatal("Detect is not stable across calls")
+	}
+}
+
+func TestParseCPUList(t *testing.T) {
+	list, ok := parseCPUList("0-2,8,10-11")
+	if !ok || len(list) != 6 {
+		t.Fatalf("parseCPUList = %v ok=%v", list, ok)
+	}
+	want := []int{0, 1, 2, 8, 10, 11}
+	for i, c := range want {
+		if list[i] != c {
+			t.Fatalf("parseCPUList[%d] = %d, want %d", i, list[i], c)
+		}
+	}
+	if _, ok := parseCPUList("3-1"); ok {
+		t.Fatal("inverted range accepted")
+	}
+	if list, ok := parseCPUList(""); !ok || list != nil {
+		t.Fatal("empty list must parse to nothing")
+	}
+}

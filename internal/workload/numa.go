@@ -7,18 +7,26 @@ import (
 	"repro/internal/nested"
 )
 
-// NUMA placement-policy proxy for the appendix C.2 study (Figure 13).
+// NUMA placement-policy proxy for the appendix C.2 study (Figure 13)
+// — the harness's "fanin-numa-proxy" bench.
 //
 // The paper compares two page-placement policies on its 4-socket
 // machine — round-robin interleaving vs first-touch — and finds they
-// do not change the counter-algorithm comparison. This host exposes no
-// NUMA control, so we reproduce the *experiment's shape* with a
-// timing-perturbation proxy: a fraction of leaf tasks pays a small
-// calibrated "remote access" latency, distributed the way each policy
-// would distribute remote pages — round-robin spreads the penalty
-// uniformly across tasks, first-touch concentrates it in contiguous
-// blocks. The measured claim is the paper's null result: the relative
-// ordering of the counter algorithms is unchanged under either policy.
+// do not change the counter-algorithm comparison. Hosts without NUMA
+// control cannot run that experiment directly, so this proxy
+// reproduces the *experiment's shape* with a timing perturbation: a
+// fraction of leaf tasks pays a small calibrated "remote access"
+// latency, distributed the way each policy would distribute remote
+// pages — round-robin spreads the penalty uniformly across tasks,
+// first-touch concentrates it in contiguous blocks. The measured claim
+// is the paper's null result: the relative ordering of the counter
+// algorithms is unchanged under either policy.
+//
+// Since the topology layer landed (internal/topology), the harness's
+// primary "fanin-numa" bench runs the *real* scheduler under flat vs
+// synthetic multi-node topologies instead — actual victim placement
+// and per-node pools, not simulated latency. The proxy is kept for
+// hosts and comparisons where only the timing shape is wanted.
 
 // NumaPolicy selects how the simulated remote-access penalty is
 // distributed across leaf tasks.
@@ -52,8 +60,9 @@ func (p NumaPolicy) String() string {
 // paper-era hardware class).
 const numaPenaltyNs = 40
 
-// FaninNUMA is Fanin with the NUMA placement-policy proxy applied to
-// its leaf tasks.
+// FaninNUMA is Fanin with the simulated NUMA placement-policy proxy
+// applied to its leaf tasks (the "fanin-numa-proxy" bench; the real
+// topology study runs plain Fanin on a topology-configured runtime).
 func FaninNUMA(rt *nested.Runtime, n uint64, policy NumaPolicy) Result {
 	v0 := rt.Dag().VertexCount()
 	var rec func(c *nested.Ctx, n, index uint64)
@@ -78,9 +87,9 @@ func FaninNUMA(rt *nested.Runtime, n uint64, policy NumaPolicy) Result {
 	start := time.Now()
 	final, err := rt.RunMeasured(func(c *nested.Ctx) { rec(c, n, 0) })
 	elapsed := time.Since(start)
-	mustRun("fanin-numa", err)
+	mustRun("fanin-numa-proxy", err)
 	return Result{
-		Name:       fmt.Sprintf("fanin-numa-%s", policy),
+		Name:       fmt.Sprintf("fanin-numa-proxy-%s", policy),
 		N:          n,
 		Elapsed:    elapsed,
 		CounterOps: faninOps(n),

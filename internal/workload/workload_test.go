@@ -231,7 +231,7 @@ func TestNumaPolicies(t *testing.T) {
 	rt := newRT(t, 2, nil)
 	for _, policy := range []NumaPolicy{NumaOff, NumaRoundRobin, NumaFirstTouch} {
 		res := FaninNUMA(rt, 2048, policy)
-		if res.Name != "fanin-numa-"+policy.String() {
+		if res.Name != "fanin-numa-proxy-"+policy.String() {
 			t.Fatalf("name = %s", res.Name)
 		}
 		if res.CounterOps != faninOps(2048) {

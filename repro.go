@@ -56,6 +56,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/snzi"
 	"repro/internal/spdag"
+	"repro/internal/topology"
 )
 
 // Ctx is the capability of a running task; see nested.Ctx. Its key
@@ -147,6 +148,19 @@ func WithCounter(spec string) Option {
 // WithSeed fixes scheduler randomness for reproducible runs.
 func WithSeed(seed uint64) Option { return func(c *Config) { c.Seed = seed } }
 
+// WithTopology sets the scheduler's locality map from worker slots to
+// nodes (NUMA sockets): workers steal from same-node victims first and
+// fall back to remote nodes only when the local node is dry, vertex
+// storage pools per node, and an elastic pool spawns onto the
+// least-loaded node. By default the host topology is auto-detected
+// from Linux sysfs (flat — locality-blind and identical to the
+// pre-topology scheduler — on hosts without NUMA). Locality is only a
+// preference, never a correctness condition: a wrong topology costs
+// throughput, not results. Stats reports the split
+// (LocalSteals/RemoteSteals); SyntheticTopology exercises multi-node
+// scheduling on any host.
+func WithTopology(t Topology) Option { return func(c *Config) { c.Topology = t } }
+
 // WithConfig replaces the whole configuration at once; options after
 // it still apply on top.
 func WithConfig(cfg Config) Option { return func(c *Config) { *c = cfg } }
@@ -204,8 +218,17 @@ type Stats struct {
 	Workers  int    // live scheduler workers (an idle elastic runtime quiesces to its floor)
 	Parked   int    // workers currently parked (idle runtime: Parked == Workers)
 	Vertices int64  // dag vertices created so far
-	Steals   uint64 // successful steals
+	Steals   uint64 // successful steals (== LocalSteals + RemoteSteals)
 	Executed uint64 // vertices executed
+	// LocalSteals and RemoteSteals split Steals by victim locality
+	// under the runtime's topology (WithTopology): a steal from a
+	// same-node victim is local, one that crossed nodes remote. On a
+	// flat topology every steal is local; a healthy multi-node run
+	// keeps RemoteSteals a small fraction of the total — remote
+	// stealing is the fallback phase of the victim order, not the
+	// common case.
+	LocalSteals  uint64
+	RemoteSteals uint64
 	// SpawnedWorkers and RetiredWorkers count the elastic pool's
 	// movement since construction: workers spawned beyond the floor
 	// under sustained backlog, and workers retired after long parks.
@@ -230,6 +253,8 @@ func (r *Runtime) Stats() Stats {
 		Parked:         sc.ParkedWorkers(),
 		Vertices:       r.n.Dag().VertexCount(),
 		Steals:         st.Steals,
+		LocalSteals:    st.LocalSteals,
+		RemoteSteals:   st.RemoteSteals,
 		Executed:       st.Executed,
 		SpawnedWorkers: sc.SpawnedWorkers(),
 		RetiredWorkers: sc.RetiredWorkers(),
@@ -280,6 +305,28 @@ func DoContext(ctx context.Context, f Task) error {
 // DefaultThreshold returns the paper's grow-probability denominator
 // for p workers (25·p, §5).
 func DefaultThreshold(workers int) uint64 { return nested.DefaultThreshold(workers) }
+
+// Topology maps worker slots to locality nodes (see WithTopology and
+// internal/topology). The zero value means "auto-detect the host".
+type Topology = topology.Topology
+
+// DetectTopology returns the host's NUMA topology from Linux sysfs,
+// degrading to a flat single-node topology on hosts that expose none.
+// The result is cached process-wide.
+func DetectTopology() Topology { return topology.Detect() }
+
+// SyntheticTopology builds a nodes×slotsPerNode block-layout topology,
+// so topology-aware scheduling (two-phase stealing, per-node vertex
+// pools, least-loaded spawn) can be exercised and measured on any
+// host, NUMA hardware or not.
+func SyntheticTopology(nodes, slotsPerNode int) Topology {
+	return topology.Synthetic(nodes, slotsPerNode)
+}
+
+// FlatTopology returns the locality-blind single-node topology over
+// the given number of slots — the explicit off switch for
+// topology-aware scheduling.
+func FlatTopology(slots int) Topology { return topology.Flat(slots) }
 
 // CounterAlgorithm is a dependency-counter algorithm the runtime can
 // be configured with; see counter.Algorithm.

@@ -1,0 +1,97 @@
+package repro_test
+
+// End-to-end tests for the topology-aware scheduling surface:
+// WithTopology threads a locality map down to the scheduler, and the
+// local/remote steal split comes back up through Stats.
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro"
+)
+
+// forceParallelism bumps GOMAXPROCS so worker goroutines can actually
+// interleave (steal assertions are vacuous on a single-P host).
+func forceParallelism(t *testing.T) {
+	t.Helper()
+	if runtime.GOMAXPROCS(0) >= 2 {
+		return
+	}
+	prev := runtime.GOMAXPROCS(4)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+func TestTopologyConstructors(t *testing.T) {
+	if n := repro.SyntheticTopology(2, 2).Nodes(); n != 2 {
+		t.Fatalf("SyntheticTopology(2,2).Nodes() = %d", n)
+	}
+	if n := repro.FlatTopology(8).Nodes(); n != 1 {
+		t.Fatalf("FlatTopology(8).Nodes() = %d", n)
+	}
+	if n := repro.DetectTopology().Nodes(); n < 1 {
+		t.Fatalf("DetectTopology().Nodes() = %d", n)
+	}
+	var zero repro.Topology
+	if !zero.IsZero() {
+		t.Fatal("zero Topology must report IsZero")
+	}
+}
+
+// TestTopologyStatsEndToEnd: a runtime built over a synthetic 2-node
+// topology completes real computations, exposes the topology on its
+// scheduler, and accounts every steal to exactly one side of the
+// local/remote split.
+func TestTopologyStatsEndToEnd(t *testing.T) {
+	forceParallelism(t)
+	rt := repro.NewRuntime(
+		repro.WithWorkers(4),
+		repro.WithTopology(repro.SyntheticTopology(2, 2)),
+		repro.WithSeed(17),
+	)
+	defer rt.Close()
+
+	if n := rt.Scheduler().Topology().Nodes(); n != 2 {
+		t.Fatalf("runtime scheduler topology nodes = %d, want 2", n)
+	}
+	var n atomic.Int64
+	if err := rt.Run(func(c *repro.Ctx) {
+		c.ParallelFor(0, 1<<14, 1, func(int) { n.Add(1) })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 1<<14 {
+		t.Fatalf("ran %d iterations, want %d", n.Load(), 1<<14)
+	}
+	st := rt.Stats()
+	if st.Steals != st.LocalSteals+st.RemoteSteals {
+		t.Fatalf("steal split does not add up: %+v", st)
+	}
+}
+
+// TestTopologyFlatHasNoRemoteSteals: under an explicit flat topology
+// every victim is local, so the remote counter can never move.
+func TestTopologyFlatHasNoRemoteSteals(t *testing.T) {
+	forceParallelism(t)
+	rt := repro.NewRuntime(
+		repro.WithWorkers(4),
+		repro.WithTopology(repro.FlatTopology(4)),
+		repro.WithSeed(19),
+	)
+	defer rt.Close()
+	for i := 0; i < 5; i++ {
+		if err := rt.Run(func(c *repro.Ctx) {
+			c.ParallelFor(0, 1<<12, 1, func(int) {})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := rt.Stats()
+	if st.RemoteSteals != 0 {
+		t.Fatalf("RemoteSteals = %d on a flat topology", st.RemoteSteals)
+	}
+	if st.Steals != st.LocalSteals {
+		t.Fatalf("Steals = %d ≠ LocalSteals = %d on a flat topology", st.Steals, st.LocalSteals)
+	}
+}
