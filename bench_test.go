@@ -12,13 +12,16 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
 	"time"
 
+	"repro"
 	"repro/internal/core"
 	"repro/internal/counter"
+	"repro/internal/gateway"
 	"repro/internal/nested"
 	"repro/internal/sched"
 	"repro/internal/snzi"
@@ -160,6 +163,72 @@ func BenchmarkBurst(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(ops)/busy.Seconds(), "ops/s")
 			b.ReportMetric(float64(peak), "peak-workers")
+		})
+	}
+}
+
+// BenchmarkServe — the gateway serving path (not a figure of the
+// paper; see internal/gateway and `ppopp17bench -fig serve`): an
+// in-process HTTP server over a fixed 2-worker runtime, driven
+// open-loop by internal/workload's Uniform generator. The steady cell
+// offers a fixed 100 req/s (well under capacity on any host), so its
+// gated ops/s is rate-bound and host-stable; the overload cell offers
+// 600 req/s against a shallow queue, so completed throughput is
+// capacity-bound and the shed-rate metric (presence-gated) shows
+// admission control actually refusing the excess — that metric
+// vanishing from a cell means the bounded queue came unwired.
+func BenchmarkServe(b *testing.B) {
+	workload.CalibrateWork()
+	const serviceUS = 5000
+	for _, cell := range []struct {
+		name string
+		rate float64
+	}{{"steady", 100}, {"overload", 600}} {
+		b.Run(cell.name, func(b *testing.B) {
+			srv := gateway.NewServer("127.0.0.1:0", gateway.Config{
+				RuntimeOptions: []repro.Option{repro.WithWorkers(2), repro.WithSeed(1)},
+				Dispatchers:    4,
+				QueueDepth:     8,
+			})
+			if err := srv.Listen(); err != nil {
+				b.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			served := make(chan error, 1)
+			go func() { served <- srv.Serve(ctx) }()
+			b.Cleanup(func() {
+				cancel()
+				if err := <-served; err != nil {
+					b.Fatal(err)
+				}
+			})
+			cfg := workload.ServeConfig{
+				URL:      "http://" + srv.Addr(),
+				Template: "spin",
+				N:        serviceUS,
+				Timeout:  time.Minute, // sheds must come from admission, not deadlines
+				Tenants:  4,
+				Rate:     cell.rate,
+				Duration: 150 * time.Millisecond,
+			}
+			// Aggregate over iterations, like BenchmarkBurst: one window
+			// is short enough that arrival jitter would dominate.
+			var sent, ok, shed int
+			var busy time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := workload.Uniform(cfg)
+				if res.Errors > 0 {
+					b.Fatalf("request errors: %+v", res)
+				}
+				sent += res.Sent
+				ok += res.OK
+				shed += res.Shed
+				busy += res.Elapsed
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(ok)/busy.Seconds(), "ops/s")
+			b.ReportMetric(float64(shed)/float64(sent), "shed-rate")
 		})
 	}
 }

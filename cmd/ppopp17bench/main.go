@@ -23,6 +23,14 @@
 // threads, so readers of the JSON see the measurement limitation
 // EXPERIMENTS.md states in prose.
 //
+// The serving experiment (-fig serve) is a further extension: it
+// boots the internal/gateway HTTP front-end over a fresh runtime and
+// drives it with the open-loop workload generator at 0.5x/1x/2x the
+// host's estimated capacity, reporting completed throughput, shed
+// rate, and p50/p95/p99 per offered-load step (artifact outputs
+// nb_sent/nb_completed/nb_shed, shed_rate, throughput_req_per_sec,
+// p50_ms/p95_ms/p99_ms).
+//
 // Usage:
 //
 //	ppopp17bench -fig all                 # every figure, host-scaled defaults
@@ -31,6 +39,7 @@
 //	ppopp17bench -fig burst               # elastic vs fixed pools on bursty storms
 //	ppopp17bench -fig 13                  # topology study on the real scheduler
 //	ppopp17bench -fig 13-proxy            # the simulated placement-penalty proxy
+//	ppopp17bench -fig serve               # gateway offered-load sweep (throughput/shed/p99)
 //	ppopp17bench -fig stalls -quick       # contention in the stall model
 //	ppopp17bench -fig 8 -format artifact  # artifact-style result records
 //	ppopp17bench -fig 8 -out results/     # write per-figure files

@@ -1,0 +1,93 @@
+// Command reproserve runs the runtime as a network service: an HTTP
+// front-end (internal/gateway) over one long-lived repro.Runtime,
+// with admission control, per-tenant quotas and weighted-fair
+// dispatch, bounded queueing with 429 + Retry-After shedding, and a
+// graceful SIGTERM drain.
+//
+//	reproserve -addr :8080 -workers 2 -max-workers 8 \
+//	           -tenant-rate 100 -tenant-burst 20 -queue-depth 128
+//
+// Endpoints:
+//
+//	POST /run/{template}?tenant=T&n=N&timeout=D   run a computation
+//	GET  /stats                                   admission + runtime counters
+//	GET  /templates                               the template catalog
+//	GET  /healthz                                 readiness (503 while draining)
+//
+// Templates are the quickstart-style kernels of gateway.Builtins
+// (fib, fanin, sort, parfor, spin). On SIGTERM/SIGINT the server
+// stops admitting (503), completes every admitted computation, and
+// exits; see DESIGN.md §9 for the drain argument.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/gateway"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "worker floor (0 = GOMAXPROCS)")
+		maxWorkers  = flag.Int("max-workers", 0, "elastic worker ceiling (0 = fixed pool)")
+		counterSpec = flag.String("counter", "adaptive", "dependency counter: adaptive[:K] | dyn | fetchadd | snzi-D")
+		queueDepth  = flag.Int("queue-depth", 128, "bounded admission queue across tenants")
+		dispatchers = flag.Int("dispatchers", 0, "concurrent Runs bound (0 = 2×GOMAXPROCS)")
+		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant quota, requests/second (0 = unmetered)")
+		tenantBurst = flag.Int("tenant-burst", 0, "per-tenant burst size (0 = max(1, rate))")
+		pegged      = flag.Duration("pegged-window", 50*time.Millisecond, "shed when the elastic pool stays pegged at max this long")
+		timeout     = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
+		maxTimeout  = flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "reproserve: unexpected arguments %q\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// Validate the spec gracefully, then hand the string to WithCounter
+	// so the in-counter grow threshold resolves against the final
+	// worker count (not the pre-flag guess).
+	if _, err := repro.ParseAlgorithm(*counterSpec, 1); err != nil {
+		log.Fatalf("reproserve: -counter: %v", err)
+	}
+	opts := []repro.Option{repro.WithCounter(*counterSpec)}
+	if *workers > 0 {
+		opts = append(opts, repro.WithWorkers(*workers))
+	}
+	if *maxWorkers > 0 {
+		opts = append(opts, repro.WithMaxWorkers(*maxWorkers))
+	}
+
+	srv := gateway.NewServer(*addr, gateway.Config{
+		RuntimeOptions: opts,
+		QueueDepth:     *queueDepth,
+		Dispatchers:    *dispatchers,
+		TenantRate:     *tenantRate,
+		TenantBurst:    *tenantBurst,
+		PeggedWindow:   *pegged,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	if err := srv.Listen(); err != nil {
+		log.Fatalf("reproserve: %v", err)
+	}
+	log.Printf("reproserve: serving on %s (templates: %v)", srv.Addr(), srv.G.Registry().Names())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	if err := srv.Serve(ctx); err != nil {
+		log.Fatalf("reproserve: %v", err)
+	}
+	log.Printf("reproserve: drained and stopped")
+}

@@ -1,0 +1,264 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+// End-to-end tests over real sockets: a gateway.Server (the
+// reproserve wiring, in-process) driven by internal/workload's
+// open-loop generators. They assert the three behaviors ISSUE'd for
+// this subsystem: overload sheds with 429 + Retry-After instead of
+// queueing without bound, per-tenant quotas shed the hot tenant first
+// while a quota-respecting tenant's latency stays bounded, and a
+// SIGTERM-shaped drain completes every admitted request and leaks no
+// goroutines.
+
+// startServer builds, binds, and serves a gateway.Server, returning
+// its base URL, the cancel that triggers the drain, and the channel
+// Serve's error arrives on.
+func startServer(t *testing.T, cfg Config) (url string, srv *Server, cancel context.CancelFunc, served chan error) {
+	t.Helper()
+	srv = NewServer("127.0.0.1:0", cfg)
+	if err := srv.Listen(); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served = make(chan error, 1)
+	go func() { served <- srv.Serve(ctx) }()
+	return "http://" + srv.Addr(), srv, cancel, served
+}
+
+func waitServe(t *testing.T, cancel context.CancelFunc, served chan error) {
+	t.Helper()
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve returned %v, want nil after drain", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("Serve did not return after cancellation")
+	}
+}
+
+// fetchStats GETs and decodes the server-side /stats document.
+func fetchStats(t *testing.T, url string) Snapshot {
+	t.Helper()
+	resp, err := http.Get(url + "/stats")
+	if err != nil {
+		t.Fatalf("GET /stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatalf("decode /stats: %v", err)
+	}
+	return s
+}
+
+// TestE2EOverloadShedsNotQueues drives roughly 2× the sustainable
+// load at a small fixed-capacity server. The gateway must shed the
+// excess with 429 + Retry-After on every shed — and must not hang or
+// queue without bound: every request resolves, successful latency
+// stays within the request deadline, and the server-side queue stays
+// at or below its configured bound throughout.
+func TestE2EOverloadShedsNotQueues(t *testing.T) {
+	const (
+		serviceUS = 20000 // 20ms of calibrated work per request
+		queue     = 4
+	)
+	url, srv, cancel, served := startServer(t, Config{
+		RuntimeOptions: []repro.Option{repro.WithWorkers(2), repro.WithSeed(7)},
+		Dispatchers:    2,
+		QueueDepth:     queue,
+	})
+	defer waitServe(t, cancel, served)
+
+	// Sustainable ≈ dispatchers / service-time = 100/s; offer 2×.
+	res := workload.Uniform(workload.ServeConfig{
+		URL:      url,
+		Template: "spin",
+		N:        serviceUS,
+		Timeout:  30 * time.Second, // never 504: sheds must come from admission
+		Tenants:  4,
+		Rate:     200,
+		Duration: 1 * time.Second,
+	})
+	if res.Errors > 0 {
+		t.Fatalf("transport/server errors under overload: %+v", res)
+	}
+	if res.OK == 0 {
+		t.Fatalf("nothing succeeded under overload: %+v", res)
+	}
+	if res.Shed == 0 {
+		t.Fatalf("2x overload shed nothing (sent %d, ok %d): the queue absorbed unbounded load", res.Sent, res.OK)
+	}
+	if got, want := res.RetryHint, res.Shed+res.Unavail; got != want {
+		t.Fatalf("Retry-After on %d of %d shed responses", got, want)
+	}
+	if res.Latency.Max > 25*time.Second {
+		t.Fatalf("a successful request took %v: requests are hanging, not shedding", res.Latency.Max)
+	}
+	s := srv.G.Stats()
+	if s.Queued > queue {
+		t.Fatalf("server queue depth %d exceeds bound %d", s.Queued, queue)
+	}
+	if s.ShedQueueFull+s.ShedOverload == 0 {
+		t.Fatalf("server recorded no capacity sheds: %+v", s)
+	}
+}
+
+// TestE2EHotTenantFairness drives a Zipf tenant mix (t0 hot, the rest
+// within quota) against per-tenant token buckets. The hot tenant must
+// be the one shed (throttled at the door), the quota-respecting
+// tenants must flow essentially untouched, and their client-observed
+// p99 must stay bounded — the hot tenant's backlog cannot starve
+// them.
+func TestE2EHotTenantFairness(t *testing.T) {
+	url, _, cancel, served := startServer(t, Config{
+		RuntimeOptions: []repro.Option{repro.WithWorkers(2), repro.WithSeed(7)},
+		Dispatchers:    4,
+		QueueDepth:     32,
+		TenantRate:     50,
+		TenantBurst:    10,
+	})
+	defer waitServe(t, cancel, served)
+
+	res := workload.HotTenant(workload.ServeConfig{
+		URL:      url,
+		Template: "spin",
+		N:        5000, // 5ms: capacity far above the admitted rate
+		Timeout:  30 * time.Second,
+		Tenants:  4,
+		Rate:     200,
+		ZipfS:    2, // ≈ 69% of arrivals hit t0
+		Duration: 1 * time.Second,
+		Seed:     11,
+	})
+	if res.Errors > 0 {
+		t.Fatalf("transport/server errors: %+v", res)
+	}
+	hot := res.PerTenant["t0"]
+	if hot.Shed < 10 {
+		t.Fatalf("hot tenant shed %d of %d sent, want the bucket to bite", hot.Shed, hot.Sent)
+	}
+	s := fetchStats(t, url)
+	if s.ShedThrottled == 0 {
+		t.Fatalf("no throttle sheds server-side: %+v", s)
+	}
+	for _, cold := range []string{"t1", "t2", "t3"} {
+		ct := res.PerTenant[cold]
+		if ct.Sent == 0 {
+			continue // zipf tail can miss a tenant in 1s; nothing to assert
+		}
+		if ct.Shed > ct.Sent/5 {
+			t.Fatalf("quota-respecting tenant %s shed %d of %d — hot tenant was not shed first",
+				cold, ct.Shed, ct.Sent)
+		}
+		if ct.OK > 0 && ct.Latency.P99 > 2*time.Second {
+			t.Fatalf("tenant %s p99 = %v: starved behind the hot tenant", cold, ct.Latency.P99)
+		}
+		// Server-side view agrees: the cold tenant was not throttled.
+		if st, ok := s.Tenants[cold]; ok && st.Shed > uint64(ct.Sent/5) {
+			t.Fatalf("server counted %d sheds for quota-respecting %s", st.Shed, cold)
+		}
+	}
+}
+
+// TestE2EGracefulDrain sends long-running requests, then cancels the
+// serve context (the SIGTERM path) while they are admitted: every
+// admitted request must complete with 200 through the drain, the
+// listener must stop accepting, and — the zero-leak claim — the
+// process goroutine count must return to its pre-server baseline once
+// Serve returns (dispatchers, HTTP internals, and the owned runtime's
+// workers all released).
+func TestE2EGracefulDrain(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	url, _, cancel, served := startServer(t, Config{
+		RuntimeOptions: []repro.Option{repro.WithWorkers(2), repro.WithSeed(7)},
+		Dispatchers:    2,
+		QueueDepth:     16,
+	})
+	client := &http.Client{Transport: &http.Transport{}}
+
+	const inflight = 6
+	codes := make(chan int, inflight)
+	var wg sync.WaitGroup
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := client.Post(
+				fmt.Sprintf("%s/run/spin?tenant=t%d&n=50000&timeout=30s", url, i), "", nil)
+			if err != nil {
+				codes <- -1
+				return
+			}
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}(i)
+	}
+	// Cancel only once every request is admitted (queued, running, or
+	// done), so the drain demonstrably covers in-flight work.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s := fetchStats(t, url)
+		if s.Admitted >= inflight {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("requests never admitted: %+v", s)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve = %v, want clean drain", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("Serve did not return: drain hung")
+	}
+	wg.Wait()
+	close(codes)
+	for code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("admitted request finished with %d during drain, want 200", code)
+		}
+	}
+
+	// The listener is gone: a new request must be refused, not served.
+	if resp, err := client.Get(url + "/healthz"); err == nil {
+		resp.Body.Close()
+		t.Fatalf("post-drain request served with %d, want connection refused", resp.StatusCode)
+	} else if !strings.Contains(err.Error(), "refused") && !strings.Contains(err.Error(), "reset") {
+		t.Logf("post-drain request failed with %v (accepted: any refusal)", err)
+	}
+
+	// Zero leaked goroutines: dispatchers, http internals, and the
+	// owned runtime's workers are all gone once idle conns close.
+	client.CloseIdleConnections()
+	http.DefaultClient.CloseIdleConnections()
+	deadline = time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines: %d > baseline %d after drain\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

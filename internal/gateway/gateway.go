@@ -1,0 +1,419 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+// Config tunes a Gateway. The zero value is usable: it builds and
+// owns an all-defaults Runtime, serves the Builtins templates, and
+// applies the defaults documented on each field.
+type Config struct {
+	// Runtime is the runtime requests execute on. nil means the
+	// gateway constructs one from RuntimeOptions and owns it (Close
+	// closes it); a caller-supplied runtime is never closed by the
+	// gateway.
+	Runtime        *repro.Runtime
+	RuntimeOptions []repro.Option
+
+	// Registry is the template table; nil means Builtins().
+	Registry *Registry
+
+	// QueueDepth bounds the admission queue across all tenants
+	// (default 64). At the bound, requests shed with 429 — the queue
+	// never grows without bound.
+	QueueDepth int
+
+	// Dispatchers is the number of goroutines moving admitted
+	// requests into the runtime — the gateway's concurrent-Run bound
+	// (default 2×GOMAXPROCS, min 2).
+	Dispatchers int
+
+	// TenantRate and TenantBurst are each tenant's token bucket:
+	// TenantRate requests/second sustained, TenantBurst at peak.
+	// TenantRate <= 0 (the default) disables quotas; TenantBurst
+	// defaults to max(1, ⌈TenantRate⌉).
+	TenantRate  float64
+	TenantBurst int
+
+	// TenantWeights sets per-tenant dequeue weights (consecutive
+	// serves per round-robin turn). Unlisted tenants weigh 1.
+	TenantWeights map[string]int
+
+	// PeggedWindow is the overload fuse: when the runtime's elastic
+	// pool reports PeggedFor beyond this window (at its ceiling under
+	// sustained backlog for that long), admission sheds until the
+	// signal withdraws (default 50ms). Never fires on a fixed pool,
+	// whose PeggedFor is always 0.
+	PeggedWindow time.Duration
+
+	// RetryAfter is the hint attached to queue-full and
+	// pegged-overload sheds (throttle sheds compute the exact token
+	// wait instead). Default 1s.
+	RetryAfter time.Duration
+
+	// DefaultTimeout and MaxTimeout bound the per-request deadline
+	// the HTTP layer applies (defaults 10s and 60s). The deadline
+	// covers queue wait plus execution.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+}
+
+// ErrUnknownTemplate reports a request for a template name the
+// registry does not hold (HTTP 404).
+var ErrUnknownTemplate = errors.New("gateway: unknown template")
+
+// ErrDraining reports admission refused because shutdown has begun
+// (HTTP 503 + Retry-After).
+var ErrDraining = errors.New("gateway: draining")
+
+// SizeError reports a request size above the template's bound
+// (HTTP 400).
+type SizeError struct {
+	Template string
+	N, MaxN  uint64
+}
+
+func (e *SizeError) Error() string {
+	return fmt.Sprintf("gateway: template %q: n=%d exceeds max %d", e.Template, e.N, e.MaxN)
+}
+
+// Shed reasons carried by ShedError.
+const (
+	ShedQueueFull = "queue-full" // admission queue at QueueDepth
+	ShedOverload  = "overloaded" // elastic pool pegged at max beyond PeggedWindow
+	ShedThrottled = "throttled"  // tenant token bucket empty
+)
+
+// ShedError reports a request refused by admission control
+// (HTTP 429), with the reason and a Retry-After hint.
+type ShedError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("gateway: shed (%s), retry after %v", e.Reason, e.RetryAfter)
+}
+
+// Result reports a completed request's latency split: time queued
+// before a dispatcher picked it up, and time executing in the
+// runtime.
+type Result struct {
+	Queue time.Duration
+	Run   time.Duration
+}
+
+// request is one admitted computation waiting for a dispatcher.
+type request struct {
+	ctx  context.Context
+	ten  *tenant
+	tpl  Template
+	n    uint64
+	enq  time.Time
+	done chan dispatched // buffered; the dispatcher never blocks on it
+}
+
+type dispatched struct {
+	res Result
+	err error
+}
+
+// Gateway is the admission layer between the network and a Runtime:
+// bounded queue, per-tenant quotas, weighted-fair dispatch, and a
+// graceful drain. Create with New, serve via Handler (or Submit
+// directly), stop with Close.
+type Gateway struct {
+	cfg   Config
+	rt    *repro.Runtime
+	ownRT bool
+	reg   *Registry
+
+	tenantBurst float64
+
+	mu      sync.Mutex
+	work    *sync.Cond // dispatchers wait here for queued requests
+	quiet   *sync.Cond // Close waits here for queued+inflight to hit 0
+	tenants map[string]*tenant
+	active  []*tenant // WRR ring of tenants with non-empty FIFOs
+	queued  int
+	running int
+	drain   bool
+	closed  bool
+
+	admitted      uint64
+	completed     uint64
+	failed        uint64
+	shedQueueFull uint64
+	shedOverload  uint64
+	shedThrottled uint64
+	shedDraining  uint64
+
+	histMu  sync.RWMutex
+	tplHist map[string]*stats.LatencyHist
+
+	closeOnce sync.Once
+	closedCh  chan struct{}
+	wg        sync.WaitGroup
+}
+
+// New builds a Gateway from cfg (see Config for defaults) and starts
+// its dispatchers. The returned gateway is serving; Close it when
+// done.
+func New(cfg Config) *Gateway {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Dispatchers <= 0 {
+		cfg.Dispatchers = 2 * runtime.GOMAXPROCS(0)
+		if cfg.Dispatchers < 2 {
+			cfg.Dispatchers = 2
+		}
+	}
+	if cfg.PeggedWindow <= 0 {
+		cfg.PeggedWindow = 50 * time.Millisecond
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 10 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 60 * time.Second
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = Builtins()
+	}
+	burst := float64(cfg.TenantBurst)
+	if burst < 1 {
+		burst = cfg.TenantRate
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	g := &Gateway{
+		cfg:         cfg,
+		rt:          cfg.Runtime,
+		reg:         cfg.Registry,
+		tenantBurst: burst,
+		tenants:     make(map[string]*tenant),
+		tplHist:     make(map[string]*stats.LatencyHist),
+		closedCh:    make(chan struct{}),
+	}
+	if g.rt == nil {
+		g.rt = repro.NewRuntime(cfg.RuntimeOptions...)
+		g.ownRT = true
+	}
+	g.work = sync.NewCond(&g.mu)
+	g.quiet = sync.NewCond(&g.mu)
+	g.wg.Add(cfg.Dispatchers)
+	for i := 0; i < cfg.Dispatchers; i++ {
+		go g.dispatch(i)
+	}
+	return g
+}
+
+// Runtime returns the runtime the gateway dispatches into.
+func (g *Gateway) Runtime() *repro.Runtime { return g.rt }
+
+// Registry returns the gateway's template registry.
+func (g *Gateway) Registry() *Registry { return g.reg }
+
+// Submit runs template tplName with size n (0 means the template's
+// default) for the given tenant, blocking until the computation
+// completes or is refused. ctx is the request deadline: it covers
+// queue wait plus execution, and cancellation aborts the computation
+// cooperatively. The error is nil on success, ErrUnknownTemplate /
+// *SizeError on a bad request, *ShedError when admission refused
+// (queue full, overload, or quota), ErrDraining during shutdown, or
+// the computation's own error.
+//
+// Submit never hangs on an overloaded gateway: admission either
+// refuses immediately or bounds the wait by the queue depth and the
+// request's own deadline.
+func (g *Gateway) Submit(ctx context.Context, tenantName, tplName string, n uint64) (Result, error) {
+	tpl, ok := g.reg.Get(tplName)
+	if !ok {
+		return Result{}, fmt.Errorf("%w: %q", ErrUnknownTemplate, tplName)
+	}
+	if n == 0 {
+		n = tpl.DefaultN
+	}
+	if n > tpl.MaxN {
+		return Result{}, &SizeError{Template: tpl.Name, N: n, MaxN: tpl.MaxN}
+	}
+	req := &request{
+		ctx:  ctx,
+		tpl:  tpl,
+		n:    n,
+		enq:  time.Now(),
+		done: make(chan dispatched, 1),
+	}
+	if err := g.admit(tenantName, req); err != nil {
+		return Result{}, err
+	}
+	out := <-req.done
+	return out.res, out.err
+}
+
+// admit applies the admission protocol: drain gate, then the
+// tenant's own quota, then the shared capacity gates (overload fuse,
+// queue bound). Quota comes before capacity deliberately — a hot
+// tenant's excess is charged to its own bucket and shed as
+// "throttled" before it can occupy the shared queue, which is what
+// keeps queue-full sheds rare for quota-respecting tenants. The
+// token spent by a request that the capacity gates then refuse is
+// not refunded; under overload that only slows the spender further,
+// which is the intended direction.
+func (g *Gateway) admit(tenantName string, req *request) error {
+	// Read the scheduler's pegged clock outside the lock; it is one
+	// atomic load.
+	pegged := g.rt.Scheduler().PeggedFor()
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.drain {
+		g.shedDraining++
+		return ErrDraining
+	}
+	t := g.tenantFor(tenantName)
+	if ok, wait := t.bucket.take(time.Now()); !ok {
+		t.shed++
+		g.shedThrottled++
+		return &ShedError{Reason: ShedThrottled, RetryAfter: wait}
+	}
+	if pegged > g.cfg.PeggedWindow {
+		t.shed++
+		g.shedOverload++
+		return &ShedError{Reason: ShedOverload, RetryAfter: g.cfg.RetryAfter}
+	}
+	if g.queued >= g.cfg.QueueDepth {
+		t.shed++
+		g.shedQueueFull++
+		return &ShedError{Reason: ShedQueueFull, RetryAfter: g.cfg.RetryAfter}
+	}
+	req.ten = t
+	t.admitted++
+	g.admitted++
+	g.enqueueLocked(t, req)
+	g.work.Signal()
+	return nil
+}
+
+// dispatch is one dispatcher goroutine: WRR-pop a request, run it on
+// the runtime under the request's own context, record latency, and
+// hand the outcome back. Dispatchers exit only once the gateway is
+// closed AND the queue is empty, so a drain completes every admitted
+// request.
+func (g *Gateway) dispatch(id int) {
+	defer g.wg.Done()
+	for {
+		g.mu.Lock()
+		for len(g.active) == 0 && !g.closed {
+			g.work.Wait()
+		}
+		if len(g.active) == 0 {
+			g.mu.Unlock()
+			return
+		}
+		req := g.nextLocked()
+		g.running++
+		g.mu.Unlock()
+
+		wait := time.Since(req.enq)
+		start := time.Now()
+		err := g.rt.RunContext(req.ctx, req.tpl.Task(req.n))
+		run := time.Since(start)
+
+		req.ten.hist.Record(id, wait+run)
+		g.histFor(req.tpl.Name).Record(id, wait+run)
+
+		g.mu.Lock()
+		g.running--
+		if err != nil {
+			g.failed++
+			req.ten.failed++
+		} else {
+			g.completed++
+			req.ten.completed++
+		}
+		if g.drain && g.queued == 0 && g.running == 0 {
+			g.quiet.Broadcast()
+		}
+		g.mu.Unlock()
+		req.done <- dispatched{res: Result{Queue: wait, Run: run}, err: err}
+	}
+}
+
+// histFor returns (creating on first touch) the per-template
+// histogram.
+func (g *Gateway) histFor(tpl string) *stats.LatencyHist {
+	g.histMu.RLock()
+	h, ok := g.tplHist[tpl]
+	g.histMu.RUnlock()
+	if ok {
+		return h
+	}
+	g.histMu.Lock()
+	defer g.histMu.Unlock()
+	if h, ok = g.tplHist[tpl]; !ok {
+		h = stats.NewLatencyHist(g.cfg.Dispatchers)
+		g.tplHist[tpl] = h
+	}
+	return h
+}
+
+// BeginDrain closes the admission door (new submissions fail with
+// ErrDraining / HTTP 503) without waiting: the first phase of a
+// graceful shutdown, taken before the HTTP server stops accepting so
+// that no request admitted after the decision to stop can extend the
+// drain. Idempotent.
+func (g *Gateway) BeginDrain() {
+	g.mu.Lock()
+	g.drain = true
+	if g.queued == 0 && g.running == 0 {
+		g.quiet.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// Draining reports whether BeginDrain (or Close) has been called.
+func (g *Gateway) Draining() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.drain
+}
+
+// Close drains and stops the gateway: admission closes (ErrDraining),
+// every already-admitted request runs to completion, the dispatchers
+// exit, and — when the gateway owns its runtime — the runtime's own
+// Close drains and stops the workers. Close is idempotent and safe
+// concurrently; every call returns only after shutdown completes. It
+// always returns nil (io.Closer).
+func (g *Gateway) Close() error {
+	g.closeOnce.Do(func() {
+		g.mu.Lock()
+		g.drain = true
+		for g.queued > 0 || g.running > 0 {
+			g.quiet.Wait()
+		}
+		g.closed = true
+		g.work.Broadcast()
+		g.mu.Unlock()
+		g.wg.Wait()
+		if g.ownRT {
+			g.rt.Close()
+		}
+		close(g.closedCh)
+	})
+	<-g.closedCh
+	return nil
+}

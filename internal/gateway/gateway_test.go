@@ -1,0 +1,322 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// newTestGateway builds a small, deterministic gateway for unit
+// tests: fixed 2-worker runtime, tight queue, and whatever cfg fields
+// the caller overrides on top.
+func newTestGateway(t *testing.T, cfg Config) *Gateway {
+	t.Helper()
+	if cfg.Runtime == nil && cfg.RuntimeOptions == nil {
+		cfg.RuntimeOptions = []repro.Option{repro.WithWorkers(2), repro.WithSeed(42)}
+	}
+	g := New(cfg)
+	t.Cleanup(func() { g.Close() })
+	return g
+}
+
+// TestBuiltinTemplatesRun: every shipped template executes to success
+// at a small n through the full Submit path, and the sort/parfor
+// self-checks pass (they Fail the computation on wrong output).
+func TestBuiltinTemplatesRun(t *testing.T) {
+	g := newTestGateway(t, Config{})
+	for _, name := range g.Registry().Names() {
+		res, err := g.Submit(context.Background(), "t1", name, 0)
+		if err != nil {
+			t.Fatalf("Submit(%q) = %v", name, err)
+		}
+		if res.Run < 0 || res.Queue < 0 {
+			t.Fatalf("Submit(%q) negative latency split %+v", name, res)
+		}
+	}
+	s := g.Stats()
+	if want := uint64(len(g.Registry().Names())); s.Completed != want {
+		t.Fatalf("Completed = %d, want %d", s.Completed, want)
+	}
+	if s.Tenants["t1"].Completed != s.Completed {
+		t.Fatalf("tenant snapshot %+v, want %d completed", s.Tenants["t1"], s.Completed)
+	}
+	if len(s.Templates) != len(g.Registry().Names()) {
+		t.Fatalf("template hist count = %d, want %d", len(s.Templates), len(g.Registry().Names()))
+	}
+}
+
+// TestBadRequests: unknown template and oversized n map to their
+// typed errors without touching admission counters.
+func TestBadRequests(t *testing.T) {
+	g := newTestGateway(t, Config{})
+	if _, err := g.Submit(context.Background(), "t", "nope", 0); !errors.Is(err, ErrUnknownTemplate) {
+		t.Fatalf("unknown template error = %v", err)
+	}
+	var size *SizeError
+	if _, err := g.Submit(context.Background(), "t", "fib", 1<<40); !errors.As(err, &size) {
+		t.Fatalf("oversized n error = %v", err)
+	}
+	if s := g.Stats(); s.Admitted != 0 {
+		t.Fatalf("bad requests were admitted: %+v", s)
+	}
+}
+
+// blockingRegistry returns a registry with one template that blocks
+// until release closes — the lever for wedging dispatchers.
+func blockingRegistry(release chan struct{}) *Registry {
+	r := NewRegistry()
+	_ = r.Register(Template{
+		Name:     "block",
+		DefaultN: 1,
+		MaxN:     1,
+		Task: func(uint64) repro.Task {
+			return func(c *repro.Ctx) { <-release }
+		},
+	})
+	return r
+}
+
+// TestQueueFullSheds: with every dispatcher wedged and the bounded
+// queue full, the next request sheds with ShedQueueFull and a
+// Retry-After hint — it does not queue without bound and does not
+// hang.
+func TestQueueFullSheds(t *testing.T) {
+	release := make(chan struct{})
+	g := newTestGateway(t, Config{
+		Registry:    blockingRegistry(release),
+		Dispatchers: 1,
+		QueueDepth:  2,
+	})
+	var wg sync.WaitGroup
+	errs := make([]error, 3) // 1 running + 2 queued
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = g.Submit(context.Background(), "t", "block", 0)
+		}(i)
+		// Give each submission time to reach its slot so the single
+		// dispatcher picks up exactly the first.
+		time.Sleep(20 * time.Millisecond)
+	}
+	var shed *ShedError
+	if _, err := g.Submit(context.Background(), "t", "block", 0); !errors.As(err, &shed) {
+		t.Fatalf("overfull submit error = %v, want ShedError", err)
+	} else if shed.Reason != ShedQueueFull || shed.RetryAfter <= 0 {
+		t.Fatalf("shed = %+v, want queue-full with positive Retry-After", shed)
+	}
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("blocked submit %d = %v, want success after release", i, err)
+		}
+	}
+	if s := g.Stats(); s.ShedQueueFull != 1 || s.Completed != 3 {
+		t.Fatalf("stats = %+v, want 1 queue-full shed and 3 completed", s)
+	}
+}
+
+// TestTenantThrottle: a tenant past its token bucket sheds with
+// ShedThrottled and a computed Retry-After, while another tenant's
+// fresh bucket still admits.
+func TestTenantThrottle(t *testing.T) {
+	g := newTestGateway(t, Config{
+		TenantRate:  0.5, // one token every 2s: the test never refills
+		TenantBurst: 1,
+	})
+	if _, err := g.Submit(context.Background(), "hot", "fib", 1); err != nil {
+		t.Fatalf("first request within burst: %v", err)
+	}
+	var shed *ShedError
+	if _, err := g.Submit(context.Background(), "hot", "fib", 1); !errors.As(err, &shed) {
+		t.Fatalf("over-quota error = %v, want ShedError", err)
+	} else if shed.Reason != ShedThrottled || shed.RetryAfter <= 0 || shed.RetryAfter > 2*time.Second {
+		t.Fatalf("shed = %+v, want throttled with 0 < Retry-After <= 2s", shed)
+	}
+	if _, err := g.Submit(context.Background(), "cold", "fib", 1); err != nil {
+		t.Fatalf("other tenant's burst: %v", err)
+	}
+	s := g.Stats()
+	if s.Tenants["hot"].Shed != 1 || s.Tenants["cold"].Shed != 0 {
+		t.Fatalf("per-tenant shed = hot:%d cold:%d, want 1/0",
+			s.Tenants["hot"].Shed, s.Tenants["cold"].Shed)
+	}
+}
+
+// TestWeightedRoundRobin drives the dequeue discipline directly:
+// tenant a (weight 2) and b (weight 1) interleave 2:1, and a tenant
+// leaving the ring (empty FIFO) rejoins cleanly on its next enqueue.
+func TestWeightedRoundRobin(t *testing.T) {
+	g := newTestGateway(t, Config{
+		TenantWeights: map[string]int{"a": 2},
+		Dispatchers:   1,
+	})
+	// Freeze the dispatcher out: drive enqueue/next under the lock
+	// ourselves. (Safe: nothing else queues in this test; the
+	// dispatcher would race to drain, so park it with closed=false
+	// but no signal — nextLocked is exercised synchronously.)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	mk := func(tenant string) *request {
+		tn := g.tenantFor(tenant)
+		req := &request{ten: tn, enq: time.Now()}
+		g.enqueueLocked(tn, req)
+		return req
+	}
+	a1, a2, a3 := mk("a"), mk("a"), mk("a")
+	b1, b2 := mk("b"), mk("b")
+	want := []*request{a1, a2, b1, a3, b2}
+	for i, w := range want {
+		if got := g.nextLocked(); got != w {
+			t.Fatalf("dequeue %d: got %s#%p, want %s#%p", i, got.ten.name, got, w.ten.name, w)
+		}
+	}
+	if len(g.active) != 0 || g.queued != 0 {
+		t.Fatalf("ring not empty after drain: active=%d queued=%d", len(g.active), g.queued)
+	}
+	// Rejoin after leaving the ring.
+	c1 := mk("a")
+	if got := g.nextLocked(); got != c1 {
+		t.Fatalf("re-enqueued tenant: got %v, want its request", got)
+	}
+}
+
+// TestDrainingRefusesAndCloseCompletes: BeginDrain flips admission to
+// ErrDraining (HTTP 503 + Retry-After through the handler) while
+// already-admitted work still completes, and Close is idempotent
+// under concurrent callers.
+func TestDrainingRefusesAndCloseCompletes(t *testing.T) {
+	release := make(chan struct{})
+	g := newTestGateway(t, Config{Registry: blockingRegistry(release), Dispatchers: 1})
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Submit(context.Background(), "t", "block", 0)
+		done <- err
+	}()
+	// Wait for the request to be in flight, then drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Stats().Running == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never started running")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	g.BeginDrain()
+
+	if _, err := g.Submit(context.Background(), "t", "block", 0); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit while draining = %v, want ErrDraining", err)
+	}
+	resp, err := http.Post(srv.URL+"/run/block", "", nil)
+	if err != nil {
+		t.Fatalf("POST while draining: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status while draining = %d, want 503", resp.StatusCode)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("Retry-After while draining = %q, want integer >= 1", resp.Header.Get("Retry-After"))
+	}
+
+	// Close from several goroutines at once; all must return, and only
+	// after the in-flight request completed.
+	close(release)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); g.Close() }()
+	}
+	wg.Wait()
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight request during drain = %v, want success", err)
+	}
+}
+
+// TestHTTPStatusMapping covers the handler's error taxonomy end to
+// end over real HTTP: 200, 400, 404, 429 + Retry-After, 504.
+func TestHTTPStatusMapping(t *testing.T) {
+	g := newTestGateway(t, Config{
+		TenantRate:  0.5,
+		TenantBurst: 1,
+	})
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	post := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "", nil)
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := post("/run/fib?tenant=a&n=10"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ok run status = %d", resp.StatusCode)
+	}
+	if resp := post("/run/fib?tenant=b&n=zero"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad n status = %d", resp.StatusCode)
+	}
+	if resp := post("/run/fib?tenant=b&n=9999"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized n status = %d", resp.StatusCode)
+	}
+	if resp := post("/run/nothere?tenant=b"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown template status = %d", resp.StatusCode)
+	}
+	resp := post("/run/fib?tenant=a&n=10") // second within a 1-burst bucket
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("throttled status = %d, want 429", resp.StatusCode)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("429 Retry-After = %q, want integer >= 1", resp.Header.Get("Retry-After"))
+	}
+	// Deadline: spin for 50ms with a 1ms budget.
+	resp = post("/run/spin?tenant=c&n=50000&timeout=1ms")
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("deadline status = %d, want 504", resp.StatusCode)
+	}
+	if resp := post("/run/fib?tenant=c&timeout=bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad timeout status = %d", resp.StatusCode)
+	}
+}
+
+// TestBucket: refill arithmetic, burst cap, and the Retry-After
+// estimate.
+func TestBucket(t *testing.T) {
+	b := bucket{rate: 10, burst: 2}
+	now := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.take(now); !ok {
+			t.Fatalf("take %d within burst failed", i)
+		}
+	}
+	ok, wait := b.take(now)
+	if ok || wait <= 0 || wait > 100*time.Millisecond {
+		t.Fatalf("empty bucket: ok=%v wait=%v, want refusal with 0 < wait <= 100ms", ok, wait)
+	}
+	// One token accrues after 100ms at rate 10.
+	if ok, _ := b.take(now.Add(wait)); !ok {
+		t.Fatal("take after the advertised wait failed")
+	}
+	// A long idle refills to burst, not beyond.
+	b2 := bucket{rate: 10, burst: 2}
+	b2.take(now)
+	if b2.tokens > b2.burst {
+		t.Fatalf("tokens %v above burst %v", b2.tokens, b2.burst)
+	}
+	// Unmetered bucket always admits.
+	var free bucket
+	if ok, _ := free.take(now); !ok {
+		t.Fatal("rate<=0 bucket refused")
+	}
+}

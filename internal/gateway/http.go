@@ -1,0 +1,327 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+// The HTTP surface:
+//
+//	POST /run/{template}?tenant=T&n=N&timeout=D   run a computation
+//	GET  /stats                                   gateway + runtime counters (JSON)
+//	GET  /templates                               registered templates (JSON)
+//	GET  /healthz                                 200 serving / 503 draining
+//
+// Status mapping: 200 success, 400 bad n/timeout, 404 unknown
+// template, 429 + Retry-After shed by admission, 503 + Retry-After
+// draining, 504 request deadline exceeded, 500 computation error.
+
+// RunResponse is the JSON body of a successful POST /run.
+type RunResponse struct {
+	Template string  `json:"template"`
+	Tenant   string  `json:"tenant"`
+	N        uint64  `json:"n"`
+	QueueMS  float64 `json:"queue_ms"`
+	RunMS    float64 `json:"run_ms"`
+}
+
+// TenantSnapshot is one tenant's /stats entry.
+type TenantSnapshot struct {
+	Admitted  uint64               `json:"admitted"`
+	Completed uint64               `json:"completed"`
+	Failed    uint64               `json:"failed"`
+	Shed      uint64               `json:"shed"`
+	Weight    int                  `json:"weight"`
+	Latency   stats.LatencySummary `json:"latency"`
+}
+
+// Snapshot is the GET /stats document: admission counters, per-tenant
+// and per-template latency, and the runtime's own Stats (including
+// the InjectorDepth / PeggedFor backpressure signals feeding
+// admission).
+type Snapshot struct {
+	Admitted      uint64 `json:"admitted"`
+	Completed     uint64 `json:"completed"`
+	Failed        uint64 `json:"failed"`
+	Queued        int    `json:"queued"`
+	Running       int    `json:"running"`
+	Draining      bool   `json:"draining"`
+	ShedQueueFull uint64 `json:"shed_queue_full"`
+	ShedOverload  uint64 `json:"shed_overload"`
+	ShedThrottled uint64 `json:"shed_throttled"`
+	ShedDraining  uint64 `json:"shed_draining"`
+
+	Tenants   map[string]TenantSnapshot       `json:"tenants"`
+	Templates map[string]stats.LatencySummary `json:"templates"`
+	Runtime   repro.Stats                     `json:"runtime"`
+}
+
+// Stats snapshots the gateway (see Snapshot). Histogram merging
+// happens outside the admission lock.
+func (g *Gateway) Stats() Snapshot {
+	g.mu.Lock()
+	s := Snapshot{
+		Admitted:      g.admitted,
+		Completed:     g.completed,
+		Failed:        g.failed,
+		Queued:        g.queued,
+		Running:       g.running,
+		Draining:      g.drain,
+		ShedQueueFull: g.shedQueueFull,
+		ShedOverload:  g.shedOverload,
+		ShedThrottled: g.shedThrottled,
+		ShedDraining:  g.shedDraining,
+		Tenants:       make(map[string]TenantSnapshot, len(g.tenants)),
+	}
+	type pending struct {
+		name string
+		ts   TenantSnapshot
+		hist *stats.LatencyHist
+	}
+	tens := make([]pending, 0, len(g.tenants))
+	for name, t := range g.tenants {
+		tens = append(tens, pending{name, TenantSnapshot{
+			Admitted:  t.admitted,
+			Completed: t.completed,
+			Failed:    t.failed,
+			Shed:      t.shed,
+			Weight:    t.weight,
+		}, t.hist})
+	}
+	g.mu.Unlock()
+
+	for _, p := range tens {
+		p.ts.Latency = p.hist.Snapshot()
+		s.Tenants[p.name] = p.ts
+	}
+	g.histMu.RLock()
+	hists := make(map[string]*stats.LatencyHist, len(g.tplHist))
+	for name, h := range g.tplHist {
+		hists[name] = h
+	}
+	g.histMu.RUnlock()
+	s.Templates = make(map[string]stats.LatencySummary, len(hists))
+	for name, h := range hists {
+		s.Templates[name] = h.Snapshot()
+	}
+	s.Runtime = g.rt.Stats()
+	return s
+}
+
+// Handler returns the gateway's HTTP handler (routes above).
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /run/{template}", g.handleRun)
+	mux.HandleFunc("GET /stats", g.handleStats)
+	mux.HandleFunc("GET /templates", g.handleTemplates)
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	return mux
+}
+
+func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
+	tplName := r.PathValue("template")
+	tenant := r.URL.Query().Get("tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+	var n uint64
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil || v == 0 {
+			http.Error(w, "bad n: want a positive integer", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	timeout := g.cfg.DefaultTimeout
+	if s := r.URL.Query().Get("timeout"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d <= 0 {
+			http.Error(w, "bad timeout: want a positive Go duration", http.StatusBadRequest)
+			return
+		}
+		if d > g.cfg.MaxTimeout {
+			d = g.cfg.MaxTimeout
+		}
+		timeout = d
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	res, err := g.Submit(ctx, tenant, tplName, n)
+	if err != nil {
+		g.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RunResponse{
+		Template: tplName,
+		Tenant:   tenant,
+		N:        n,
+		QueueMS:  float64(res.Queue) / float64(time.Millisecond),
+		RunMS:    float64(res.Run) / float64(time.Millisecond),
+	})
+}
+
+// writeError maps Submit's error taxonomy onto status codes. Shed and
+// drain responses carry Retry-After (whole seconds, minimum 1, per
+// RFC 9110).
+func (g *Gateway) writeError(w http.ResponseWriter, err error) {
+	var shed *ShedError
+	var size *SizeError
+	switch {
+	case errors.As(err, &shed):
+		setRetryAfter(w, shed.RetryAfter)
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, ErrDraining):
+		setRetryAfter(w, g.cfg.RetryAfter)
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, ErrUnknownTemplate):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.As(err, &size):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "computation deadline exceeded", http.StatusGatewayTimeout)
+	case errors.Is(err, repro.ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.Stats())
+}
+
+func (g *Gateway) handleTemplates(w http.ResponseWriter, r *http.Request) {
+	type tpl struct {
+		Name     string `json:"name"`
+		Doc      string `json:"doc"`
+		DefaultN uint64 `json:"default_n"`
+		MaxN     uint64 `json:"max_n"`
+	}
+	var out []tpl
+	for _, name := range g.reg.Names() {
+		t, _ := g.reg.Get(name)
+		out = append(out, tpl{t.Name, t.Doc, t.DefaultN, t.MaxN})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if g.Draining() {
+		setRetryAfter(w, g.cfg.RetryAfter)
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Server couples a Gateway with an http.Server and the drain
+// choreography cmd/reproserve (and the e2e test) need: Listen binds,
+// Serve runs until its context is cancelled (SIGTERM under
+// signal.NotifyContext), then drains in order — admission closes
+// (503), the HTTP server shuts down gracefully (in-flight handlers
+// finish, which means their queued requests complete through the
+// runtime), and finally Gateway.Close stops dispatchers and, for an
+// owned runtime, workers. No admitted request is abandoned and no
+// goroutine outlives Serve.
+type Server struct {
+	G *Gateway
+
+	addr string
+	ln   net.Listener
+	hs   *http.Server
+
+	// ShutdownTimeout caps the graceful-drain phase (default 30s):
+	// past it, remaining connections are cut. In-flight computations
+	// are still completed by Close — only their responses are lost.
+	ShutdownTimeout time.Duration
+}
+
+// NewServer builds a Server for addr (e.g. ":8080", or
+// "127.0.0.1:0" to let the kernel pick a test port).
+func NewServer(addr string, cfg Config) *Server {
+	g := New(cfg)
+	return &Server{
+		G:               g,
+		addr:            addr,
+		hs:              &http.Server{Handler: g.Handler()},
+		ShutdownTimeout: 30 * time.Second,
+	}
+}
+
+// Listen binds the server's address. Call before Serve when the
+// caller needs the bound address (tests use port 0).
+func (s *Server) Listen() error {
+	ln, err := net.Listen("tcp", s.addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound address after Listen.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Serve accepts connections until ctx is cancelled, then performs the
+// graceful drain described on Server and returns. The returned error
+// is nil on a clean drain, or the listener's error if accepting
+// failed first.
+func (s *Server) Serve(ctx context.Context) error {
+	if s.ln == nil {
+		if err := s.Listen(); err != nil {
+			return err
+		}
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- s.hs.Serve(s.ln) }()
+	select {
+	case err := <-errc:
+		// Listener failure: still release the gateway's goroutines.
+		s.G.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain: close admission first so requests arriving during the
+	// HTTP shutdown window get 503 + Retry-After instead of admitting
+	// work that would extend the drain.
+	s.G.BeginDrain()
+	shCtx, cancel := context.WithTimeout(context.Background(), s.ShutdownTimeout)
+	defer cancel()
+	_ = s.hs.Shutdown(shCtx)
+	<-errc // hs.Serve has returned http.ErrServerClosed
+	s.G.Close()
+	return nil
+}

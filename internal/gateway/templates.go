@@ -1,0 +1,267 @@
+package gateway
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+// A Template is a named computation the gateway can run on behalf of a
+// request: a kernel parameterized by one size knob n, clamped to
+// [1, MaxN] so a request cannot submit unbounded work. Task must
+// return a fresh repro.Task per call — requests run concurrently.
+type Template struct {
+	Name     string
+	Doc      string
+	DefaultN uint64 // n used when the request does not specify one
+	MaxN     uint64 // largest accepted n (inclusive)
+	Task     func(n uint64) repro.Task
+}
+
+// Registry maps template names to Templates. The zero value is not
+// usable; use NewRegistry or Builtins. A Registry is safe for
+// concurrent use, including registration after the gateway started.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]Template
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{m: make(map[string]Template)} }
+
+// Register adds or replaces a template. It returns an error (rather
+// than panicking) on an unusable template: empty name, nil Task, or
+// DefaultN outside [1, MaxN].
+func (r *Registry) Register(t Template) error {
+	if t.Name == "" || t.Task == nil {
+		return fmt.Errorf("gateway: template needs a name and a task")
+	}
+	if t.MaxN == 0 {
+		t.MaxN = 1
+	}
+	if t.DefaultN == 0 || t.DefaultN > t.MaxN {
+		return fmt.Errorf("gateway: template %q: DefaultN %d outside [1, MaxN=%d]",
+			t.Name, t.DefaultN, t.MaxN)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[t.Name] = t
+	return nil
+}
+
+// Get looks a template up by name.
+func (r *Registry) Get(name string) (Template, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.m[name]
+	return t, ok
+}
+
+// Names returns the registered template names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.m))
+	for n := range r.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Builtins returns a registry holding the quickstart-style kernels the
+// server ships with. Each is a real nested-parallel computation (the
+// shapes of the paper's evaluation), sized so that MaxN keeps a single
+// request's work bounded.
+func Builtins() *Registry {
+	r := NewRegistry()
+	for _, t := range []Template{
+		{
+			Name:     "fib",
+			Doc:      "fork/join Fibonacci with a sequential cutoff; n is the Fibonacci index",
+			DefaultN: 20,
+			MaxN:     30,
+			Task:     func(n uint64) repro.Task { var sink uint64; return fibTask(n, &sink) },
+		},
+		{
+			Name:     "fanin",
+			Doc:      "n asyncs signalling one finish counter (the paper's fan-in stress); n is the async count",
+			DefaultN: 1 << 12,
+			MaxN:     1 << 20,
+			Task:     faninTask,
+		},
+		{
+			Name:     "sort",
+			Doc:      "parallel mergesort of n pseudo-random int32s, verified sorted",
+			DefaultN: 1 << 15,
+			MaxN:     1 << 21,
+			Task:     sortTask,
+		},
+		{
+			Name:     "parfor",
+			Doc:      "ParallelFor over n elements (the README quickstart kernel)",
+			DefaultN: 1 << 16,
+			MaxN:     1 << 22,
+			Task:     parforTask,
+		},
+		{
+			Name:     "spin",
+			Doc:      "n microseconds of calibrated CPU work in 100µs parallel leaves (predictable service time for load tests)",
+			DefaultN: 1000,
+			MaxN:     1_000_000,
+			Task:     spinTask,
+		},
+	} {
+		if err := r.Register(t); err != nil {
+			panic(err) // unreachable: the builtin table is static
+		}
+	}
+	return r
+}
+
+// fibTask computes fib(n) into *out with binary fork/join above a
+// sequential cutoff — the canonical nested-parallel toy, useful here
+// because its dag shape (deep, binary) differs from fanin's (flat).
+func fibTask(n uint64, out *uint64) repro.Task {
+	const cutoff = 12
+	return func(c *repro.Ctx) {
+		if n <= cutoff {
+			*out = fibSeq(n)
+			return
+		}
+		var a, b uint64
+		c.ForkJoinThen(
+			fibTask(n-1, &a),
+			fibTask(n-2, &b),
+			func(*repro.Ctx) { *out = a + b },
+		)
+	}
+}
+
+func fibSeq(n uint64) uint64 {
+	if n < 2 {
+		return n
+	}
+	a, b := uint64(0), uint64(1)
+	for ; n >= 2; n-- {
+		a, b = b, a+b
+	}
+	return b
+}
+
+// faninTask spawns n asyncs under one finish via balanced recursive
+// splitting, so the finish counter absorbs n concurrent signals — the
+// high-contention shape the in-counter exists for.
+func faninTask(n uint64) repro.Task {
+	var spawn func(c *repro.Ctx, k uint64)
+	spawn = func(c *repro.Ctx, k uint64) {
+		if k == 1 {
+			return
+		}
+		half := k / 2
+		c.Async(func(c *repro.Ctx) { spawn(c, half) })
+		spawn(c, k-half)
+	}
+	return func(c *repro.Ctx) {
+		c.Finish(func(c *repro.Ctx) { spawn(c, n) })
+	}
+}
+
+// sortTask mergesorts n pseudo-random int32s and fails the computation
+// if the result is not sorted, making the template an end-to-end
+// correctness probe, not just load.
+func sortTask(n uint64) repro.Task {
+	return func(c *repro.Ctx) {
+		xs := make([]int32, n)
+		seed := uint64(0x9E3779B97F4A7C15)
+		for i := range xs {
+			seed ^= seed << 13
+			seed ^= seed >> 7
+			seed ^= seed << 17
+			xs[i] = int32(seed)
+		}
+		buf := make([]int32, n)
+		c.FinishThen(
+			func(c *repro.Ctx) { mergesort(c, xs, buf) },
+			func(c *repro.Ctx) {
+				for i := 1; i < len(xs); i++ {
+					if xs[i-1] > xs[i] {
+						c.Fail(fmt.Errorf("gateway: sort template produced unsorted output at %d", i))
+						return
+					}
+				}
+			},
+		)
+	}
+}
+
+// mergesort sorts xs in place using buf as scratch, fork/join above a
+// sequential grain.
+func mergesort(c *repro.Ctx, xs, buf []int32) {
+	const grain = 2048
+	if len(xs) <= grain {
+		sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+		return
+	}
+	mid := len(xs) / 2
+	c.ForkJoinThen(
+		func(c *repro.Ctx) { mergesort(c, xs[:mid], buf[:mid]) },
+		func(c *repro.Ctx) { mergesort(c, xs[mid:], buf[mid:]) },
+		func(c *repro.Ctx) {
+			merge(xs[:mid], xs[mid:], buf)
+			copy(xs, buf)
+		},
+	)
+}
+
+func merge(a, b, out []int32) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+		k++
+	}
+	k += copy(out[k:], a[i:])
+	copy(out[k:], b[j:])
+}
+
+// parforTask is the README quickstart kernel: double every element of
+// an n-slice under ParallelFor.
+func parforTask(n uint64) repro.Task {
+	return func(c *repro.Ctx) {
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = int64(i)
+		}
+		c.ParallelForThen(0, len(xs), 1024, func(i int) { xs[i] *= 2 }, func(c *repro.Ctx) {
+			if last := len(xs) - 1; last >= 0 && xs[last] != int64(last)*2 {
+				c.Fail(fmt.Errorf("gateway: parfor template verification failed"))
+			}
+		})
+	}
+}
+
+// spinTask burns n microseconds of calibrated CPU (workload.Work's
+// appendix-C.3 calibration) split into ~100µs leaves, the knob the
+// load generators and the e2e test use to give requests a predictable
+// service time.
+func spinTask(n uint64) repro.Task {
+	const leafUS = 100
+	leaves := int((n + leafUS - 1) / leafUS)
+	if leaves < 1 {
+		leaves = 1
+	}
+	perLeafNS := int(n) * int(time.Microsecond) / leaves
+	return func(c *repro.Ctx) {
+		c.ParallelFor(0, leaves, 1, func(int) { workload.Work(perLeafNS) })
+	}
+}

@@ -81,6 +81,7 @@ func Figures() map[string]func(Options) (*Report, error) {
 		"15":        Fig15,
 		"phase":     PhaseShift,
 		"burst":     Burst,
+		"serve":     Serve,
 		"stalls":    StallModel,
 		"ablations": Ablations,
 	}
@@ -88,7 +89,7 @@ func Figures() map[string]func(Options) (*Report, error) {
 
 // FigureOrder lists the drivers in presentation order.
 func FigureOrder() []string {
-	return []string{"8", "9", "10", "11", "12", "13", "13-proxy", "14", "15", "phase", "burst", "stalls", "ablations"}
+	return []string{"8", "9", "10", "11", "12", "13", "13-proxy", "14", "15", "phase", "burst", "serve", "stalls", "ablations"}
 }
 
 // runSeries measures one spec per procs value and adds a table row per

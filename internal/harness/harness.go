@@ -78,6 +78,21 @@ type Measurement struct {
 	SteadyWorkers int
 	Spawned       uint64
 	Retired       uint64
+	// Serving experiment (serve figure): client-observed outcome of
+	// one open-loop load step against an in-process gateway. Offered
+	// is the configured arrival rate; Throughput counts completed
+	// (200) requests per second; ShedRate is the 429 fraction of
+	// everything sent; the quantiles are client-observed latency of
+	// successful requests.
+	OfferedRate float64
+	Throughput  float64
+	ShedRate    float64
+	Sent        int
+	Completed   int
+	Shed        int
+	P50         time.Duration
+	P95         time.Duration
+	P99         time.Duration
 }
 
 func (m Measurement) String() string {
@@ -87,6 +102,31 @@ func (m Measurement) String() string {
 
 // Block renders the measurement as an artifact-format record.
 func (m Measurement) Block() *report.Block {
+	if m.Spec.Bench == "serve" {
+		// The serving experiment's record is request-shaped, not
+		// counter-shaped: offered load in, throughput / shed rate /
+		// client latency quantiles out.
+		b := report.NewBlock().
+			In("bench", "serve").
+			In("proc", m.Spec.Procs).
+			In("n", m.Spec.N).
+			In("rate", fmt.Sprintf("%.1f", m.OfferedRate)).
+			Out("exectime", fmt.Sprintf("%.6f", m.Seconds.Mean)).
+			Out("nb_runs", m.Seconds.N).
+			Out("nb_sent", m.Sent).
+			Out("nb_completed", m.Completed).
+			Out("nb_shed", m.Shed).
+			Out("shed_rate", fmt.Sprintf("%.4f", m.ShedRate)).
+			Out("throughput_req_per_sec", fmt.Sprintf("%.1f", m.Throughput)).
+			Out("p50_ms", fmt.Sprintf("%.3f", float64(m.P50)/1e6)).
+			Out("p95_ms", fmt.Sprintf("%.3f", float64(m.P95)/1e6)).
+			Out("p99_ms", fmt.Sprintf("%.3f", float64(m.P99)/1e6)).
+			Out("killed", 0)
+		if m.Caveat != "" {
+			b.Out("caveat", m.Caveat)
+		}
+		return b
+	}
 	b := report.NewBlock().
 		In("bench", m.Spec.Bench).
 		In("algo", m.Spec.Algo).

@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro"
+	"repro/internal/gateway"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// The serving experiment (`ppopp17bench -fig serve`, not a figure of
+// the paper): an in-process gateway.Server over a fixed-size runtime,
+// driven by internal/workload's open-loop Uniform generator at three
+// offered-load steps around the host's measured capacity — under,
+// at, and 2× over. The table shows the admission-control story end to
+// end: below capacity the gateway completes everything it is offered
+// with a flat p99; past capacity, completed throughput plateaus at
+// capacity while the shed rate absorbs the excess, instead of the
+// queue growing and p99 diverging.
+
+// serveServiceUS is the calibrated per-request service time (spin
+// template): 5ms is long enough to make capacity predictable and
+// short enough to keep a full three-step sweep around a second per
+// step.
+const serveServiceUS = 5000
+
+// Serve runs the serving experiment and reports one row per offered
+// load step.
+func Serve(o Options) (*Report, error) {
+	o = o.fill()
+	rep := &Report{
+		Figure: "Serve",
+		Title:  "Gateway admission control: throughput, latency, and shed rate vs offered load",
+	}
+	procs := o.MaxProcs
+	window := time.Second
+	if o.Quick {
+		window = 300 * time.Millisecond
+	}
+	// Capacity is CPU-bound: procs workers × (1s / service time)
+	// requests per second. The spin template burns calibrated CPU, so
+	// this estimate tracks the host.
+	capacity := float64(procs) / (float64(serveServiceUS) * 1e-6)
+	for _, frac := range []float64{0.5, 1, 2} {
+		rate := frac * capacity
+		o.progress("serve %gx capacity (%.0f req/s)", frac, rate)
+		m, err := serveStep(procs, rate, window, o.Runs)
+		if err != nil {
+			return nil, err
+		}
+		m.Spec.N = serveServiceUS
+		rep.Measurements = append(rep.Measurements, m)
+	}
+	tbl := stats.NewTable(
+		fmt.Sprintf("serve (spin %dµs, %d workers): offered load sweep", serveServiceUS, procs),
+		"offered req/s", "completed req/s", "shed rate", "p50", "p95", "p99")
+	for _, m := range rep.Measurements {
+		tbl.AddRow(
+			fmt.Sprintf("%.0f", m.OfferedRate),
+			fmt.Sprintf("%.0f", m.Throughput),
+			fmt.Sprintf("%.3f", m.ShedRate),
+			m.P50.Round(100*time.Microsecond).String(),
+			m.P95.Round(100*time.Microsecond).String(),
+			m.P99.Round(100*time.Microsecond).String())
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	rep.Notes = append(rep.Notes,
+		"expected shape: completed throughput tracks offered load below capacity, plateaus at capacity past it; the shed rate (429 + Retry-After) absorbs the 2x excess while p99 stays bounded by the queue depth, not the offered load")
+	return rep, nil
+}
+
+// serveStep measures one offered-load step on a fresh server (fresh
+// stats, cold queue — the per-point equivalent of Run's fresh
+// runtime). Runs > 1 keeps the best-throughput run, matching how the
+// paper reports repeated measurements.
+func serveStep(procs int, rate float64, window time.Duration, runs int) (Measurement, error) {
+	srv := gateway.NewServer("127.0.0.1:0", gateway.Config{
+		RuntimeOptions: []repro.Option{repro.WithWorkers(procs), repro.WithSeed(1)},
+		Dispatchers:    2 * procs,
+		QueueDepth:     4 * procs,
+	})
+	if err := srv.Listen(); err != nil {
+		return Measurement{}, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx) }()
+	defer func() {
+		cancel()
+		<-served
+	}()
+
+	cfg := workload.ServeConfig{
+		URL:      "http://" + srv.Addr(),
+		Template: "spin",
+		N:        serveServiceUS,
+		Timeout:  time.Minute, // sheds must come from admission, not deadlines
+		Tenants:  4,
+		Rate:     rate,
+		Duration: window,
+	}
+	workload.Uniform(workload.ServeConfig{ // warmup: calibrate spin, warm conns
+		URL: cfg.URL, Template: "spin", N: serveServiceUS,
+		Tenants: 4, Rate: rate / 4, Duration: window / 4,
+	})
+	var best workload.ServeResult
+	times := make([]float64, 0, runs)
+	for i := 0; i < runs; i++ {
+		res := workload.Uniform(cfg)
+		times = append(times, res.Elapsed.Seconds())
+		if res.Throughput() > best.Throughput() {
+			best = res
+		}
+	}
+	if best.Errors > 0 {
+		return Measurement{}, fmt.Errorf("harness: serve step at %.0f req/s: %d request errors", rate, best.Errors)
+	}
+	return Measurement{
+		Spec:        Spec{Bench: "serve", Algo: "adaptive", Procs: procs, Runs: runs, Seed: 1},
+		Seconds:     stats.Summarize(times),
+		OfferedRate: best.Offered,
+		Throughput:  best.Throughput(),
+		ShedRate:    best.ShedRate(),
+		Sent:        best.Sent,
+		Completed:   best.OK,
+		Shed:        best.Shed,
+		P50:         best.Latency.P50,
+		P95:         best.Latency.P95,
+		P99:         best.Latency.P99,
+		Caveat:      hostCaveat(),
+	}, nil
+}

@@ -1,0 +1,117 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/counter"
+	"repro/internal/spdag"
+)
+
+// TestInjectorDepth: externally submitted roots count toward the depth
+// until a worker picks them up, and a drained scheduler reads zero.
+func TestInjectorDepth(t *testing.T) {
+	s := New(1, WithSeed(7))
+	d := spdag.New(counter.FetchAdd{}, spdag.WithScheduler(s.Submit))
+
+	if got := s.InjectorDepth(); got != 0 {
+		t.Fatalf("fresh scheduler InjectorDepth = %d, want 0", got)
+	}
+	// Submissions before Start pile up: nothing consumes the injector.
+	var executed atomic.Int64
+	const n = 5
+	for i := 0; i < n; i++ {
+		v := d.NewVertex(nil, nil, 0)
+		v.SetBody(func(*spdag.Vertex) { executed.Add(1) })
+		v.TrySchedule()
+	}
+	if got := s.InjectorDepth(); got != n {
+		t.Fatalf("InjectorDepth before Start = %d, want %d", got, n)
+	}
+
+	s.Start()
+	defer s.Shutdown()
+	waitCond(t, 10*time.Second, "backlog drained", func() bool {
+		return executed.Load() == n
+	})
+	waitCond(t, 10*time.Second, "depth back to zero", func() bool {
+		return s.InjectorDepth() == 0
+	})
+}
+
+// TestPeggedForFixedPoolAlwaysZero: a fixed pool never runs the spawn
+// machinery, so the pegged signal must stay withdrawn no matter the
+// backlog.
+func TestPeggedForFixedPoolAlwaysZero(t *testing.T) {
+	s := New(1, WithSeed(7))
+	d := spdag.New(counter.FetchAdd{}, spdag.WithScheduler(s.Submit))
+	for i := 0; i < 8; i++ {
+		v := d.NewVertex(nil, nil, 0)
+		v.SetBody(func(*spdag.Vertex) {})
+		v.TrySchedule()
+	}
+	if got := s.PeggedFor(); got != 0 {
+		t.Fatalf("fixed pool PeggedFor = %v, want 0", got)
+	}
+	s.Start()
+	s.Shutdown()
+}
+
+// TestPeggedForUnderSaturation drives the overload signal
+// deterministically, the wedged-floor way of the elastic tests: every
+// worker the pool can spawn is wedged on a blocking vertex, and spaced
+// submissions keep crossing the spawn-pressure threshold with the pool
+// at its ceiling. PeggedFor must rise while the overload holds, and
+// must drop back to 0 as soon as the blockers release, the backlog
+// drains, and workers park.
+func TestPeggedForUnderSaturation(t *testing.T) {
+	requireParallelism(t)
+	const max = 2
+	s := New(1, WithSeed(5), WithMaxWorkers(max), WithRetireAfter(5*time.Millisecond))
+	d := spdag.New(counter.FetchAdd{}, spdag.WithScheduler(s.Submit))
+	s.Start()
+	defer s.Shutdown()
+
+	release := make(chan struct{})
+	var blocked, executed atomic.Int64
+	submit := func(body spdag.Body) {
+		v := d.NewVertex(nil, nil, 0)
+		v.SetBody(body)
+		v.TrySchedule()
+	}
+
+	// Wedge the whole pool: the blockers soak up the floor worker and
+	// every spawned one, and the no-op backlog behind them provides the
+	// sustained pressure that grows the pool (the wedged-floor trick of
+	// TestElasticSpawnOnSustainedBacklog). Once the pool is wedged at
+	// max, each further spaced push is a wake attempt that finds
+	// backlog, no parked worker, and no room to grow — the pegged
+	// condition.
+	for i := 0; i < max; i++ {
+		submit(func(*spdag.Vertex) { blocked.Add(1); <-release })
+		time.Sleep(time.Millisecond)
+	}
+	const noops = 8
+	for i := 0; i < noops; i++ {
+		submit(func(*spdag.Vertex) { executed.Add(1) })
+		time.Sleep(time.Millisecond)
+	}
+	waitCond(t, 10*time.Second, "pool grew to max and wedged", func() bool {
+		return s.NumWorkers() == max && blocked.Load() == max
+	})
+	waitCond(t, 10*time.Second, "pegged signal raised", func() bool {
+		// One more spaced push per probe keeps the pressure counter
+		// moving in case the earlier ones raced a transient state.
+		submit(func(*spdag.Vertex) { executed.Add(1) })
+		time.Sleep(time.Millisecond)
+		return s.PeggedFor() > 0
+	})
+
+	// Release: the backlog drains, workers park, and the first park (or
+	// drained-backlog wake attempt) must withdraw the signal.
+	close(release)
+	waitCond(t, 10*time.Second, "pegged signal withdrawn", func() bool {
+		return s.InjectorDepth() == 0 && s.PeggedFor() == 0
+	})
+}

@@ -53,6 +53,17 @@ type Scheduler struct {
 	// spawns a worker (the sustained-backlog signal, see doc.go).
 	pressure atomic.Int32
 
+	// peggedSince records (as UnixNano, 0 = not pegged) when an elastic
+	// pool last crossed the spawn-pressure threshold while already at
+	// its ceiling — sustained injector backlog that a spawn can no
+	// longer absorb. It is cleared the moment the overload evidence
+	// breaks: a wake attempt finds a parked worker, the backlog drains
+	// below the sustained-signal floor, or a worker parks (it found
+	// nothing to do — and a retirement is always preceded by such a
+	// park). PeggedFor exposes it; it stays 0 on a fixed pool, whose
+	// producers never run the spawn machinery.
+	peggedSince atomic.Int64
+
 	// spawnMu serializes goroutine creation against Shutdown so a spawn
 	// cannot race the WaitGroup's final Wait.
 	spawnMu sync.Mutex
@@ -314,6 +325,30 @@ func (s *Scheduler) RetiredWorkers() uint64 { return s.retired.Load() }
 // NumWorkers(); tests use this to assert an idle Runtime costs no CPU.
 func (s *Scheduler) ParkedWorkers() int { return int(s.nparked.Load()) }
 
+// InjectorDepth returns the number of externally submitted vertices
+// (computation roots) accepted but not yet picked up by a worker — the
+// same backlog count the park protocol and the elastic spawn signal
+// consult. A sustained non-zero depth means submissions are arriving
+// faster than the pool drains them; an admission layer uses it as its
+// backpressure sense.
+func (s *Scheduler) InjectorDepth() int { return int(s.inj.size.Load()) }
+
+// PeggedFor returns how long the elastic pool has been pegged: at its
+// ceiling, with sustained injector backlog the spawn signal wanted to
+// absorb by growing and could not. It returns 0 when the pool is not
+// pegged — including the moment a worker parks or the backlog drains —
+// and always 0 for a fixed pool, which never runs the spawn machinery.
+// A service front-end sheds load when this stays above its admission
+// window (see ROADMAP's gateway): the pool has proved it cannot grow
+// out of the offered load.
+func (s *Scheduler) PeggedFor() time.Duration {
+	since := s.peggedSince.Load()
+	if since == 0 {
+		return 0
+	}
+	return time.Duration(time.Now().UnixNano() - since)
+}
+
 // Start launches the minimum worker goroutines. It may be called once.
 func (s *Scheduler) Start() {
 	if s.started.Swap(true) {
@@ -378,11 +413,21 @@ func (s *Scheduler) signalWork() {
 	if s.wakeOne() {
 		if s.elastic {
 			s.pressure.Store(0)
+			s.clearPegged()
 		}
 		return
 	}
 	if s.elastic {
 		s.maybeSpawn()
+	}
+}
+
+// clearPegged withdraws the pegged-at-max overload signal. The load
+// before the store keeps the common cases (not elastic at ceiling, or
+// not pegged) to one read-shared load.
+func (s *Scheduler) clearPegged() {
+	if s.peggedSince.Load() != 0 {
+		s.peggedSince.Store(0)
 	}
 }
 
@@ -398,6 +443,7 @@ func (s *Scheduler) signalWork() {
 func (s *Scheduler) maybeSpawn() {
 	if s.inj.size.Load() < 2 {
 		s.pressure.Store(0)
+		s.clearPegged()
 		return
 	}
 	if s.pressure.Add(1) < spawnPressure {
@@ -424,6 +470,15 @@ func (s *Scheduler) trySpawn() {
 	for {
 		n := s.nlive.Load()
 		if int(n) >= len(s.workers) {
+			// Sustained backlog with the pool already at its ceiling:
+			// the overload condition an admission layer load-sheds on.
+			// The load gate keeps the already-pegged steady state — hit
+			// every spawnPressure pushes during a saturating storm — to
+			// one read-shared load; the CAS (not a store) preserves the
+			// start of the current pegged window when crossings race.
+			if s.peggedSince.Load() == 0 {
+				s.peggedSince.CompareAndSwap(0, time.Now().UnixNano())
+			}
 			return
 		}
 		if s.nlive.CompareAndSwap(n, n+1) {
@@ -686,6 +741,11 @@ func (w *worker) park() (woken, retired bool) {
 	s := w.s
 	s.nparked.Add(1)
 	w.parked.Store(true)
+	if s.elastic {
+		// A worker going idle is direct evidence the backlog is not
+		// saturating the pool: withdraw the pegged-at-max signal.
+		s.clearPegged()
+	}
 
 	if s.stop.Load() || w.parkRecheck() {
 		w.cancelPark()

@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// This file provides the latency histogram behind the gateway's
+// per-tenant / per-template accounting (ROADMAP "millions of users"
+// door): a fixed-size log-linear histogram whose record path is one
+// atomic add into a per-worker shard — no locks, no allocation — with
+// shards merged only at snapshot time, so a hot serving path pays
+// nothing for observability beyond the add.
+//
+// Buckets are log-linear (HDR-style): values below 2^histSubBits
+// nanoseconds get exact buckets; above that, each power-of-two octave
+// is split into 2^histSubBits linear sub-buckets, bounding the
+// relative quantile error at 1/2^histSubBits (12.5%) — plenty for
+// p50/p95/p99 service latencies while keeping a shard at one flat
+// array.
+
+const (
+	// histSubBits is the log-linear split: 8 sub-buckets per octave.
+	histSubBits = 3
+	histSub     = 1 << histSubBits
+	// histBuckets covers the full uint64 nanosecond range: the linear
+	// head plus 8 sub-buckets for each octave above it.
+	histBuckets = histSub + (64-histSubBits)*histSub
+)
+
+// bucketOf maps a non-negative duration in nanoseconds to its bucket.
+func bucketOf(ns uint64) int {
+	if ns < histSub {
+		return int(ns)
+	}
+	msb := uint(bits.Len64(ns) - 1) // ≥ histSubBits
+	sub := (ns >> (msb - histSubBits)) & (histSub - 1)
+	return int((msb-histSubBits)*histSub) + int(sub) + histSub
+}
+
+// bucketLow returns the smallest nanosecond value mapping to bucket i.
+func bucketLow(i int) uint64 {
+	if i < histSub {
+		return uint64(i)
+	}
+	i -= histSub
+	octave := uint(i/histSub) + histSubBits
+	sub := uint64(i % histSub)
+	return 1<<octave | sub<<(octave-histSubBits)
+}
+
+// bucketMid returns the midpoint of bucket i, the value a quantile
+// landing in the bucket reports.
+func bucketMid(i int) uint64 {
+	lo := bucketLow(i)
+	var width uint64 = 1
+	if i >= histSub {
+		octave := uint((i-histSub)/histSub) + histSubBits
+		width = 1 << (octave - histSubBits)
+	}
+	return lo + width/2
+}
+
+// histShard is one worker's slice of the histogram, padded so two
+// shards never share a cache line: the record path is meant to be
+// uncontended per worker.
+type histShard struct {
+	_      [64]byte
+	counts [histBuckets]atomic.Uint32
+	count  atomic.Uint64
+	sum    atomic.Uint64 // nanoseconds
+	max    atomic.Uint64 // nanoseconds
+	_      [64]byte
+}
+
+func (s *histShard) record(ns uint64) {
+	s.counts[bucketOf(ns)].Add(1)
+	s.count.Add(1)
+	s.sum.Add(ns)
+	for {
+		old := s.max.Load()
+		if ns <= old || s.max.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+// LatencyHist is a sharded latency histogram. Record is safe from any
+// goroutine; passing distinct shard indices from distinct recording
+// goroutines (the gateway passes its dispatcher index) keeps the hot
+// path free of cross-core contention, but correctness never depends on
+// the mapping — any index works, including the same one from everyone.
+type LatencyHist struct {
+	shards []histShard
+}
+
+// NewLatencyHist creates a histogram with the given number of shards
+// (minimum 1; one per recording worker is the intended shape).
+func NewLatencyHist(shards int) *LatencyHist {
+	if shards < 1 {
+		shards = 1
+	}
+	return &LatencyHist{shards: make([]histShard, shards)}
+}
+
+// Record adds one observation to the given shard (taken modulo the
+// shard count, so callers can pass any worker id).
+func (h *LatencyHist) Record(shard int, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.shards[shard%len(h.shards)].record(uint64(d))
+}
+
+// LatencySummary is a merged snapshot of a LatencyHist: the quantiles
+// a service SLO is written against, plus count/mean/max.
+type LatencySummary struct {
+	Count uint64        `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Snapshot merges every shard and computes the summary. It is safe
+// concurrently with Record; during concurrent recording the snapshot
+// is a consistent-enough view (each observation is either in or out).
+func (h *LatencyHist) Snapshot() LatencySummary {
+	var merged [histBuckets]uint64
+	var out LatencySummary
+	var sum uint64
+	for i := range h.shards {
+		s := &h.shards[i]
+		for b := range merged {
+			// Only touch buckets that could have counts: the scan is
+			// O(histBuckets) regardless, and snapshots are rare.
+			if c := s.counts[b].Load(); c != 0 {
+				merged[b] += uint64(c)
+			}
+		}
+		out.Count += s.count.Load()
+		sum += s.sum.Load()
+		if m := time.Duration(s.max.Load()); m > out.Max {
+			out.Max = m
+		}
+	}
+	if out.Count == 0 {
+		return out
+	}
+	out.Mean = time.Duration(sum / out.Count)
+	out.P50 = histQuantile(&merged, out.Count, 0.50)
+	out.P95 = histQuantile(&merged, out.Count, 0.95)
+	out.P99 = histQuantile(&merged, out.Count, 0.99)
+	return out
+}
+
+// histQuantile walks the merged buckets to the q-th quantile and
+// returns that bucket's midpoint.
+func histQuantile(merged *[histBuckets]uint64, total uint64, q float64) time.Duration {
+	rank := uint64(q * float64(total-1))
+	var seen uint64
+	for b, c := range merged {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen > rank {
+			return time.Duration(bucketMid(b))
+		}
+	}
+	return 0
+}

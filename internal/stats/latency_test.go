@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketRoundTrip: every bucket's low bound maps back to itself,
+// boundaries land on the right side, and indices stay in range across
+// the whole uint64 span.
+func TestBucketRoundTrip(t *testing.T) {
+	for i := 0; i < histBuckets; i++ {
+		lo := bucketLow(i)
+		if got := bucketOf(lo); got != i {
+			t.Fatalf("bucketOf(bucketLow(%d)=%d) = %d", i, lo, got)
+		}
+		if mid := bucketMid(i); bucketOf(mid) != i {
+			t.Fatalf("bucketMid(%d)=%d falls in bucket %d", i, mid, bucketOf(mid))
+		}
+	}
+	if got := bucketOf(math.MaxUint64); got >= histBuckets {
+		t.Fatalf("bucketOf(MaxUint64) = %d out of range %d", got, histBuckets)
+	}
+	for _, ns := range []uint64{0, 1, 7, 8, 9, 1000, 1 << 20, 1<<20 + 1} {
+		b := bucketOf(ns)
+		if lo := bucketLow(b); ns < lo {
+			t.Fatalf("ns=%d below its bucket %d low %d", ns, b, lo)
+		}
+		if b+1 < histBuckets {
+			if next := bucketLow(b + 1); ns >= next {
+				t.Fatalf("ns=%d at/above next bucket low %d", ns, next)
+			}
+		}
+	}
+}
+
+// TestLatencyQuantiles: quantiles over a known distribution land
+// within the histogram's log-linear resolution (12.5% relative error).
+func TestLatencyQuantiles(t *testing.T) {
+	h := NewLatencyHist(4)
+	// 1..1000 µs uniformly, recorded across shards.
+	for i := 1; i <= 1000; i++ {
+		h.Record(i, time.Duration(i)*time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("Count = %d, want 1000", s.Count)
+	}
+	check := func(name string, got time.Duration, want float64) {
+		t.Helper()
+		g := float64(got)
+		if g < want*0.85 || g > want*1.15 {
+			t.Fatalf("%s = %v, want %v ±15%%", name, got, time.Duration(want))
+		}
+	}
+	check("P50", s.P50, float64(500*time.Microsecond))
+	check("P95", s.P95, float64(950*time.Microsecond))
+	check("P99", s.P99, float64(990*time.Microsecond))
+	check("Mean", s.Mean, float64(500500*time.Nanosecond))
+	if s.Max < 1000*time.Microsecond || s.Max > 1130*time.Microsecond {
+		t.Fatalf("Max = %v, want ≈1ms", s.Max)
+	}
+}
+
+// TestLatencyEmptyAndNegative: an empty histogram snapshots to zeros,
+// and negative durations clamp instead of corrupting bucket math.
+func TestLatencyEmptyAndNegative(t *testing.T) {
+	h := NewLatencyHist(0) // clamps to 1 shard
+	if s := h.Snapshot(); s != (LatencySummary{}) {
+		t.Fatalf("empty Snapshot = %+v, want zero", s)
+	}
+	h.Record(0, -5*time.Second)
+	if s := h.Snapshot(); s.Count != 1 || s.Max != 0 {
+		t.Fatalf("negative record: %+v, want count=1 max=0", s)
+	}
+}
+
+// TestLatencyConcurrentRecord: the record path is safe (and exact in
+// count) under concurrent writers on every shard, including writers
+// sharing a shard (-race covers the memory claims).
+func TestLatencyConcurrentRecord(t *testing.T) {
+	h := NewLatencyHist(2)
+	const writers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(w, time.Duration(i)*time.Microsecond)
+			}
+		}(w)
+	}
+	// Snapshots race the writers on purpose.
+	for i := 0; i < 100; i++ {
+		h.Snapshot()
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != writers*per {
+		t.Fatalf("Count = %d, want %d", s.Count, writers*per)
+	}
+}

@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// This file is the client half of the serving experiment (`ppopp17bench
+// -fig serve`, the gateway e2e test): open-loop HTTP load generators
+// against a reproserve-shaped server. Open-loop means arrivals follow
+// the configured rate regardless of responses — the generator does not
+// slow down when the server does — which is the load shape that makes
+// admission control observable: a closed-loop driver would self-
+// throttle and never push the gateway past its bound.
+//
+// Two tenant mixes:
+//
+//   - Uniform spreads arrivals round-robin across Tenants, the
+//     well-behaved baseline;
+//   - HotTenant draws the tenant of each arrival from a Zipf
+//     distribution (tenant "t0" hottest), the noisy-neighbor shape the
+//     gateway's quotas and weighted-fair dispatch exist for.
+
+// ServeConfig parameterizes one open-loop run against a server.
+type ServeConfig struct {
+	URL      string        // base URL, e.g. "http://127.0.0.1:8080"
+	Template string        // template to request (default "spin")
+	N        uint64        // template size knob (0 = server default)
+	Timeout  time.Duration // per-request deadline passed to the server (0 = server default)
+
+	Tenants  int           // number of distinct tenants (default 4)
+	Rate     float64       // offered load, requests/second across all tenants
+	Duration time.Duration // send window (default 1s)
+
+	ZipfS float64 // HotTenant skew exponent > 1 (default 1.5)
+	Seed  uint64  // tenant-draw randomness (default 1)
+
+	Client *http.Client // default http.DefaultClient
+}
+
+func (c *ServeConfig) defaults() {
+	if c.Template == "" {
+		c.Template = "spin"
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 4
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+}
+
+// ServeTenant is one tenant's client-side view of a run.
+type ServeTenant struct {
+	Sent    int
+	OK      int
+	Shed    int // 429 responses
+	Errors  int // transport errors and non-200/429/503 statuses
+	Latency stats.LatencySummary
+}
+
+// ServeResult is the client-side outcome of one open-loop run.
+type ServeResult struct {
+	Offered   float64       // configured arrival rate (req/s)
+	Elapsed   time.Duration // send window plus completion tail
+	Sent      int
+	OK        int
+	Shed      int // 429 responses across tenants
+	Unavail   int // 503 responses (draining server)
+	Errors    int
+	RetryHint int                  // shed/unavail responses that carried Retry-After
+	Latency   stats.LatencySummary // client-observed, successful requests only
+	PerTenant map[string]ServeTenant
+}
+
+// ShedRate returns the shed fraction of everything sent.
+func (r ServeResult) ShedRate() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Sent)
+}
+
+// Throughput returns successful requests per second of elapsed time.
+func (r ServeResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.OK) / r.Elapsed.Seconds()
+}
+
+// Uniform drives the server with arrivals spread round-robin across
+// tenants at cfg.Rate for cfg.Duration, and reports the client-side
+// view.
+func Uniform(cfg ServeConfig) ServeResult {
+	cfg.defaults()
+	i := 0
+	return drive(cfg, func() int { i++; return i % cfg.Tenants })
+}
+
+// HotTenant drives the server with the tenant of each arrival drawn
+// from a Zipf distribution (skew cfg.ZipfS): tenant "t0" receives the
+// bulk of the load while the tail tenants stay within any reasonable
+// quota — the noisy-neighbor experiment.
+func HotTenant(cfg ServeConfig) ServeResult {
+	cfg.defaults()
+	zipf := rand.NewZipf(rand.New(rand.NewSource(int64(cfg.Seed))),
+		cfg.ZipfS, 1, uint64(cfg.Tenants-1))
+	return drive(cfg, func() int { return int(zipf.Uint64()) })
+}
+
+// tenantCell accumulates one tenant's counters with atomics so the
+// per-request goroutines never share a lock.
+type tenantCell struct {
+	sent, ok, shed, errs atomic.Int64
+	hist                 *stats.LatencyHist
+}
+
+// drive is the shared open-loop engine: fire one request per tick at
+// the configured rate, each on its own goroutine, tenant chosen by
+// pick (called from the ticking goroutine only).
+func drive(cfg ServeConfig, pick func() int) ServeResult {
+	cells := make([]*tenantCell, cfg.Tenants)
+	for i := range cells {
+		cells[i] = &tenantCell{hist: stats.NewLatencyHist(4)}
+	}
+	var shedTotal, unavail, retryHint atomic.Int64
+	all := stats.NewLatencyHist(4)
+
+	url := fmt.Sprintf("%s/run/%s", cfg.URL, cfg.Template)
+	query := ""
+	if cfg.N > 0 {
+		query += fmt.Sprintf("&n=%d", cfg.N)
+	}
+	if cfg.Timeout > 0 {
+		query += fmt.Sprintf("&timeout=%s", cfg.Timeout)
+	}
+
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for next := start; time.Since(start) < cfg.Duration; next = next.Add(interval) {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		ten := pick()
+		cell := cells[ten]
+		cell.sent.Add(1)
+		wg.Add(1)
+		go func(ten int, cell *tenantCell) {
+			defer wg.Done()
+			t0 := time.Now()
+			resp, err := cfg.Client.Post(
+				fmt.Sprintf("%s?tenant=t%d%s", url, ten, query), "", nil)
+			if err != nil {
+				cell.errs.Add(1)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				cell.ok.Add(1)
+				d := time.Since(t0)
+				cell.hist.Record(ten, d)
+				all.Record(ten, d)
+			case http.StatusTooManyRequests:
+				cell.shed.Add(1)
+				shedTotal.Add(1)
+				if resp.Header.Get("Retry-After") != "" {
+					retryHint.Add(1)
+				}
+			case http.StatusServiceUnavailable:
+				unavail.Add(1)
+				if resp.Header.Get("Retry-After") != "" {
+					retryHint.Add(1)
+				}
+			default:
+				cell.errs.Add(1)
+			}
+		}(ten, cell)
+	}
+	wg.Wait()
+
+	res := ServeResult{
+		Offered:   cfg.Rate,
+		Elapsed:   time.Since(start),
+		Shed:      int(shedTotal.Load()),
+		Unavail:   int(unavail.Load()),
+		RetryHint: int(retryHint.Load()),
+		Latency:   all.Snapshot(),
+		PerTenant: make(map[string]ServeTenant, cfg.Tenants),
+	}
+	for i, cell := range cells {
+		t := ServeTenant{
+			Sent:    int(cell.sent.Load()),
+			OK:      int(cell.ok.Load()),
+			Shed:    int(cell.shed.Load()),
+			Errors:  int(cell.errs.Load()),
+			Latency: cell.hist.Snapshot(),
+		}
+		res.Sent += t.Sent
+		res.OK += t.OK
+		res.Errors += t.Errors
+		res.PerTenant[fmt.Sprintf("t%d", i)] = t
+	}
+	return res
+}

@@ -49,6 +49,7 @@ package repro
 import (
 	"context"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/counter"
@@ -235,6 +236,20 @@ type Stats struct {
 	// Both stay 0 on a fixed pool (no WithMaxWorkers).
 	SpawnedWorkers uint64
 	RetiredWorkers uint64
+	// InjectorDepth is the number of externally submitted computation
+	// roots accepted but not yet picked up by a worker — the backlog
+	// the park protocol and the elastic spawn signal consult. A
+	// sustained non-zero depth means Runs are being submitted faster
+	// than the pool drains them; an admission layer (internal/gateway)
+	// uses it as its backpressure sense.
+	InjectorDepth int
+	// PeggedFor is how long an elastic pool has been pegged: at its
+	// ceiling with sustained injector backlog the spawn signal could
+	// not absorb by growing. 0 when not pegged, and always 0 for a
+	// fixed pool. A service front-end sheds load (429 + Retry-After)
+	// when this stays above its admission window: the pool has proved
+	// it cannot grow out of the offered load.
+	PeggedFor time.Duration
 	// Promotions counts finish counters that migrated from the
 	// fetch-and-add cell to the in-counter under contention. It is 0
 	// for statically configured algorithms; under the default adaptive
@@ -258,6 +273,8 @@ func (r *Runtime) Stats() Stats {
 		Executed:       st.Executed,
 		SpawnedWorkers: sc.SpawnedWorkers(),
 		RetiredWorkers: sc.RetiredWorkers(),
+		InjectorDepth:  sc.InjectorDepth(),
+		PeggedFor:      sc.PeggedFor(),
 	}
 	if pr, ok := r.n.Dag().Algorithm().(counter.PromotionReporter); ok {
 		s.Promotions = pr.Promotions()
