@@ -13,6 +13,7 @@ package repro_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"testing"
@@ -231,6 +232,56 @@ func BenchmarkServe(b *testing.B) {
 			b.ReportMetric(float64(shed)/float64(sent), "shed-rate")
 		})
 	}
+}
+
+// BenchmarkChaosRecovery — the self-defense reap drill (not a figure
+// of the paper; `ppopp17bench -fig chaos` is the full recovery
+// timeline): each iteration submits one wedge-template request — a
+// task body that busy-spins ignoring cancellation — with a deadline
+// far shorter than its spin, requires the hung-request reaper to
+// force-fail it (ErrHung / 504) at deadline+grace, waits out the
+// degraded hold-down, and proves the recovered dispatcher slot by
+// completing a clean request. ns/op is therefore dominated by the
+// configured fuses, not by code speed; what benchgate gates is the
+// presence-gated "reaped" metric (exactly 1 per iteration) — it
+// vanishing or moving off 1 means the reap path came unwired.
+func BenchmarkChaosRecovery(b *testing.B) {
+	workload.CalibrateWork()
+	reg := gateway.Builtins()
+	if err := reg.Register(gateway.WedgeTemplate()); err != nil {
+		b.Fatal(err)
+	}
+	g := gateway.New(gateway.Config{
+		RuntimeOptions:   []repro.Option{repro.WithWorkers(2), repro.WithSeed(1)},
+		Registry:         reg,
+		Dispatchers:      4,
+		ReapGrace:        20 * time.Millisecond,
+		DegradedHoldDown: 5 * time.Millisecond,
+		JitterSeed:       1,
+	})
+	b.Cleanup(func() { g.Close() })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		_, err := g.Submit(ctx, "chaos", "wedge", 60)
+		cancel()
+		if !errors.Is(err, gateway.ErrHung) {
+			b.Fatalf("wedge returned %v, want ErrHung", err)
+		}
+		for g.Degraded() {
+			time.Sleep(time.Millisecond)
+		}
+		// No deadline: the recovery probe must never itself be reaped.
+		if _, err := g.Submit(context.Background(), "chaos", "spin", 500); err != nil {
+			b.Fatalf("post-reap request failed: %v", err)
+		}
+	}
+	b.StopTimer()
+	reaped := g.Stats().Reaped
+	if reaped != uint64(b.N) {
+		b.Fatalf("reaped %d requests over %d iterations, want exactly one each", reaped, b.N)
+	}
+	b.ReportMetric(float64(reaped)/float64(b.N), "reaped")
 }
 
 // BenchmarkFig09SizeInvariance — Figure 9: in-counter throughput per

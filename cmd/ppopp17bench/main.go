@@ -31,6 +31,16 @@
 // nb_sent/nb_completed/nb_shed, shed_rate, throughput_req_per_sec,
 // p50_ms/p95_ms/p99_ms).
 //
+// The chaos experiment (-fig chaos) is the self-defense recovery
+// timeline of DESIGN.md §10: a gateway under steady load is handed
+// one hostile wedge-template request (busy-spins ignoring
+// cancellation) with a deadline far shorter than its spin, and the
+// per-tick table shows the arc — inject, hung-request reap (504) at
+// deadline+grace, degraded hold-down shedding 503s, recovery
+// (artifact outputs nb_reaped, nb_degraded_trips, nb_shed_degraded,
+// recover_tick). It runs on a stock production build; the injected
+// fault matrix lives in the chaostest-tagged test suite instead.
+//
 // Usage:
 //
 //	ppopp17bench -fig all                 # every figure, host-scaled defaults
@@ -40,6 +50,7 @@
 //	ppopp17bench -fig 13                  # topology study on the real scheduler
 //	ppopp17bench -fig 13-proxy            # the simulated placement-penalty proxy
 //	ppopp17bench -fig serve               # gateway offered-load sweep (throughput/shed/p99)
+//	ppopp17bench -fig chaos               # self-defense recovery timeline (reap/degrade/recover)
 //	ppopp17bench -fig stalls -quick       # contention in the stall model
 //	ppopp17bench -fig 8 -format artifact  # artifact-style result records
 //	ppopp17bench -fig 8 -out results/     # write per-figure files

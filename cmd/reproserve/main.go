@@ -18,6 +18,16 @@
 // (fib, fanin, sort, parfor, spin). On SIGTERM/SIGINT the server
 // stops admitting (503), completes every admitted computation, and
 // exits; see DESIGN.md §9 for the drain argument.
+//
+// Self-defense (DESIGN.md §10): -reap-grace arms the hung-request
+// reaper (a request still running that long past its deadline 504s
+// and its dispatcher slot is replaced), -watchdog arms the scheduler
+// stall watchdog, and both trip a -degraded-holddown window during
+// which new admissions shed 503 + Retry-After. -chaos additionally
+// registers the hostile "wedge" template (a task body that busy-spins
+// ignoring cancellation) so the reap → degrade → recover → drain path
+// can be drilled against a live server; never enable it on a deployment
+// that accepts untrusted tenants.
 package main
 
 import (
@@ -47,6 +57,10 @@ func main() {
 		pegged      = flag.Duration("pegged-window", 50*time.Millisecond, "shed when the elastic pool stays pegged at max this long")
 		timeout     = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
 		maxTimeout  = flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
+		reapGrace   = flag.Duration("reap-grace", time.Second, "force-fail (504) a request still running this long past its deadline (negative disables)")
+		holdDown    = flag.Duration("degraded-holddown", 2*time.Second, "shed admissions (503 + Retry-After) this long after a reap or stall")
+		watchdog    = flag.Duration("watchdog", 0, "scheduler stall watchdog threshold (0 = off)")
+		chaosMode   = flag.Bool("chaos", false, "register the hostile wedge template (self-defense drill; do not expose to untrusted tenants)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -69,15 +83,28 @@ func main() {
 		opts = append(opts, repro.WithMaxWorkers(*maxWorkers))
 	}
 
+	var reg *gateway.Registry
+	if *chaosMode {
+		reg = gateway.Builtins()
+		if err := reg.Register(gateway.WedgeTemplate()); err != nil {
+			log.Fatalf("reproserve: -chaos: %v", err)
+		}
+		log.Printf("reproserve: chaos mode: hostile template %q registered", "wedge")
+	}
+
 	srv := gateway.NewServer(*addr, gateway.Config{
-		RuntimeOptions: opts,
-		QueueDepth:     *queueDepth,
-		Dispatchers:    *dispatchers,
-		TenantRate:     *tenantRate,
-		TenantBurst:    *tenantBurst,
-		PeggedWindow:   *pegged,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
+		RuntimeOptions:   opts,
+		Registry:         reg,
+		QueueDepth:       *queueDepth,
+		Dispatchers:      *dispatchers,
+		TenantRate:       *tenantRate,
+		TenantBurst:      *tenantBurst,
+		PeggedWindow:     *pegged,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		ReapGrace:        *reapGrace,
+		DegradedHoldDown: *holdDown,
+		Watchdog:         *watchdog,
 	})
 	if err := srv.Listen(); err != nil {
 		log.Fatalf("reproserve: %v", err)

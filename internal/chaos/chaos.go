@@ -1,0 +1,309 @@
+// Package chaos is a seeded, deterministic fault-injection layer for
+// the runtime: it decides, ahead of time, at which seam ordinals a
+// fault fires, so an adversarial schedule is a reproducible input
+// rather than an accident of the Go scheduler. The paper's SNZI-style
+// dependency counters exist to keep the non-zero invariant sound under
+// arbitrary interleavings; this package manufactures the interleavings
+// the stock scheduler never produces — dropped wake tokens, workers
+// sleeping through their timeslice, panics mid-dag, promotion storms,
+// wedged dispatchers — and pairs with the self-defense machinery those
+// faults exercise (the scheduler watchdog, the gateway's hung-request
+// reaper and degraded mode).
+//
+// # Seams and determinism
+//
+// Each fault Kind has its own seam in a host package (internal/sched,
+// internal/nested, internal/counter, internal/gateway) and its own
+// monotone ordinal stream: the i-th time any goroutine crosses the
+// seam is ordinal i of that stream. A Fault names the ordinals it
+// fires at — explicitly, or periodically via Every/Offset — so the set
+// of firing ordinals is a pure function of the injector's
+// configuration: same seed ⇒ same fault schedule, regardless of which
+// worker happens to reach a given ordinal. The injector records every
+// firing in a trace; two runs of the same seeded scenario produce the
+// same trace (compared as sorted (kind, ordinal) pairs — which
+// goroutine hit the ordinal is scheduler noise, the schedule itself is
+// not).
+//
+// # Zero cost in production
+//
+// The seams are compiled in only under the `chaostest` build tag: each
+// host package keeps its seam call in a tag-gated file whose !chaostest
+// twin is an empty inlinable function, so a production build
+// (`go build ./...`) carries no injector check, no atomic, and no
+// allocation on any hot path. Even under the tag, a process with no
+// installed injector pays one atomic pointer load per seam crossing.
+//
+// Install an injector process-globally with Install (tests install one
+// per scenario and Uninstall on the way out); the host seams consult
+// Active.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Kind names a fault seam. Each kind has an independent ordinal
+// stream counted by the injector.
+type Kind uint8
+
+const (
+	// PanicBody panics inside a user task body: the seam is the task
+	// invocation boundary (internal/nested), inside the task's recover
+	// barrier, so containment — abort, quiesce, *PanicError — is what
+	// gets exercised. Ordinals count live task invocations (tasks
+	// skipped by a cancelled computation do not cross the seam).
+	PanicBody Kind = iota
+	// StallWorker puts a live worker to sleep for Delay just before it
+	// executes a vertex it already holds (internal/sched worker loop):
+	// the worker is neither parked nor executing, exactly the shape of
+	// an OS-level preemption or page-fault storm. Ordinals count
+	// vertex-execution attempts.
+	StallWorker
+	// DropWake suppresses a park/spawn wake signal (internal/sched
+	// signalWork) and re-delivers it after Delay — a lost-then-late
+	// wake token, the interleaving the park protocol's
+	// register-recheck-sleep ordering defends against. Ordinals count
+	// signalWork calls.
+	DropWake
+	// SlowDispatcher makes a gateway dispatcher sleep Delay before
+	// running its request (internal/gateway): queue wait inflates but
+	// the request still beats its deadline. Ordinals count dispatches.
+	SlowDispatcher
+	// WedgeDispatcher makes a gateway dispatcher sleep Delay ignoring
+	// the request's deadline entirely — the wedged-template scenario
+	// the hung-request reaper force-fails. Ordinals count dispatches
+	// (a separate stream from SlowDispatcher).
+	WedgeDispatcher
+	// PromotionStorm forces an adaptive dependency counter to promote
+	// to the in-counter at chosen increment ordinals, racing the
+	// anchor-based migration protocol against live increments without
+	// needing organic contention. Ordinals count adaptive increments.
+	PromotionStorm
+
+	numKinds
+)
+
+// Kinds lists every fault kind, in seam order.
+func Kinds() []Kind {
+	ks := make([]Kind, numKinds)
+	for i := range ks {
+		ks[i] = Kind(i)
+	}
+	return ks
+}
+
+func (k Kind) String() string {
+	switch k {
+	case PanicBody:
+		return "panic-body"
+	case StallWorker:
+		return "stall-worker"
+	case DropWake:
+		return "drop-wake"
+	case SlowDispatcher:
+		return "slow-dispatcher"
+	case WedgeDispatcher:
+		return "wedge-dispatcher"
+	case PromotionStorm:
+		return "promotion-storm"
+	}
+	return fmt.Sprintf("chaos.Kind(%d)", uint8(k))
+}
+
+// Fault is one injection rule: fire at the listed Ordinals of the
+// Kind's seam stream, and/or periodically at every ordinal o with
+// o % Every == Offset (Every > 0 arms the periodic form). Delay is the
+// fault's magnitude where one applies (stall/sleep duration, wake
+// re-delivery latency); kinds without a duration ignore it.
+type Fault struct {
+	Kind     Kind
+	Ordinals []uint64
+	Every    uint64
+	Offset   uint64
+	Delay    time.Duration
+}
+
+// Plan derives a deterministic fault schedule from a seed: n firing
+// ordinals per requested kind, drawn without replacement from
+// [0, window) by a SplitMix64 stream keyed on (seed, kind). The same
+// (seed, kinds, n, window) always yields the same schedule — the
+// reproducibility contract the fault-matrix suite asserts.
+func Plan(seed uint64, kinds []Kind, n int, window uint64, delay time.Duration) []Fault {
+	faults := make([]Fault, 0, len(kinds))
+	for _, k := range kinds {
+		g := rng.NewSplitMix64(rng.Mix64(seed) ^ (uint64(k)+1)*0x9e3779b97f4a7c15)
+		seen := make(map[uint64]bool, n)
+		ords := make([]uint64, 0, n)
+		for len(ords) < n && uint64(len(ords)) < window {
+			o := g.Next() % window
+			if !seen[o] {
+				seen[o] = true
+				ords = append(ords, o)
+			}
+		}
+		sort.Slice(ords, func(i, j int) bool { return ords[i] < ords[j] })
+		faults = append(faults, Fault{Kind: k, Ordinals: ords, Delay: delay})
+	}
+	return faults
+}
+
+// Event is one recorded fault firing.
+type Event struct {
+	Kind    Kind
+	Ordinal uint64
+}
+
+func (e Event) String() string { return fmt.Sprintf("%s@%d", e.Kind, e.Ordinal) }
+
+// Hit is the seam-side result of a firing: the fault's Delay and the
+// seam ordinal that fired (for diagnostics, e.g. the injected panic
+// value).
+type Hit struct {
+	Ordinal uint64
+	Delay   time.Duration
+}
+
+// armed is a Fault with its ordinal set indexed for O(1) seam checks.
+type armed struct {
+	Fault
+	set map[uint64]bool
+}
+
+func (a *armed) matches(ord uint64) bool {
+	if a.set[ord] {
+		return true
+	}
+	return a.Every > 0 && ord%a.Every == a.Offset
+}
+
+// Injector holds an armed fault schedule and the per-seam ordinal
+// counters. It is safe for concurrent use from every seam; the firing
+// decision is lock-free (one atomic ordinal increment plus map reads
+// of immutable state), and only the trace append takes a mutex — and
+// only on the rare firing ordinals.
+type Injector struct {
+	seed   uint64
+	faults [numKinds][]*armed
+	ords   [numKinds]atomic.Uint64
+
+	mu    sync.Mutex
+	trace []Event
+}
+
+// NewInjector builds an injector from an explicit fault list. seed is
+// recorded for diagnostics only — determinism lives in the fault
+// ordinals themselves (see Plan, which derives them from a seed).
+func NewInjector(seed uint64, faults ...Fault) *Injector {
+	inj := &Injector{seed: seed}
+	for _, f := range faults {
+		a := &armed{Fault: f, set: make(map[uint64]bool, len(f.Ordinals))}
+		for _, o := range f.Ordinals {
+			a.set[o] = true
+		}
+		inj.faults[f.Kind] = append(inj.faults[f.Kind], a)
+	}
+	return inj
+}
+
+// Seed returns the seed the injector was built with.
+func (inj *Injector) Seed() uint64 { return inj.seed }
+
+// At crosses the given seam: it claims the next ordinal of the kind's
+// stream and reports whether a fault fires there. Every seam crossing
+// calls it exactly once, faulted or not — the ordinal stream is the
+// clock determinism is defined against.
+func (inj *Injector) At(kind Kind) (Hit, bool) {
+	ord := inj.ords[kind].Add(1) - 1
+	for _, a := range inj.faults[kind] {
+		if a.matches(ord) {
+			inj.mu.Lock()
+			inj.trace = append(inj.trace, Event{Kind: kind, Ordinal: ord})
+			inj.mu.Unlock()
+			return Hit{Ordinal: ord, Delay: a.Delay}, true
+		}
+	}
+	return Hit{}, false
+}
+
+// Crossings returns how many times the kind's seam has been crossed.
+func (inj *Injector) Crossings(kind Kind) uint64 { return inj.ords[kind].Load() }
+
+// Fired returns the number of recorded firings.
+func (inj *Injector) Fired() int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return len(inj.trace)
+}
+
+// Trace returns the recorded firings sorted by (kind, ordinal) — the
+// canonical form two runs of the same scenario are compared in. The
+// append order varies with goroutine interleaving; the sorted set does
+// not.
+func (inj *Injector) Trace() []Event {
+	inj.mu.Lock()
+	out := make([]Event, len(inj.trace))
+	copy(out, inj.trace)
+	inj.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Ordinal < out[j].Ordinal
+	})
+	return out
+}
+
+// InjectedPanic is the value a PanicBody fault panics with; it
+// surfaces to Run callers inside a *spdag.PanicError, so tests can
+// distinguish injected failures from genuine ones.
+type InjectedPanic struct {
+	Ordinal uint64
+}
+
+func (p InjectedPanic) Error() string {
+	return fmt.Sprintf("chaos: injected task panic at body ordinal %d", p.Ordinal)
+}
+
+// The process-global injector the host seams consult. Scenario tests
+// Install one, run, and Uninstall; the seams themselves are only
+// compiled under the chaostest build tag, so this indirection costs
+// production builds nothing.
+var active atomic.Pointer[Injector]
+
+// Install makes inj the process's active injector. Scenarios must not
+// overlap: Install panics if another injector is still installed,
+// which turns a missing Uninstall in a test into a deterministic
+// failure instead of cross-scenario contamination.
+func Install(inj *Injector) {
+	if inj == nil {
+		panic("chaos: Install(nil)")
+	}
+	if !active.CompareAndSwap(nil, inj) {
+		panic("chaos: an injector is already installed (missing Uninstall?)")
+	}
+}
+
+// Uninstall removes the active injector (no-op if none is installed).
+func Uninstall() { active.Store(nil) }
+
+// Active returns the installed injector, or nil. Host seams use Cross.
+func Active() *Injector { return active.Load() }
+
+// Cross is the seam entry point host packages call (from their
+// chaostest-gated files): it crosses the kind's seam on the active
+// injector, reporting a firing. With no injector installed it is one
+// atomic load.
+func Cross(kind Kind) (Hit, bool) {
+	inj := active.Load()
+	if inj == nil {
+		return Hit{}, false
+	}
+	return inj.At(kind)
+}

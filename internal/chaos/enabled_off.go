@@ -1,0 +1,7 @@
+//go:build !chaostest
+
+package chaos
+
+// Enabled is false in production builds: the host packages compile
+// empty seam stubs and no injection is possible. See enabled_on.go.
+const Enabled = false

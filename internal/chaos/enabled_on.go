@@ -1,0 +1,9 @@
+//go:build chaostest
+
+package chaos
+
+// Enabled reports whether the chaos seams are compiled into this
+// build. Tests that require injection skip when it is false; the
+// production hot paths carry no seam at all when it is false (the
+// host packages' seam functions are empty in !chaostest builds).
+const Enabled = true

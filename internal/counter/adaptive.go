@@ -266,6 +266,7 @@ type adFAState struct{ c *adaptiveCounter }
 // contention signal the promotion heuristic feeds on.
 func (s *adFAState) Increment(g *rng.Xoshiro256ss) (State, State) {
 	c := s.c
+	chaosPromote(c) // fault seam: no-op unless built with -tags chaostest
 	for {
 		if p := c.dyn.Load(); p != nil {
 			return c.routeIncrement(p, g)

@@ -1,0 +1,8 @@
+//go:build !chaostest
+
+package counter
+
+// The PromotionStorm fault seam; in production builds it is an empty,
+// inlined no-op so the cell-phase increment pays nothing.
+
+func chaosPromote(c *adaptiveCounter) {}

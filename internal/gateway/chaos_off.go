@@ -1,0 +1,8 @@
+//go:build !chaostest
+
+package gateway
+
+// The SlowDispatcher and WedgeDispatcher fault seams; in production
+// builds the seam is an empty, inlined no-op on the dispatch path.
+
+func (g *Gateway) chaosDispatch(req *request) {}

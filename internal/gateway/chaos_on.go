@@ -1,0 +1,36 @@
+//go:build chaostest
+
+package gateway
+
+import (
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// chaosDispatch is the dispatcher fault seam, crossed once per
+// dispatched request before it enters the runtime.
+//
+// SlowDispatcher delays the dispatch by the fault's Delay — the
+// request is charged the time (its deadline keeps running) but
+// nothing is wedged; the shape of a dispatcher descheduled at the
+// worst moment.
+//
+// WedgeDispatcher blocks until the request's own deadline has expired
+// and then keeps holding the slot for Delay longer — exactly the
+// "RunContext outlived deadline+grace" shape the reaper exists for,
+// minus the runtime: the subsequent RunContext sees an already-
+// cancelled context and returns once the (empty) computation
+// quiesces, so the wedge is bounded by construction and a drain
+// behind it still completes.
+func (g *Gateway) chaosDispatch(req *request) {
+	if hit, ok := chaos.Cross(chaos.SlowDispatcher); ok {
+		time.Sleep(hit.Delay)
+	}
+	if hit, ok := chaos.Cross(chaos.WedgeDispatcher); ok {
+		if req.ctx.Done() != nil {
+			<-req.ctx.Done()
+		}
+		time.Sleep(hit.Delay)
+	}
+}

@@ -6,9 +6,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
+	"repro/internal/rng"
+	"repro/internal/sched"
 	"repro/internal/stats"
 )
 
@@ -64,6 +67,38 @@ type Config struct {
 	// covers queue wait plus execution.
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+
+	// ReapGrace is the hung-request fuse: a dispatched request whose
+	// RunContext is still running this long past the request's own
+	// deadline is force-failed (ErrHung, HTTP 504), its dispatcher slot
+	// recovered by spawning a replacement, and the gateway trips into
+	// degraded mode. The grace exists because an expired deadline is
+	// normal — cooperative cancellation takes a moment to quiesce —
+	// while deadline+grace means the computation is wedged (a task body
+	// that never polls Ctx.Err). Default 1s; < 0 disables reaping.
+	// Requests with no deadline are never reaped.
+	ReapGrace time.Duration
+
+	// DegradedHoldDown is how long the gateway sheds new admissions
+	// (503 + Retry-After) after a self-defense trip — a reaped hung
+	// request, or a scheduler stall reported by the watchdog. Each trip
+	// extends the window, so the gateway stays degraded until it has
+	// been healthy for one full hold-down. Default 2s.
+	DegradedHoldDown time.Duration
+
+	// Watchdog, when > 0 and the gateway owns its runtime (Runtime ==
+	// nil), arms the runtime's scheduler stall watchdog with this
+	// threshold and wires detections into degraded mode. With a
+	// caller-supplied Runtime the field is ignored — arm the watchdog
+	// yourself (repro.WithWatchdog) and the gateway still installs the
+	// OnStall hook (replacing any previously installed one).
+	Watchdog time.Duration
+
+	// JitterSeed seeds the ±20% spread applied to every Retry-After
+	// the gateway emits, so a synchronized cohort of shed clients does
+	// not come back as a synchronized retry storm. 0 means a random
+	// seed; tests fix it for reproducible spreads.
+	JitterSeed uint64
 }
 
 // ErrUnknownTemplate reports a request for a template name the
@@ -73,6 +108,26 @@ var ErrUnknownTemplate = errors.New("gateway: unknown template")
 // ErrDraining reports admission refused because shutdown has begun
 // (HTTP 503 + Retry-After).
 var ErrDraining = errors.New("gateway: draining")
+
+// ErrHung reports a request force-failed by the hung-request reaper:
+// its computation was still running ReapGrace past the request's
+// deadline (HTTP 504). The computation itself is NOT interrupted —
+// Go cannot preempt a wedged task body — but the request's dispatcher
+// slot has been recovered, so the wedge costs the gateway one
+// runtime computation, not one dispatcher.
+var ErrHung = errors.New("gateway: request hung (still running past deadline + grace)")
+
+// DegradedError reports admission refused because the gateway is in
+// degraded mode after a self-defense trip (HTTP 503 + Retry-After):
+// a hung request was reaped, or the runtime watchdog reported a
+// scheduler stall, within the current hold-down window.
+type DegradedError struct {
+	RetryAfter time.Duration
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("gateway: degraded (recent stall or hung request), retry after %v", e.RetryAfter)
+}
 
 // SizeError reports a request size above the template's bound
 // (HTTP 400).
@@ -113,12 +168,21 @@ type Result struct {
 
 // request is one admitted computation waiting for a dispatcher.
 type request struct {
-	ctx  context.Context
-	ten  *tenant
-	tpl  Template
-	n    uint64
-	enq  time.Time
-	done chan dispatched // buffered; the dispatcher never blocks on it
+	ctx      context.Context
+	ten      *tenant
+	tpl      Template
+	n        uint64
+	enq      time.Time
+	deadline time.Time       // ctx's deadline (zero: none; never reaped)
+	done     chan dispatched // buffered; neither settler blocks on it
+
+	// settled arbitrates the request's single outcome between the
+	// dispatcher (RunContext returned) and the reaper (RunContext
+	// outlived deadline+grace): exactly one side wins the CAS, sends on
+	// done, and owns the bookkeeping. A dispatcher that loses knows it
+	// was declared hung and its slot already replaced — it exits as a
+	// zombie instead of double-settling.
+	settled atomic.Bool
 }
 
 type dispatched struct {
@@ -138,29 +202,43 @@ type Gateway struct {
 
 	tenantBurst float64
 
-	mu      sync.Mutex
-	work    *sync.Cond // dispatchers wait here for queued requests
-	quiet   *sync.Cond // Close waits here for queued+inflight to hit 0
-	tenants map[string]*tenant
-	active  []*tenant // WRR ring of tenants with non-empty FIFOs
-	queued  int
-	running int
-	drain   bool
-	closed  bool
+	mu       sync.Mutex
+	work     *sync.Cond // dispatchers wait here for queued requests
+	quiet    *sync.Cond // Close waits here for queued+inflight to hit 0
+	tenants  map[string]*tenant
+	active   []*tenant // WRR ring of tenants with non-empty FIFOs
+	queued   int
+	running  int
+	drain    bool
+	closed   bool
+	inflight map[*request]struct{} // dispatched, not yet settled (reaper's scan set)
+	nextDisp int                   // next dispatcher id (replacements continue the sequence)
+
+	// degradedUntil is the self-defense gate: while now < degradedUntil
+	// new admissions shed with DegradedError. Trips (reap, watchdog
+	// stall) push it DegradedHoldDown into the future.
+	degradedUntil time.Time
+	degradedTrips uint64
 
 	admitted      uint64
 	completed     uint64
 	failed        uint64
+	reaped        uint64
 	shedQueueFull uint64
 	shedOverload  uint64
 	shedThrottled uint64
 	shedDraining  uint64
+	shedDegraded  uint64
+
+	jmu  sync.Mutex
+	jrng rng.SplitMix64 // Retry-After jitter stream (JitterSeed)
 
 	histMu  sync.RWMutex
 	tplHist map[string]*stats.LatencyHist
 
 	closeOnce sync.Once
 	closedCh  chan struct{}
+	reapStop  chan struct{} // nil when reaping is disabled
 	wg        sync.WaitGroup
 }
 
@@ -189,8 +267,21 @@ func New(cfg Config) *Gateway {
 	if cfg.MaxTimeout <= 0 {
 		cfg.MaxTimeout = 60 * time.Second
 	}
+	if cfg.ReapGrace == 0 {
+		cfg.ReapGrace = time.Second
+	}
+	if cfg.DegradedHoldDown <= 0 {
+		cfg.DegradedHoldDown = 2 * time.Second
+	}
+	if cfg.JitterSeed == 0 {
+		cfg.JitterSeed = rng.AutoSeed()
+	}
 	if cfg.Registry == nil {
 		cfg.Registry = Builtins()
+	}
+	if cfg.Runtime == nil && cfg.Watchdog > 0 {
+		cfg.RuntimeOptions = append(cfg.RuntimeOptions[:len(cfg.RuntimeOptions):len(cfg.RuntimeOptions)],
+			repro.WithWatchdog(cfg.Watchdog))
 	}
 	burst := float64(cfg.TenantBurst)
 	if burst < 1 {
@@ -205,18 +296,30 @@ func New(cfg Config) *Gateway {
 		reg:         cfg.Registry,
 		tenantBurst: burst,
 		tenants:     make(map[string]*tenant),
+		inflight:    make(map[*request]struct{}),
+		nextDisp:    cfg.Dispatchers,
 		tplHist:     make(map[string]*stats.LatencyHist),
 		closedCh:    make(chan struct{}),
 	}
+	g.jrng.Seed(rng.Mix64(cfg.JitterSeed))
 	if g.rt == nil {
 		g.rt = repro.NewRuntime(cfg.RuntimeOptions...)
 		g.ownRT = true
 	}
+	// Wire runtime self-defense into admission: a watchdog-detected
+	// scheduler stall trips degraded mode. Installing the hook on a
+	// runtime whose watchdog is not armed is inert.
+	g.rt.Scheduler().OnStall(func(sched.StallReport) { g.tripDegraded() })
 	g.work = sync.NewCond(&g.mu)
 	g.quiet = sync.NewCond(&g.mu)
 	g.wg.Add(cfg.Dispatchers)
 	for i := 0; i < cfg.Dispatchers; i++ {
 		go g.dispatch(i)
+	}
+	if cfg.ReapGrace > 0 {
+		g.reapStop = make(chan struct{})
+		g.wg.Add(1)
+		go g.reaper()
 	}
 	return g
 }
@@ -257,6 +360,9 @@ func (g *Gateway) Submit(ctx context.Context, tenantName, tplName string, n uint
 		enq:  time.Now(),
 		done: make(chan dispatched, 1),
 	}
+	if dl, ok := ctx.Deadline(); ok {
+		req.deadline = dl
+	}
 	if err := g.admit(tenantName, req); err != nil {
 		return Result{}, err
 	}
@@ -264,41 +370,49 @@ func (g *Gateway) Submit(ctx context.Context, tenantName, tplName string, n uint
 	return out.res, out.err
 }
 
-// admit applies the admission protocol: drain gate, then the
-// tenant's own quota, then the shared capacity gates (overload fuse,
-// queue bound). Quota comes before capacity deliberately — a hot
-// tenant's excess is charged to its own bucket and shed as
-// "throttled" before it can occupy the shared queue, which is what
-// keeps queue-full sheds rare for quota-respecting tenants. The
-// token spent by a request that the capacity gates then refuse is
-// not refunded; under overload that only slows the spender further,
-// which is the intended direction.
+// admit applies the admission protocol, every gate evaluated at one
+// instant under the lock, in strictly decreasing severity: drain
+// (503) > degraded (503) > quota (429) > overload (429) > queue bound
+// (429). The ordering is a contract the race tests pin: once the
+// drain or degraded gate has refused anyone, no concurrent admission
+// may be refused with a *milder* verdict by a gate further down —
+// which is why the scheduler's pegged clock is read under g.mu rather
+// than before it, where a stale pre-lock read could turn a
+// should-be-503 into a 429 after BeginDrain won the lock first.
+//
+// Quota comes before capacity deliberately — a hot tenant's excess is
+// charged to its own bucket and shed as "throttled" before it can
+// occupy the shared queue, which is what keeps queue-full sheds rare
+// for quota-respecting tenants. The token spent by a request that the
+// capacity gates then refuse is not refunded; under overload that
+// only slows the spender further, which is the intended direction.
 func (g *Gateway) admit(tenantName string, req *request) error {
-	// Read the scheduler's pegged clock outside the lock; it is one
-	// atomic load.
-	pegged := g.rt.Scheduler().PeggedFor()
-
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.drain {
 		g.shedDraining++
 		return ErrDraining
 	}
+	now := time.Now()
+	if now.Before(g.degradedUntil) {
+		g.shedDegraded++
+		return &DegradedError{RetryAfter: g.jitter(g.degradedUntil.Sub(now))}
+	}
 	t := g.tenantFor(tenantName)
-	if ok, wait := t.bucket.take(time.Now()); !ok {
+	if ok, wait := t.bucket.take(now); !ok {
 		t.shed++
 		g.shedThrottled++
-		return &ShedError{Reason: ShedThrottled, RetryAfter: wait}
+		return &ShedError{Reason: ShedThrottled, RetryAfter: g.jitter(wait)}
 	}
-	if pegged > g.cfg.PeggedWindow {
+	if g.rt.Scheduler().PeggedFor() > g.cfg.PeggedWindow {
 		t.shed++
 		g.shedOverload++
-		return &ShedError{Reason: ShedOverload, RetryAfter: g.cfg.RetryAfter}
+		return &ShedError{Reason: ShedOverload, RetryAfter: g.jitter(g.cfg.RetryAfter)}
 	}
 	if g.queued >= g.cfg.QueueDepth {
 		t.shed++
 		g.shedQueueFull++
-		return &ShedError{Reason: ShedQueueFull, RetryAfter: g.cfg.RetryAfter}
+		return &ShedError{Reason: ShedQueueFull, RetryAfter: g.jitter(g.cfg.RetryAfter)}
 	}
 	req.ten = t
 	t.admitted++
@@ -312,7 +426,9 @@ func (g *Gateway) admit(tenantName string, req *request) error {
 // the runtime under the request's own context, record latency, and
 // hand the outcome back. Dispatchers exit only once the gateway is
 // closed AND the queue is empty, so a drain completes every admitted
-// request.
+// request — or when the reaper declares their current request hung,
+// in which case the slot has already been handed to a replacement and
+// the loser exits as a zombie the moment RunContext finally returns.
 func (g *Gateway) dispatch(id int) {
 	defer g.wg.Done()
 	for {
@@ -326,17 +442,28 @@ func (g *Gateway) dispatch(id int) {
 		}
 		req := g.nextLocked()
 		g.running++
+		g.inflight[req] = struct{}{}
 		g.mu.Unlock()
 
 		wait := time.Since(req.enq)
 		start := time.Now()
+		g.chaosDispatch(req) // fault seam: no-op unless built with -tags chaostest
 		err := g.rt.RunContext(req.ctx, req.tpl.Task(req.n))
 		run := time.Since(start)
+
+		if !req.settled.CompareAndSwap(false, true) {
+			// The reaper won: the request was force-failed as hung and
+			// this slot replaced. The outcome (done send, counters,
+			// running--) is the reaper's; recording latency for a reaped
+			// request would poison the histograms with wedge durations.
+			return
+		}
 
 		req.ten.hist.Record(id, wait+run)
 		g.histFor(req.tpl.Name).Record(id, wait+run)
 
 		g.mu.Lock()
+		delete(g.inflight, req)
 		g.running--
 		if err != nil {
 			g.failed++
@@ -351,6 +478,103 @@ func (g *Gateway) dispatch(id int) {
 		g.mu.Unlock()
 		req.done <- dispatched{res: Result{Queue: wait, Run: run}, err: err}
 	}
+}
+
+// jitter spreads d uniformly over [0.8d, 1.2d] from the gateway's
+// seeded stream, so every Retry-After the gateway hands out
+// desynchronizes the retries it provokes: a cohort of clients shed in
+// the same instant with the same naked hint would come back as the
+// same thundering herd, one hold-down later.
+func (g *Gateway) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	g.jmu.Lock()
+	u := g.jrng.Next()
+	g.jmu.Unlock()
+	f := 0.8 + 0.4*float64(u>>11)/float64(1<<53)
+	return time.Duration(f * float64(d))
+}
+
+// tripDegraded enters (or extends) degraded mode: admissions shed 503
+// until the gateway has been trip-free for a full hold-down window.
+func (g *Gateway) tripDegraded() {
+	g.mu.Lock()
+	g.degradedTrips++
+	g.degradedUntil = time.Now().Add(g.cfg.DegradedHoldDown)
+	g.mu.Unlock()
+}
+
+// Degraded reports whether the gateway is currently shedding
+// admissions in degraded mode (healthz surfaces it as 503).
+func (g *Gateway) Degraded() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return time.Now().Before(g.degradedUntil)
+}
+
+// reaper is the hung-request watchdog: it scans dispatched-but-
+// unsettled requests and force-fails any whose RunContext has outlived
+// the request's deadline by ReapGrace.
+func (g *Gateway) reaper() {
+	defer g.wg.Done()
+	tick := g.cfg.ReapGrace / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.reapStop:
+			return
+		case <-t.C:
+		}
+		g.reapOnce(time.Now())
+	}
+}
+
+// reapOnce force-fails every hung in-flight request: the settled CAS
+// takes the outcome away from the still-running dispatcher, the
+// request fails with ErrHung (HTTP 504), a replacement dispatcher
+// restores the gateway's concurrency, and the gateway trips into
+// degraded mode — a wedge that ate a dispatcher is exactly the
+// condition under which accepting more work digs the hole deeper. The
+// wedged computation itself keeps running (nothing can preempt it);
+// what is recovered is the request and the slot, and the drain
+// accounting (running--) so a Close behind a wedge can still proceed.
+func (g *Gateway) reapOnce(now time.Time) (reaped int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for req := range g.inflight {
+		if req.deadline.IsZero() || now.Before(req.deadline.Add(g.cfg.ReapGrace)) {
+			continue
+		}
+		if !req.settled.CompareAndSwap(false, true) {
+			continue // the dispatcher settled between our scan and now
+		}
+		delete(g.inflight, req)
+		g.running--
+		g.failed++
+		g.reaped++
+		req.ten.failed++
+		reaped++
+		// Restore concurrency: the zombie's wg slot is inherited by the
+		// replacement only notionally — both are tracked, the zombie
+		// exits when its RunContext returns. The reaper itself holds a
+		// wg slot, so this Add can never race a completed wg.Wait.
+		g.wg.Add(1)
+		id := g.nextDisp
+		g.nextDisp++
+		go g.dispatch(id)
+		g.degradedTrips++
+		g.degradedUntil = now.Add(g.cfg.DegradedHoldDown)
+		if g.drain && g.queued == 0 && g.running == 0 {
+			g.quiet.Broadcast()
+		}
+		req.done <- dispatched{err: fmt.Errorf("%w after %v", ErrHung, now.Sub(req.deadline).Round(time.Millisecond))}
+	}
+	return reaped
 }
 
 // histFor returns (creating on first touch) the per-template
@@ -402,12 +626,17 @@ func (g *Gateway) Close() error {
 	g.closeOnce.Do(func() {
 		g.mu.Lock()
 		g.drain = true
+		// The reaper keeps running through the drain: a hung request's
+		// running-- is what lets this wait terminate behind a wedge.
 		for g.queued > 0 || g.running > 0 {
 			g.quiet.Wait()
 		}
 		g.closed = true
 		g.work.Broadcast()
 		g.mu.Unlock()
+		if g.reapStop != nil {
+			close(g.reapStop)
+		}
 		g.wg.Wait()
 		if g.ownRT {
 			g.rt.Close()

@@ -55,10 +55,14 @@ type Snapshot struct {
 	Queued        int    `json:"queued"`
 	Running       int    `json:"running"`
 	Draining      bool   `json:"draining"`
+	Degraded      bool   `json:"degraded"`       // inside a self-defense hold-down window
+	DegradedTrips uint64 `json:"degraded_trips"` // reaps + watchdog stalls that (re-)armed it
+	Reaped        uint64 `json:"reaped"`         // requests force-failed as hung (504)
 	ShedQueueFull uint64 `json:"shed_queue_full"`
 	ShedOverload  uint64 `json:"shed_overload"`
 	ShedThrottled uint64 `json:"shed_throttled"`
 	ShedDraining  uint64 `json:"shed_draining"`
+	ShedDegraded  uint64 `json:"shed_degraded"`
 
 	Tenants   map[string]TenantSnapshot       `json:"tenants"`
 	Templates map[string]stats.LatencySummary `json:"templates"`
@@ -76,10 +80,14 @@ func (g *Gateway) Stats() Snapshot {
 		Queued:        g.queued,
 		Running:       g.running,
 		Draining:      g.drain,
+		Degraded:      time.Now().Before(g.degradedUntil),
+		DegradedTrips: g.degradedTrips,
+		Reaped:        g.reaped,
 		ShedQueueFull: g.shedQueueFull,
 		ShedOverload:  g.shedOverload,
 		ShedThrottled: g.shedThrottled,
 		ShedDraining:  g.shedDraining,
+		ShedDegraded:  g.shedDegraded,
 		Tenants:       make(map[string]TenantSnapshot, len(g.tenants)),
 	}
 	type pending struct {
@@ -177,12 +185,18 @@ func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
 func (g *Gateway) writeError(w http.ResponseWriter, err error) {
 	var shed *ShedError
 	var size *SizeError
+	var degraded *DegradedError
 	switch {
 	case errors.As(err, &shed):
 		setRetryAfter(w, shed.RetryAfter)
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.As(err, &degraded):
+		setRetryAfter(w, degraded.RetryAfter)
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, ErrHung):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
 	case errors.Is(err, ErrDraining):
-		setRetryAfter(w, g.cfg.RetryAfter)
+		setRetryAfter(w, g.jitter(g.cfg.RetryAfter))
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case errors.Is(err, ErrUnknownTemplate):
 		http.Error(w, err.Error(), http.StatusNotFound)
@@ -226,8 +240,13 @@ func (g *Gateway) handleTemplates(w http.ResponseWriter, r *http.Request) {
 
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if g.Draining() {
-		setRetryAfter(w, g.cfg.RetryAfter)
+		setRetryAfter(w, g.jitter(g.cfg.RetryAfter))
 		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if g.Degraded() {
+		setRetryAfter(w, g.jitter(g.cfg.RetryAfter))
+		http.Error(w, "degraded", http.StatusServiceUnavailable)
 		return
 	}
 	fmt.Fprintln(w, "ok")

@@ -123,6 +123,34 @@ func Builtins() *Registry {
 	return r
 }
 
+// WedgeTemplate returns the hostile probe template "wedge": a single
+// task that busy-spins for n milliseconds WITHOUT ever polling
+// Ctx.Err, so cooperative cancellation cannot shorten it — a bounded
+// stand-in for the misbehaving task body the hung-request reaper and
+// degraded mode exist for. Submitted with a deadline shorter than its
+// spin, it wedges its dispatcher past deadline+ReapGrace (the request
+// 504s, the slot is replaced, the gateway degrades) and then unwedges
+// itself, letting recovery — and a drain behind it — be observed end
+// to end. It is deliberately not in Builtins; chaos drills
+// (reproserve -chaos, the ppopp17bench chaos figure) register it
+// explicitly.
+func WedgeTemplate() Template {
+	return Template{
+		Name:     "wedge",
+		Doc:      "HOSTILE: busy-spin n milliseconds ignoring cancellation (reaper/degraded-mode drill)",
+		DefaultN: 200,
+		MaxN:     10_000,
+		Task: func(n uint64) repro.Task {
+			return func(c *repro.Ctx) {
+				deadline := time.Now().Add(time.Duration(n) * time.Millisecond)
+				for time.Now().Before(deadline) {
+					// Spin. No Ctx.Err poll, by design.
+				}
+			}
+		},
+	}
+}
+
 // fibTask computes fib(n) into *out with binary fork/join above a
 // sequential cutoff — the canonical nested-parallel toy, useful here
 // because its dag shape (deep, binary) differs from fanin's (flat).

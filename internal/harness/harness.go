@@ -93,6 +93,14 @@ type Measurement struct {
 	P50         time.Duration
 	P95         time.Duration
 	P99         time.Duration
+	// Self-defense outcome (chaos figure): requests force-failed as
+	// hung (504), hold-down trips, admissions shed while degraded, and
+	// the timeline tick at which throughput was back with the degraded
+	// gate lifted (-1 if recovery fell outside the window).
+	Reaped        uint64
+	DegradedTrips uint64
+	ShedDegraded  uint64
+	RecoverTick   int
 }
 
 func (m Measurement) String() string {
@@ -102,6 +110,29 @@ func (m Measurement) String() string {
 
 // Block renders the measurement as an artifact-format record.
 func (m Measurement) Block() *report.Block {
+	if m.Spec.Bench == "chaos" {
+		// The chaos record is outcome-shaped: how the gateway's
+		// self-defense handled one injected wedge under background load.
+		b := report.NewBlock().
+			In("bench", "chaos").
+			In("proc", m.Spec.Procs).
+			In("n", m.Spec.N).
+			Out("exectime", fmt.Sprintf("%.6f", m.Seconds.Mean)).
+			Out("nb_sent", m.Sent).
+			Out("nb_completed", m.Completed).
+			Out("nb_shed", m.Shed).
+			Out("shed_rate", fmt.Sprintf("%.4f", m.ShedRate)).
+			Out("throughput_req_per_sec", fmt.Sprintf("%.1f", m.Throughput)).
+			Out("nb_reaped", m.Reaped).
+			Out("nb_degraded_trips", m.DegradedTrips).
+			Out("nb_shed_degraded", m.ShedDegraded).
+			Out("recover_tick", m.RecoverTick).
+			Out("killed", 0)
+		if m.Caveat != "" {
+			b.Out("caveat", m.Caveat)
+		}
+		return b
+	}
 	if m.Spec.Bench == "serve" {
 		// The serving experiment's record is request-shaped, not
 		// counter-shaped: offered load in, throughput / shed rate /

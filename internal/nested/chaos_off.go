@@ -1,0 +1,8 @@
+//go:build !chaostest
+
+package nested
+
+// The PanicBody fault seam; in production builds it is an empty,
+// inlined no-op on the task invocation path.
+
+func chaosTask() {}

@@ -1,0 +1,20 @@
+//go:build chaostest
+
+package nested
+
+import "repro/internal/chaos"
+
+// chaosTask is the PanicBody seam: crossed once per live user-task
+// invocation, inside runTask's recover barrier, so an injected panic
+// travels the real containment path — recover at the task boundary,
+// Abort with a *spdag.PanicError wrapping chaos.InjectedPanic,
+// continuation signalled, dag quiesced, Run returns the error. The
+// seam deliberately lives here and not at the spdag body-invocation
+// boundary: down there it could fire on a run's final vertex (whose
+// body delivers the completion token) and convert an injected fault
+// into a genuine livelock of the harness itself.
+func chaosTask() {
+	if hit, ok := chaos.Cross(chaos.PanicBody); ok {
+		panic(chaos.InjectedPanic{Ordinal: hit.Ordinal})
+	}
+}

@@ -130,6 +130,13 @@ type Config struct {
 	// auto-detects the host (flat on non-NUMA machines); use
 	// topology.Synthetic to test multi-node behavior anywhere.
 	Topology topology.Topology
+	// Watchdog, when > 0, arms the scheduler's stall watchdog with this
+	// no-progress threshold: if a computation is in flight but no vertex
+	// has executed for the window — and no worker is inside a task body
+	// — the scheduler counts a stall, reports per-worker state to any
+	// sched.Scheduler.OnStall hook, and re-wakes parked workers (see
+	// sched.WithWatchdog). 0 means no watchdog goroutine at all.
+	Watchdog time.Duration
 }
 
 // DefaultThreshold returns the paper's growth-probability denominator
@@ -177,6 +184,9 @@ func New(cfg Config) *Runtime {
 	}
 	if cfg.RetireAfter > 0 {
 		sopts = append(sopts, sched.WithRetireAfter(cfg.RetireAfter))
+	}
+	if cfg.Watchdog > 0 {
+		sopts = append(sopts, sched.WithWatchdog(cfg.Watchdog))
 	}
 	s := sched.New(workers, sopts...)
 	dopts := []spdag.Option{spdag.WithScheduler(s.Submit)}
@@ -271,6 +281,12 @@ func (r *Runtime) run(ctx context.Context, f Task) (counter.Counter, error) {
 	r.runs.Add(1)
 	r.mu.Unlock()
 	defer r.runs.Done()
+
+	// Watchdog accounting: while this computation is in flight the
+	// scheduler owes progress (a quiet scheduler with zero live runs is
+	// idle, not stalled).
+	r.sched.RunStarted()
+	defer r.sched.RunFinished()
 
 	slot := runSlotPool.Get().(*runSlot)
 	root, final := r.dag.Make()
@@ -384,6 +400,7 @@ func runTask(f Task, c *Ctx) {
 			c.self.Abort(spdag.AsPanicError(p))
 		}
 	}()
+	chaosTask() // fault seam: no-op unless built with -tags chaostest
 	f(c)
 }
 

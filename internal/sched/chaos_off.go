@@ -1,0 +1,11 @@
+//go:build !chaostest
+
+package sched
+
+// The StallWorker and DropWake fault seams; in production builds both
+// are empty, inlined no-ops (see internal/chaos and chaos_on.go), so
+// the worker loop and the signalWork hot path pay nothing.
+
+func (w *worker) chaosExec() {}
+
+func (s *Scheduler) chaosDropWake() bool { return false }

@@ -1,0 +1,36 @@
+//go:build chaostest
+
+package sched
+
+import (
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// chaosExec is the StallWorker seam: crossed by a worker once per
+// vertex it is about to execute. A firing puts the worker to sleep for
+// the fault's Delay while it *holds* the vertex — it is neither parked
+// (no waker can claim it) nor executing (the watchdog's mid-execute
+// suppression does not cover it), which is precisely the shape of an
+// OS preemption the scheduler cannot observe.
+func (w *worker) chaosExec() {
+	if hit, ok := chaos.Cross(chaos.StallWorker); ok {
+		time.Sleep(hit.Delay)
+	}
+}
+
+// chaosDropWake is the DropWake seam: a firing suppresses this
+// signalWork (the wake token the park/spawn protocol would have
+// delivered is dropped) and re-delivers it after the fault's Delay.
+// The re-delivery keeps the scenario live by construction — the token
+// is late, not gone — so tests can assert both that the stall window
+// opened (watchdog fires, throughput dips) and that recovery follows.
+func (s *Scheduler) chaosDropWake() bool {
+	hit, ok := chaos.Cross(chaos.DropWake)
+	if !ok {
+		return false
+	}
+	time.AfterFunc(hit.Delay, s.signalWork)
+	return true
+}

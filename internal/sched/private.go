@@ -129,7 +129,10 @@ func (w *worker) runPrivate() {
 			continue
 		}
 		idleRounds = 0
+		w.chaosExec() // fault seam: no-op unless built with -tags chaostest
+		w.markExec()
 		v.Execute(&w.ctx)
+		w.doneExec()
 		w.stats.executed.Add(1)
 	}
 	// Shutdown: release any thief still waiting on us.

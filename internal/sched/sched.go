@@ -70,6 +70,18 @@ type Scheduler struct {
 	spawned atomic.Uint64 // elastic spawns (beyond Start's min workers)
 	retired atomic.Uint64 // retirements
 
+	// Watchdog state (see watchdog.go). wdStop is non-nil exactly when
+	// the watchdog is armed (WithWatchdog); it is set in New and never
+	// changes, so workers read it as a plain field. live counts
+	// outstanding submitted-but-unfinished computations
+	// (RunStarted/RunFinished) — the "there should be progress" gate
+	// that keeps an idle scheduler from ever looking stalled.
+	wdThreshold time.Duration
+	wdStop      chan struct{}
+	wdStalls    atomic.Uint64
+	onStall     atomic.Pointer[func(StallReport)]
+	live        atomic.Int64
+
 	inj injector
 }
 
@@ -170,7 +182,29 @@ type worker struct {
 	// so no drain discipline is needed — or safe, see parkTimed).
 	timer *time.Timer
 
+	// execStart is the UnixNano at which the worker entered Execute
+	// (0 = not executing). Maintained only when the watchdog is armed:
+	// it is what lets the stall detector distinguish "a task is
+	// legitimately running long" (progress) from "nobody is doing
+	// anything yet work is outstanding" (a stall).
+	execStart atomic.Int64
+
 	stats workerStats
+}
+
+// markExec/doneExec bracket a vertex execution for the watchdog's
+// mid-execution probe; with the watchdog off (wdStop nil, immutable
+// after New) they are a single predictable branch.
+func (w *worker) markExec() {
+	if w.s.wdStop != nil {
+		w.execStart.Store(time.Now().UnixNano())
+	}
+}
+
+func (w *worker) doneExec() {
+	if w.s.wdStop != nil {
+		w.execStart.Store(0)
+	}
 }
 
 func (w *worker) live() bool { return w.state.Load() == wsLive }
@@ -184,6 +218,7 @@ type config struct {
 	max         int
 	retireAfter time.Duration
 	topo        topology.Topology
+	watchdog    time.Duration
 }
 
 // WithSeed fixes the per-worker RNG seeds for reproducible runs.
@@ -226,6 +261,24 @@ func WithTopology(t topology.Topology) Option {
 	return func(c *config) { c.topo = t }
 }
 
+// WithWatchdog arms the scheduler watchdog: a goroutine that detects
+// the wedged-scheduler shape — outstanding computations, yet no vertex
+// executed and no worker mid-execution for at least d — counts it in
+// Stats.Stalls, hands a per-worker state dump to the OnStall hook, and
+// nudges recovery by re-waking every parked worker (which, by the park
+// protocol, is always safe and repairs a genuinely lost wake token).
+// d ≤ 0 (the default) leaves the watchdog off and costs the worker
+// loop nothing; an armed watchdog adds two plain atomic stores per
+// vertex execution (the mid-execution flag) and one sampling goroutine.
+//
+// The watchdog deliberately does NOT fire while any worker is inside a
+// task body: a single legitimately long-running task is progress, not
+// a stall — per-request deadlines (see internal/gateway) are the
+// defense against tasks that are *too* long.
+func WithWatchdog(d time.Duration) Option {
+	return func(c *config) { c.watchdog = d }
+}
+
 // New creates a scheduler with p workers (p ≤ 0 means GOMAXPROCS);
 // with WithMaxWorkers(max), p is the minimum of an elastic pool that
 // can grow to max. Call Start to launch the (minimum) workers.
@@ -256,6 +309,10 @@ func New(p int, opts ...Option) *Scheduler {
 		elastic:     cfg.max > p,
 		retireAfter: cfg.retireAfter,
 		topo:        cfg.topo,
+	}
+	if cfg.watchdog > 0 {
+		s.wdThreshold = cfg.watchdog
+		s.wdStop = make(chan struct{})
 	}
 	s.pools = spdag.NewNodePools(s.topo.Nodes())
 	s.inj.init()
@@ -361,6 +418,10 @@ func (s *Scheduler) Start() {
 		s.wg.Add(1)
 		go w.loop()
 	}
+	if s.wdStop != nil {
+		s.wg.Add(1)
+		go s.watchdog()
+	}
 }
 
 // loop dispatches to the policy's worker loop.
@@ -384,8 +445,11 @@ func (s *Scheduler) Shutdown() {
 	// worker after the final Wait has begun: a spawner either observes
 	// stop and backs out, or completed its Add before we got the lock.
 	s.spawnMu.Lock()
-	s.stop.Store(true)
+	first := !s.stop.Swap(true)
 	s.spawnMu.Unlock()
+	if first && s.wdStop != nil {
+		close(s.wdStop)
+	}
 	s.wakeAll()
 	s.wg.Wait()
 }
@@ -410,6 +474,9 @@ func (s *Scheduler) Submit(v *spdag.Vertex) {
 // non-empty. On the hot path of a busy fixed pool this is a single
 // read of nparked.
 func (s *Scheduler) signalWork() {
+	if s.chaosDropWake() { // fault seam: no-op unless built with -tags chaostest
+		return
+	}
 	if s.wakeOne() {
 		if s.elastic {
 			s.pressure.Store(0)
@@ -560,6 +627,8 @@ func (s *Scheduler) wakeAll() {
 // blocks until the final vertex has executed. The scheduler must be
 // started. Multiple Runs may proceed concurrently.
 func (s *Scheduler) Run(d *spdag.Dag, body spdag.Body) {
+	s.RunStarted()
+	defer s.RunFinished()
 	root, final := d.Make()
 	done := make(chan struct{})
 	final.SetBody(func(*spdag.Vertex) { close(done) })
@@ -570,6 +639,18 @@ func (s *Scheduler) Run(d *spdag.Dag, body spdag.Body) {
 	<-done
 }
 
+// RunStarted/RunFinished bracket an externally driven computation (a
+// frontend's Run): the count of outstanding computations is the
+// watchdog's "there should be progress" gate. Frontends that submit
+// roots directly (rather than through Run) must call them, or an armed
+// watchdog cannot tell a wedged scheduler from an idle one.
+func (s *Scheduler) RunStarted()  { s.live.Add(1) }
+func (s *Scheduler) RunFinished() { s.live.Add(-1) }
+
+// LiveRuns returns the number of outstanding computations bracketed by
+// RunStarted/RunFinished.
+func (s *Scheduler) LiveRuns() int { return int(s.live.Load()) }
+
 // Stats is an aggregate of per-worker counters, mirroring the
 // artifact's nb_steals-style output. Steals always equals LocalSteals
 // + RemoteSteals; on a flat (single-node) topology every steal is
@@ -579,6 +660,7 @@ type Stats struct {
 	LocalSteals  uint64 // steals from same-node victims
 	RemoteSteals uint64 // steals from remote-node victims
 	Executed     uint64 // vertices executed
+	Stalls       uint64 // watchdog stall detections (0 with the watchdog off)
 }
 
 // Stats sums the per-worker counters. It is exact when the scheduler
@@ -592,6 +674,7 @@ func (s *Scheduler) Stats() Stats {
 		st.Executed += w.stats.executed.Load()
 	}
 	st.Steals = st.LocalSteals + st.RemoteSteals
+	st.Stalls = s.wdStalls.Load()
 	return st
 }
 
@@ -644,7 +727,10 @@ func (w *worker) run() {
 			continue
 		}
 		idleRounds = 0
+		w.chaosExec() // fault seam: no-op unless built with -tags chaostest
+		w.markExec()
 		v.Execute(&w.ctx)
+		w.doneExec()
 		w.stats.executed.Add(1)
 	}
 }

@@ -162,6 +162,17 @@ func WithSeed(seed uint64) Option { return func(c *Config) { c.Seed = seed } }
 // scheduling on any host.
 func WithTopology(t Topology) Option { return func(c *Config) { c.Topology = t } }
 
+// WithWatchdog arms the scheduler's stall watchdog: if a computation
+// is in flight but no vertex has executed for d — and no worker is
+// inside a task body, so a single long-running task never trips it —
+// the runtime counts a stall (Stats.Stalls), hands a per-worker state
+// dump to any Scheduler.OnStall hook, and re-wakes every parked worker
+// as a recovery nudge. The watchdog is the runtime's self-defense
+// against wedged-scheduler shapes (a lost wake token with work queued,
+// a preempted worker holding the only ready vertex); d ≤ 0 (the
+// default) runs no watchdog goroutine at all.
+func WithWatchdog(d time.Duration) Option { return func(c *Config) { c.Watchdog = d } }
+
 // WithConfig replaces the whole configuration at once; options after
 // it still apply on top.
 func WithConfig(cfg Config) Option { return func(c *Config) { *c = cfg } }
@@ -257,6 +268,14 @@ type Stats struct {
 	// settled on fetch-and-add, Promotions > 0 that contention pushed
 	// some onto the in-counter.
 	Promotions uint64
+	// Stalls counts watchdog detections (WithWatchdog): windows in
+	// which a computation was in flight but no vertex executed and no
+	// worker was inside a task body. Always 0 without a watchdog. A
+	// non-zero count that stops growing means the runtime recovered
+	// (often from the watchdog's own re-wake nudge); a growing count
+	// means it is wedged and outside help — a deadline, a reap — is the
+	// remaining defense.
+	Stalls uint64
 }
 
 // Stats snapshots the runtime's scheduler and dag counters.
@@ -275,6 +294,7 @@ func (r *Runtime) Stats() Stats {
 		RetiredWorkers: sc.RetiredWorkers(),
 		InjectorDepth:  sc.InjectorDepth(),
 		PeggedFor:      sc.PeggedFor(),
+		Stalls:         st.Stalls,
 	}
 	if pr, ok := r.n.Dag().Algorithm().(counter.PromotionReporter); ok {
 		s.Promotions = pr.Promotions()
