@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -25,6 +27,7 @@ import (
 	"repro/internal/gateway"
 	"repro/internal/nested"
 	"repro/internal/sched"
+	"repro/internal/sink"
 	"repro/internal/snzi"
 	"repro/internal/stallsim"
 	"repro/internal/topology"
@@ -282,6 +285,52 @@ func BenchmarkChaosRecovery(b *testing.B) {
 		b.Fatalf("reaped %d requests over %d iterations, want exactly one each", reaped, b.N)
 	}
 	b.ReportMetric(float64(reaped)/float64(b.N), "reaped")
+}
+
+// BenchmarkSinkCoalescing — the run-record sink's write coalescing
+// (not a figure of the paper; `ppopp17bench -fig sink` is the full
+// threshold sweep): a fan-in of concurrent publishers, each completed
+// run one Publish, against the default threshold. ns/op is the
+// publish fast path (a shard-buffer append); the gated
+// "coalesce-ratio" metric is logical writes per backend call, which
+// the default threshold of 32 must hold at ≥ 16 — it collapsing
+// toward 1 means coalescing came unwired and every run is paying a
+// backend round-trip. The floor is asserted here (not just gated)
+// once the fan-in is large enough for the ratio to be meaningful.
+func BenchmarkSinkCoalescing(b *testing.B) {
+	s := sink.New(sink.NewRing(1 << 16))
+	var seq atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			id := seq.Add(1)
+			s.Publish(&sink.RunRecord{
+				ID:       strconv.FormatUint(id, 36),
+				Tenant:   "bench",
+				Template: "fanin",
+				Status:   sink.StatusOK,
+			})
+		}
+	})
+	b.StopTimer()
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Dropped != 0 || st.LogicalWrites != uint64(b.N) {
+		b.Fatalf("sink stats = %+v over %d publishes, want all recorded", st, b.N)
+	}
+	ratio := float64(st.LogicalWrites)
+	if st.BackendCalls > 0 {
+		ratio = float64(st.LogicalWrites) / float64(st.BackendCalls)
+	}
+	// Short calibration rounds flush mostly via Close and cannot hit
+	// the steady-state ratio; only a real fan-in is held to the floor.
+	if b.N >= 1<<14 && ratio < 16 {
+		b.Fatalf("coalesce ratio %.1f < 16 (%d logical writes, %d backend calls)",
+			ratio, st.LogicalWrites, st.BackendCalls)
+	}
+	b.ReportMetric(ratio, "coalesce-ratio")
 }
 
 // BenchmarkFig09SizeInvariance — Figure 9: in-counter throughput per

@@ -31,6 +31,14 @@
 // nb_sent/nb_completed/nb_shed, shed_rate, throughput_req_per_sec,
 // p50_ms/p95_ms/p99_ms).
 //
+// The sink experiment (-fig sink) drives the async v1 lifecycle —
+// open-loop async submissions polled to completion — against a
+// gateway whose run-record sink sweeps the write-coalescing threshold
+// (1, 8, 32, 128), reporting the sink's logical-writes vs
+// backend-calls ledger and the write-reduction ratio alongside
+// completion quantiles (artifact outputs nb_logical_writes,
+// nb_backend_calls, coalesce_ratio, p50_ms/p99_ms; DESIGN.md §11).
+//
 // The chaos experiment (-fig chaos) is the self-defense recovery
 // timeline of DESIGN.md §10: a gateway under steady load is handed
 // one hostile wedge-template request (busy-spins ignoring
@@ -50,6 +58,7 @@
 //	ppopp17bench -fig 13                  # topology study on the real scheduler
 //	ppopp17bench -fig 13-proxy            # the simulated placement-penalty proxy
 //	ppopp17bench -fig serve               # gateway offered-load sweep (throughput/shed/p99)
+//	ppopp17bench -fig sink                # run-record sink coalescing threshold sweep
 //	ppopp17bench -fig chaos               # self-defense recovery timeline (reap/degrade/recover)
 //	ppopp17bench -fig stalls -quick       # contention in the stall model
 //	ppopp17bench -fig 8 -format artifact  # artifact-style result records

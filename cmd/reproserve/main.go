@@ -7,17 +7,34 @@
 //	reproserve -addr :8080 -workers 2 -max-workers 8 \
 //	           -tenant-rate 100 -tenant-burst 20 -queue-depth 128
 //
-// Endpoints:
+// Endpoints (v1; the unversioned pre-v1 paths remain as aliases for
+// one release):
 //
-//	POST /run/{template}?tenant=T&n=N&timeout=D   run a computation
-//	GET  /stats                                   admission + runtime counters
-//	GET  /templates                               the template catalog
-//	GET  /healthz                                 readiness (503 while draining)
+//	POST   /v1/runs/{template}?tenant=T&n=N&timeout=D  run a computation (sync)
+//	POST   /v1/runs/{template}?mode=async&...          202 {"run_id"} after admission
+//	GET    /v1/runs/{id}                               poll: 200 record / 202 pending / 404
+//	DELETE /v1/runs/{id}                               cancel a tracked run
+//	GET    /v1/stats                                   admission + sink + runtime counters
+//	GET    /v1/templates                               the template catalog
+//	GET    /v1/healthz                                 readiness (503 while draining)
 //
 // Templates are the quickstart-style kernels of gateway.Builtins
 // (fib, fanin, sort, parfor, spin). On SIGTERM/SIGINT the server
-// stops admitting (503), completes every admitted computation, and
-// exits; see DESIGN.md §9 for the drain argument.
+// stops admitting (503), completes every admitted computation,
+// flushes every completed run's record to the sink backend, and
+// exits; see DESIGN.md §9 for the drain argument and §11 for the
+// sink.
+//
+// Completed runs publish RunRecords through a coalescing sink
+// (DESIGN.md §11). -sink picks the backend:
+//
+//	-sink ring[:N]          bounded in-memory ring, N records (default, N=4096)
+//	-sink jsonl:PATH[:MB]   append-only JSONL file, rotated past MB megabytes
+//	-sink http://URL        POST each batch as a JSON array to URL
+//
+// -sink-threshold and -sink-interval tune the coalescing: a shard
+// flushes at threshold buffered records, and a background flusher
+// sweeps stragglers every interval.
 //
 // Self-defense (DESIGN.md §10): -reap-grace arms the hung-request
 // reaper (a request still running that long past its deadline 504s
@@ -37,11 +54,14 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro"
 	"repro/internal/gateway"
+	"repro/internal/sink"
 )
 
 func main() {
@@ -61,6 +81,9 @@ func main() {
 		holdDown    = flag.Duration("degraded-holddown", 2*time.Second, "shed admissions (503 + Retry-After) this long after a reap or stall")
 		watchdog    = flag.Duration("watchdog", 0, "scheduler stall watchdog threshold (0 = off)")
 		chaosMode   = flag.Bool("chaos", false, "register the hostile wedge template (self-defense drill; do not expose to untrusted tenants)")
+		sinkSpec    = flag.String("sink", "ring", "run-record backend: ring[:N] | jsonl:PATH[:MB] | http(s)://URL")
+		sinkThresh  = flag.Int("sink-threshold", 0, "per-shard records buffered before a flush (0 = default 32)")
+		sinkIvl     = flag.Duration("sink-interval", 0, "background flush interval (0 = default 500ms)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -92,9 +115,15 @@ func main() {
 		log.Printf("reproserve: chaos mode: hostile template %q registered", "wedge")
 	}
 
+	runSink, err := buildSink(*sinkSpec, *sinkThresh, *sinkIvl)
+	if err != nil {
+		log.Fatalf("reproserve: -sink: %v", err)
+	}
+
 	srv := gateway.NewServer(*addr, gateway.Config{
 		RuntimeOptions:   opts,
 		Registry:         reg,
+		Sink:             runSink,
 		QueueDepth:       *queueDepth,
 		Dispatchers:      *dispatchers,
 		TenantRate:       *tenantRate,
@@ -117,4 +146,52 @@ func main() {
 		log.Fatalf("reproserve: %v", err)
 	}
 	log.Printf("reproserve: drained and stopped")
+}
+
+// buildSink parses the -sink spec grammar — ring[:N], jsonl:PATH[:MB],
+// or an http(s) URL — and wraps the backend in a coalescing sink with
+// the given tuning (0 keeps the sink's defaults).
+func buildSink(spec string, threshold int, interval time.Duration) (*sink.Sink, error) {
+	var opts []sink.Option
+	if threshold > 0 {
+		opts = append(opts, sink.WithThreshold(threshold))
+	}
+	if interval > 0 {
+		opts = append(opts, sink.WithInterval(interval))
+	}
+	switch {
+	case spec == "ring":
+		return sink.New(sink.NewRing(0), opts...), nil
+	case strings.HasPrefix(spec, "ring:"):
+		n, err := strconv.Atoi(spec[len("ring:"):])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("ring capacity %q: want a positive integer", spec[len("ring:"):])
+		}
+		return sink.New(sink.NewRing(n), opts...), nil
+	case strings.HasPrefix(spec, "jsonl:"):
+		rest := spec[len("jsonl:"):]
+		maxBytes := int64(64 << 20) // default 64 MB per segment
+		// A trailing :MB is a rotation bound; a lone "jsonl:" is an error.
+		if i := strings.LastIndexByte(rest, ':'); i > 0 {
+			if mb, err := strconv.Atoi(rest[i+1:]); err == nil {
+				if mb <= 0 {
+					return nil, fmt.Errorf("jsonl rotation bound %q: want positive megabytes", rest[i+1:])
+				}
+				maxBytes = int64(mb) << 20
+				rest = rest[:i]
+			}
+		}
+		if rest == "" {
+			return nil, fmt.Errorf("jsonl spec needs a path: jsonl:PATH[:MB]")
+		}
+		b, err := sink.NewJSONL(rest, maxBytes)
+		if err != nil {
+			return nil, err
+		}
+		return sink.New(b, opts...), nil
+	case strings.HasPrefix(spec, "http://"), strings.HasPrefix(spec, "https://"):
+		return sink.New(sink.NewHTTP(spec, nil), opts...), nil
+	default:
+		return nil, fmt.Errorf("unknown sink spec %q: want ring[:N] | jsonl:PATH[:MB] | http(s)://URL", spec)
+	}
 }

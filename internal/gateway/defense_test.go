@@ -183,37 +183,65 @@ func TestRetryAfterJitter(t *testing.T) {
 // subsequently started Submit gets ErrDraining, no matter how full
 // the queue was at that instant.
 func TestDrainShedOrder(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	unblock := func() { once.Do(func() { close(release) }) }
+	// The gate must open before t.Cleanup's g.Close, which waits for
+	// the blocked requests — including on the t.Fatal paths below.
+	defer unblock()
 	g := newTestGateway(t, Config{
-		Registry:    Builtins(),
+		Registry:    blockingRegistry(release),
 		QueueDepth:  2,
 		Dispatchers: 2,
-		JitterSeed:  3,
+		// Both dispatchers wedge on the gate, so the elastic pool pegs
+		// immediately; a finite window would overload-shed part of the
+		// backlog before it could fill the queue.
+		PeggedWindow: time.Hour,
+		JitterSeed:   3,
 	})
 
-	// Occupy both dispatchers and fill the queue with slow spins.
+	// Occupy both dispatchers and fill the queue with gate-blocked
+	// requests. A backlog submit can itself lose a race with dispatcher
+	// pickup and shed queue-full (transiently full queue), so each
+	// submitter retries until admitted; ErrDraining ends a straggler
+	// still retrying after (b) begins.
 	const backlog = 4 // 2 running + 2 queued
 	var wg sync.WaitGroup
 	for i := 0; i < backlog; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			g.Submit(context.Background(), "t", "spin", 100_000) // 100ms each
+			for {
+				_, err := g.Submit(context.Background(), "t", "block", 0)
+				var shed *ShedError
+				if errors.As(err, &shed) && shed.Reason == ShedQueueFull {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				return
+			}
 		}()
 	}
-	// Wait until the queue is actually full.
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
+	// Wait for the stable saturated state: every dispatcher blocked on
+	// the gate AND the queue full. Blocked dispatchers cannot dequeue,
+	// so once observed the state holds until release — the probe below
+	// is deterministic, not racing a pickup.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
 		g.mu.Lock()
-		full := g.queued >= g.cfg.QueueDepth
+		full := g.running == g.cfg.Dispatchers && g.queued >= g.cfg.QueueDepth
 		g.mu.Unlock()
 		if full {
 			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gateway never saturated: stats=%+v", g.Stats())
 		}
 		time.Sleep(time.Millisecond)
 	}
 
 	// (a) queue-full alone: 429.
-	if _, err := g.Submit(context.Background(), "t", "spin", 100); err == nil {
+	if _, err := g.Submit(context.Background(), "t", "block", 0); err == nil {
 		t.Fatal("queue-full admission unexpectedly succeeded")
 	} else {
 		var shed *ShedError
@@ -225,11 +253,12 @@ func TestDrainShedOrder(t *testing.T) {
 	// (b) drain + queue-full together: the drain gate must win.
 	g.BeginDrain()
 	for i := 0; i < 20; i++ {
-		_, err := g.Submit(context.Background(), "t", "spin", 100)
+		_, err := g.Submit(context.Background(), "t", "block", 0)
 		if !errors.Is(err, ErrDraining) {
 			t.Fatalf("post-BeginDrain Submit #%d returned %v, want ErrDraining", i, err)
 		}
 	}
+	unblock()
 	wg.Wait()
 }
 

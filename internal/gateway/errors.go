@@ -1,0 +1,145 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro"
+)
+
+// This file is the error surface of the v1 API: every non-2xx
+// response the gateway emits carries the same three-key JSON envelope
+// (the golden test pins the schema), and envelopeFor is the single
+// mapping from the Submit error taxonomy onto (status, envelope).
+
+// ErrorEnvelope is the one structured error body of the HTTP API:
+// code is the machine-readable taxonomy entry (stable across
+// releases; the message is not), error the human-readable message,
+// and retry_after_ms the precise retry hint (0 when retrying will not
+// help) — the Retry-After header carries the same hint rounded up to
+// whole seconds per RFC 9110.
+type ErrorEnvelope struct {
+	Code         string `json:"code"`
+	Error        string `json:"error"`
+	RetryAfterMS int64  `json:"retry_after_ms"`
+}
+
+// The envelope code taxonomy. The three shed codes equal the
+// ShedError reason strings.
+const (
+	CodeThrottled        = ShedThrottled       // 429: tenant token bucket empty
+	CodeOverloaded       = ShedOverload        // 429: elastic pool pegged past the window
+	CodeQueueFull        = ShedQueueFull       // 429: admission queue at QueueDepth
+	CodeDraining         = "draining"          // 503: shutdown has begun
+	CodeDegraded         = "degraded"          // 503: self-defense hold-down window
+	CodeHung             = "hung"              // 504: force-failed by the reaper
+	CodeDeadline         = "deadline"          // 504: the request's own deadline expired
+	CodeCanceled         = "canceled"          // 499: client or DELETE canceled the run
+	CodeUnknownTemplate  = "unknown-template"  // 404
+	CodeUnknownRun       = "unknown-run"       // 404
+	CodeSizeExceeded     = "size-exceeded"     // 400: n above the template's MaxN
+	CodeBadRequest       = "bad-request"       // 400: malformed parameter
+	CodeAsyncUnsupported = "async-unsupported" // 400: template has no serializable result
+	CodeClosed           = "closed"            // 503: runtime closed
+	CodeInternal         = "internal"          // 500
+)
+
+// statusClientClosedRequest is the nginx-conventional status for a
+// request whose client canceled it (no IANA assignment exists).
+const statusClientClosedRequest = 499
+
+// ErrUnknownRun reports a GET/DELETE for a run id the gateway is not
+// tracking and the sink does not hold (HTTP 404): never issued,
+// already evicted from a bounded backend, or flushed to a
+// non-queryable one.
+var ErrUnknownRun = errors.New("gateway: unknown run id")
+
+// ErrAsyncUnsupported reports mode=async on a template that was
+// registered without a serializable Result (HTTP 400): an async run
+// outlives its HTTP request, so a result the sink cannot persist
+// would be a run nobody can ever read. Registration validated
+// serializability (templates.go); dispatch only consults the flag.
+var ErrAsyncUnsupported = errors.New("gateway: template has no serializable result (async mode unsupported)")
+
+// envelopeFor maps Submit's error taxonomy onto (HTTP status,
+// envelope) — the single source of truth writeError and handlers
+// render from.
+func (g *Gateway) envelopeFor(err error) (int, ErrorEnvelope) {
+	var shed *ShedError
+	var size *SizeError
+	var degraded *DegradedError
+	switch {
+	case errors.As(err, &shed):
+		return http.StatusTooManyRequests,
+			ErrorEnvelope{Code: shed.Reason, Error: err.Error(), RetryAfterMS: retryMS(shed.RetryAfter)}
+	case errors.As(err, &degraded):
+		return http.StatusServiceUnavailable,
+			ErrorEnvelope{Code: CodeDegraded, Error: err.Error(), RetryAfterMS: retryMS(degraded.RetryAfter)}
+	case errors.Is(err, ErrHung):
+		return http.StatusGatewayTimeout,
+			ErrorEnvelope{Code: CodeHung, Error: err.Error()}
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable,
+			ErrorEnvelope{Code: CodeDraining, Error: err.Error(), RetryAfterMS: retryMS(g.jitter(g.cfg.RetryAfter))}
+	case errors.Is(err, ErrUnknownTemplate):
+		return http.StatusNotFound,
+			ErrorEnvelope{Code: CodeUnknownTemplate, Error: err.Error()}
+	case errors.Is(err, ErrUnknownRun):
+		return http.StatusNotFound,
+			ErrorEnvelope{Code: CodeUnknownRun, Error: err.Error()}
+	case errors.Is(err, ErrAsyncUnsupported):
+		return http.StatusBadRequest,
+			ErrorEnvelope{Code: CodeAsyncUnsupported, Error: err.Error()}
+	case errors.As(err, &size):
+		return http.StatusBadRequest,
+			ErrorEnvelope{Code: CodeSizeExceeded, Error: err.Error()}
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout,
+			ErrorEnvelope{Code: CodeDeadline, Error: "computation deadline exceeded"}
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest,
+			ErrorEnvelope{Code: CodeCanceled, Error: err.Error()}
+	case errors.Is(err, repro.ErrClosed):
+		return http.StatusServiceUnavailable,
+			ErrorEnvelope{Code: CodeClosed, Error: err.Error()}
+	default:
+		return http.StatusInternalServerError,
+			ErrorEnvelope{Code: CodeInternal, Error: err.Error()}
+	}
+}
+
+// writeError renders err as its envelope (plus the Retry-After
+// header when the envelope carries a hint).
+func (g *Gateway) writeError(w http.ResponseWriter, err error) {
+	status, env := g.envelopeFor(err)
+	writeEnvelope(w, status, env)
+}
+
+// writeEnvelope writes one ErrorEnvelope, mirroring a positive
+// retry_after_ms into the Retry-After header (whole seconds,
+// minimum 1, per RFC 9110).
+func writeEnvelope(w http.ResponseWriter, status int, env ErrorEnvelope) {
+	if env.RetryAfterMS > 0 {
+		setRetryAfter(w, time.Duration(env.RetryAfterMS)*time.Millisecond)
+	}
+	writeJSON(w, status, env)
+}
+
+// badRequest renders an HTTP-layer parameter error (bad n, bad
+// timeout, bad mode) as the envelope.
+func badRequest(w http.ResponseWriter, msg string) {
+	writeEnvelope(w, http.StatusBadRequest, ErrorEnvelope{Code: CodeBadRequest, Error: msg})
+}
+
+func retryMS(d time.Duration) int64 {
+	if d <= 0 {
+		return 0
+	}
+	ms := int64(d / time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}

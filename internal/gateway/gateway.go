@@ -12,6 +12,7 @@ import (
 	"repro"
 	"repro/internal/rng"
 	"repro/internal/sched"
+	"repro/internal/sink"
 	"repro/internal/stats"
 )
 
@@ -94,6 +95,17 @@ type Config struct {
 	// OnStall hook (replacing any previously installed one).
 	Watchdog time.Duration
 
+	// Sink receives one RunRecord per settled request — sync and async
+	// alike: completion, failure, cancellation, or a reap. nil means a
+	// default coalescing sink over a 4096-record in-memory ring, so
+	// GET /v1/runs/{id} works out of the box with bounded memory. The
+	// gateway owns whichever sink ends up here: Close flushes and
+	// closes it after the dispatchers have exited (every settled
+	// request's record published) and before an owned runtime closes —
+	// the drain ordering the async API's no-lost-records guarantee
+	// rests on.
+	Sink *sink.Sink
+
 	// JitterSeed seeds the ±20% spread applied to every Retry-After
 	// the gateway emits, so a synchronized cohort of shed clients does
 	// not come back as a synchronized retry storm. 0 means a random
@@ -158,19 +170,27 @@ func (e *ShedError) Error() string {
 	return fmt.Sprintf("gateway: shed (%s), retry after %v", e.Reason, e.RetryAfter)
 }
 
-// Result reports a completed request's latency split: time queued
-// before a dispatcher picked it up, and time executing in the
-// runtime.
+// Result reports a completed request's outcome: the run id its
+// record was published under, the latency split (time queued before a
+// dispatcher picked it up, time executing in the runtime), and — for
+// a result-bearing template — the computation's result value.
 type Result struct {
+	RunID string
 	Queue time.Duration
 	Run   time.Duration
+	Value any
 }
 
 // request is one admitted computation waiting for a dispatcher.
 type request struct {
 	ctx      context.Context
+	cancel   context.CancelFunc // aborts the run (DELETE /v1/runs/{id}); never nil
+	id       string             // sink RunRecord id, returned to async clients
+	async    bool               // detached from its HTTP request; outcome lives in the sink
 	ten      *tenant
 	tpl      Template
+	task     repro.Task // built once at prepare (tpl.Result or tpl.Task)
+	get      func() any // result getter, nil for result-less templates
 	n        uint64
 	enq      time.Time
 	deadline time.Time       // ctx's deadline (zero: none; never reaped)
@@ -212,6 +232,7 @@ type Gateway struct {
 	drain    bool
 	closed   bool
 	inflight map[*request]struct{} // dispatched, not yet settled (reaper's scan set)
+	runs     map[string]*request   // every admitted, unsettled request by run id (the 202-pending set)
 	nextDisp int                   // next dispatcher id (replacements continue the sequence)
 
 	// degradedUntil is the self-defense gate: while now < degradedUntil
@@ -232,6 +253,10 @@ type Gateway struct {
 
 	jmu  sync.Mutex
 	jrng rng.SplitMix64 // Retry-After jitter stream (JitterSeed)
+
+	sink     *sink.Sink    // RunRecord publish path; owned (Close closes it)
+	runNonce uint64        // distinguishes this gateway's run ids across restarts
+	runSeq   atomic.Uint64 // run id sequence
 
 	histMu  sync.RWMutex
 	tplHist map[string]*stats.LatencyHist
@@ -279,6 +304,9 @@ func New(cfg Config) *Gateway {
 	if cfg.Registry == nil {
 		cfg.Registry = Builtins()
 	}
+	if cfg.Sink == nil {
+		cfg.Sink = sink.New(sink.NewRing(0))
+	}
 	if cfg.Runtime == nil && cfg.Watchdog > 0 {
 		cfg.RuntimeOptions = append(cfg.RuntimeOptions[:len(cfg.RuntimeOptions):len(cfg.RuntimeOptions)],
 			repro.WithWatchdog(cfg.Watchdog))
@@ -297,9 +325,12 @@ func New(cfg Config) *Gateway {
 		tenantBurst: burst,
 		tenants:     make(map[string]*tenant),
 		inflight:    make(map[*request]struct{}),
+		runs:        make(map[string]*request),
 		nextDisp:    cfg.Dispatchers,
 		tplHist:     make(map[string]*stats.LatencyHist),
 		closedCh:    make(chan struct{}),
+		sink:        cfg.Sink,
+		runNonce:    rng.AutoSeed(),
 	}
 	g.jrng.Seed(rng.Mix64(cfg.JitterSeed))
 	if g.rt == nil {
@@ -330,6 +361,55 @@ func (g *Gateway) Runtime() *repro.Runtime { return g.rt }
 // Registry returns the gateway's template registry.
 func (g *Gateway) Registry() *Registry { return g.reg }
 
+// Sink returns the gateway's RunRecord sink (stats, lookups).
+func (g *Gateway) Sink() *sink.Sink { return g.sink }
+
+// runID mints a process-unique run id: a per-gateway random nonce (so
+// ids from different gateway incarnations never collide in a shared
+// sink file) plus a sequence number.
+func (g *Gateway) runID() string {
+	return fmt.Sprintf("%08x-%x", uint32(g.runNonce), g.runSeq.Add(1))
+}
+
+// prepare validates the request shape (template, size, async
+// capability) and builds the request record: the task and result
+// getter are constructed once here, the run id assigned, and ctx
+// wrapped with a cancel so DELETE /v1/runs/{id} can abort any tracked
+// run through the RunContext plumbing.
+func (g *Gateway) prepare(ctx context.Context, tplName string, n uint64, async bool) (*request, error) {
+	tpl, ok := g.reg.Get(tplName)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTemplate, tplName)
+	}
+	if n == 0 {
+		n = tpl.DefaultN
+	}
+	if n > tpl.MaxN {
+		return nil, &SizeError{Template: tpl.Name, N: n, MaxN: tpl.MaxN}
+	}
+	if async && tpl.Result == nil {
+		return nil, fmt.Errorf("%w: %q", ErrAsyncUnsupported, tpl.Name)
+	}
+	req := &request{
+		id:    g.runID(),
+		async: async,
+		tpl:   tpl,
+		n:     n,
+		enq:   time.Now(),
+		done:  make(chan dispatched, 1),
+	}
+	req.ctx, req.cancel = context.WithCancel(ctx)
+	if tpl.Result != nil {
+		req.task, req.get = tpl.Result(n)
+	} else {
+		req.task = tpl.Task(n)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		req.deadline = dl
+	}
+	return req, nil
+}
+
 // Submit runs template tplName with size n (0 means the template's
 // default) for the given tenant, blocking until the computation
 // completes or is refused. ctx is the request deadline: it covers
@@ -343,31 +423,49 @@ func (g *Gateway) Registry() *Registry { return g.reg }
 // refuses immediately or bounds the wait by the queue depth and the
 // request's own deadline.
 func (g *Gateway) Submit(ctx context.Context, tenantName, tplName string, n uint64) (Result, error) {
-	tpl, ok := g.reg.Get(tplName)
-	if !ok {
-		return Result{}, fmt.Errorf("%w: %q", ErrUnknownTemplate, tplName)
-	}
-	if n == 0 {
-		n = tpl.DefaultN
-	}
-	if n > tpl.MaxN {
-		return Result{}, &SizeError{Template: tpl.Name, N: n, MaxN: tpl.MaxN}
-	}
-	req := &request{
-		ctx:  ctx,
-		tpl:  tpl,
-		n:    n,
-		enq:  time.Now(),
-		done: make(chan dispatched, 1),
-	}
-	if dl, ok := ctx.Deadline(); ok {
-		req.deadline = dl
+	req, err := g.prepare(ctx, tplName, n, false)
+	if err != nil {
+		return Result{}, err
 	}
 	if err := g.admit(tenantName, req); err != nil {
+		req.cancel()
 		return Result{}, err
 	}
 	out := <-req.done
 	return out.res, out.err
+}
+
+// SubmitAsync admits template tplName with size n for the given
+// tenant and returns the run id immediately — the 202 path of POST
+// /v1/runs/{template}?mode=async. The run executes detached from any
+// HTTP request under its own deadline (timeout, clamped by the
+// gateway's bounds); its outcome is a RunRecord in the sink, served
+// by GET /v1/runs/{id}, and DELETE /v1/runs/{id} aborts it. Admission
+// applies exactly the sync gates and error taxonomy; additionally the
+// template must be result-bearing (ErrAsyncUnsupported otherwise —
+// validated at registration, merely consulted here).
+func (g *Gateway) SubmitAsync(tenantName, tplName string, n uint64, timeout time.Duration) (string, error) {
+	if timeout <= 0 {
+		timeout = g.cfg.DefaultTimeout
+	}
+	if timeout > g.cfg.MaxTimeout {
+		timeout = g.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	req, err := g.prepare(ctx, tplName, n, true)
+	if err != nil {
+		cancel()
+		return "", err
+	}
+	// prepare wrapped ctx once more; chain the timeout's cancel so the
+	// timer is released whichever cancel fires.
+	inner := req.cancel
+	req.cancel = func() { inner(); cancel() }
+	if err := g.admit(tenantName, req); err != nil {
+		req.cancel()
+		return "", err
+	}
+	return req.id, nil
 }
 
 // admit applies the admission protocol, every gate evaluated at one
@@ -417,6 +515,7 @@ func (g *Gateway) admit(tenantName string, req *request) error {
 	req.ten = t
 	t.admitted++
 	g.admitted++
+	g.runs[req.id] = req // tracked (202-pending) from the same instant it is admitted
 	g.enqueueLocked(t, req)
 	g.work.Signal()
 	return nil
@@ -448,7 +547,7 @@ func (g *Gateway) dispatch(id int) {
 		wait := time.Since(req.enq)
 		start := time.Now()
 		g.chaosDispatch(req) // fault seam: no-op unless built with -tags chaostest
-		err := g.rt.RunContext(req.ctx, req.tpl.Task(req.n))
+		info, err := g.rt.RunContextInfo(req.ctx, req.task)
 		run := time.Since(start)
 
 		if !req.settled.CompareAndSwap(false, true) {
@@ -462,8 +561,15 @@ func (g *Gateway) dispatch(id int) {
 		req.ten.hist.Record(id, wait+run)
 		g.histFor(req.tpl.Name).Record(id, wait+run)
 
+		// Publish before untracking: GET /v1/runs/{id} checks the sink
+		// first, so at every instant the id resolves to exactly one of
+		// pending (runs map) or done (sink) — never a transient 404.
+		rec := g.record(req, err, wait, run, info)
+		g.sink.Publish(rec)
+
 		g.mu.Lock()
 		delete(g.inflight, req)
+		delete(g.runs, req.id)
 		g.running--
 		if err != nil {
 			g.failed++
@@ -476,8 +582,43 @@ func (g *Gateway) dispatch(id int) {
 			g.quiet.Broadcast()
 		}
 		g.mu.Unlock()
-		req.done <- dispatched{res: Result{Queue: wait, Run: run}, err: err}
+		req.cancel() // release the run's context resources (timeout timer)
+		req.done <- dispatched{res: Result{RunID: req.id, Queue: wait, Run: run, Value: rec.Result}, err: err}
 	}
+}
+
+// record builds the RunRecord a settled request publishes: identity,
+// outcome taxonomy (ok / failed / canceled; the reaper publishes hung
+// itself), latency split, and the run's approximate work counters
+// from RunContextInfo.
+func (g *Gateway) record(req *request, err error, wait, run time.Duration, info repro.RunInfo) *sink.RunRecord {
+	rec := &sink.RunRecord{
+		ID:       req.id,
+		Tenant:   req.ten.name,
+		Template: req.tpl.Name,
+		N:        req.n,
+		Enqueued: req.enq,
+		Finished: time.Now(),
+		QueueMS:  float64(wait) / float64(time.Millisecond),
+		RunMS:    float64(run) / float64(time.Millisecond),
+		Vertices: info.Vertices,
+		Executed: info.Executed,
+		Steals:   info.Steals,
+	}
+	switch {
+	case err == nil:
+		rec.Status = sink.StatusOK
+		if req.get != nil {
+			rec.Result = req.get()
+		}
+	case errors.Is(err, context.Canceled):
+		rec.Status = sink.StatusCanceled
+		rec.Error = err.Error()
+	default:
+		rec.Status = sink.StatusFailed
+		rec.Error = err.Error()
+	}
+	return rec
 }
 
 // jitter spreads d uniformly over [0.8d, 1.2d] from the gateway's
@@ -544,8 +685,12 @@ func (g *Gateway) reaper() {
 // what is recovered is the request and the slot, and the drain
 // accounting (running--) so a Close behind a wedge can still proceed.
 func (g *Gateway) reapOnce(now time.Time) (reaped int) {
+	type hungReq struct {
+		req *request
+		err error
+	}
+	var hung []hungReq
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	for req := range g.inflight {
 		if req.deadline.IsZero() || now.Before(req.deadline.Add(g.cfg.ReapGrace)) {
 			continue
@@ -572,7 +717,37 @@ func (g *Gateway) reapOnce(now time.Time) (reaped int) {
 		if g.drain && g.queued == 0 && g.running == 0 {
 			g.quiet.Broadcast()
 		}
-		req.done <- dispatched{err: fmt.Errorf("%w after %v", ErrHung, now.Sub(req.deadline).Round(time.Millisecond))}
+		err := fmt.Errorf("%w after %v", ErrHung, now.Sub(req.deadline).Round(time.Millisecond))
+		hung = append(hung, hungReq{req, err})
+		req.done <- dispatched{err: err}
+	}
+	g.mu.Unlock()
+	// Publish the hung records outside the admission lock (the sink
+	// backend may do IO), then untrack. Publish-before-untrack keeps
+	// the GET taxonomy gapless: the id resolves as pending until the
+	// record is visible, done after.
+	for _, h := range hung {
+		g.sink.Publish(&sink.RunRecord{
+			ID:       h.req.id,
+			Tenant:   h.req.ten.name,
+			Template: h.req.tpl.Name,
+			N:        h.req.n,
+			Status:   sink.StatusHung,
+			Error:    h.err.Error(),
+			Enqueued: h.req.enq,
+			Finished: now,
+			QueueMS:  float64(now.Sub(h.req.enq)) / float64(time.Millisecond),
+		})
+	}
+	if len(hung) > 0 {
+		g.mu.Lock()
+		for _, h := range hung {
+			delete(g.runs, h.req.id)
+		}
+		g.mu.Unlock()
+		for _, h := range hung {
+			h.req.cancel() // signal the wedge (cooperatively) and free the timer
+		}
 	}
 	return reaped
 }
@@ -618,8 +793,14 @@ func (g *Gateway) Draining() bool {
 
 // Close drains and stops the gateway: admission closes (ErrDraining),
 // every already-admitted request runs to completion, the dispatchers
-// exit, and — when the gateway owns its runtime — the runtime's own
-// Close drains and stops the workers. Close is idempotent and safe
+// exit, the sink flushes and closes — every settled request's record
+// durable before anything else is torn down — and finally, when the
+// gateway owns its runtime, the runtime's own Close drains and stops
+// the workers. The ordering is the async API's no-lost-records
+// guarantee: the dispatchers' wg.Wait happens-before the sink flush,
+// so a record published by any dispatcher is flushed by Close, and
+// the sink closes before the runtime so a crash-free shutdown never
+// leaves a completed run unpersisted. Close is idempotent and safe
 // concurrently; every call returns only after shutdown completes. It
 // always returns nil (io.Closer).
 func (g *Gateway) Close() error {
@@ -638,6 +819,7 @@ func (g *Gateway) Close() error {
 			close(g.reapStop)
 		}
 		g.wg.Wait()
+		_ = g.sink.Close() // final flush; write failures are visible as Stats().Sink.Dropped
 		if g.ownRT {
 			g.rt.Close()
 		}

@@ -3,7 +3,6 @@ package gateway
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -11,27 +10,46 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/sink"
 	"repro/internal/stats"
 )
 
-// The HTTP surface:
+// The HTTP surface (v1; the unversioned paths of the pre-sink
+// releases remain as aliases for one release):
 //
-//	POST /run/{template}?tenant=T&n=N&timeout=D   run a computation
-//	GET  /stats                                   gateway + runtime counters (JSON)
-//	GET  /templates                               registered templates (JSON)
-//	GET  /healthz                                 200 serving / 503 draining
+//	POST   /v1/runs/{template}?tenant=T&n=N&timeout=D   run a computation (sync)
+//	POST   /v1/runs/{template}?mode=async&...           202 {"run_id"} immediately after admission
+//	GET    /v1/runs/{id}                                200 RunRecord / 202 pending / 404 unknown
+//	DELETE /v1/runs/{id}                                cancel a tracked run (202), no-op on a done one (200)
+//	GET    /v1/stats                                    gateway + runtime + sink counters (JSON)
+//	GET    /v1/templates                                registered templates (JSON)
+//	GET    /v1/healthz                                  200 serving / 503 draining or degraded
 //
-// Status mapping: 200 success, 400 bad n/timeout, 404 unknown
-// template, 429 + Retry-After shed by admission, 503 + Retry-After
-// draining, 504 request deadline exceeded, 500 computation error.
+// Status mapping: 200 success, 202 admitted/pending, 400 bad
+// parameter or async on a result-less template, 404 unknown template
+// or run, 429 + Retry-After shed by admission, 499 canceled, 503 +
+// Retry-After draining/degraded, 504 deadline or hung, 500
+// computation error. Every non-2xx body is the ErrorEnvelope
+// (errors.go); the golden test pins both schemas.
 
-// RunResponse is the JSON body of a successful POST /run.
+// RunResponse is the JSON body of a successful synchronous POST
+// /v1/runs/{template}. RunID also names the run's RunRecord in the
+// sink; Result is present for result-bearing templates.
 type RunResponse struct {
+	RunID    string  `json:"run_id"`
 	Template string  `json:"template"`
 	Tenant   string  `json:"tenant"`
 	N        uint64  `json:"n"`
 	QueueMS  float64 `json:"queue_ms"`
 	RunMS    float64 `json:"run_ms"`
+	Result   any     `json:"result,omitempty"`
+}
+
+// RunStatusResponse is the 202 body of the async lifecycle: the
+// accepted (or canceling) run's id and its current state.
+type RunStatusResponse struct {
+	RunID  string `json:"run_id"`
+	Status string `json:"status"` // "pending" | "canceling"
 }
 
 // TenantSnapshot is one tenant's /stats entry.
@@ -44,10 +62,14 @@ type TenantSnapshot struct {
 	Latency   stats.LatencySummary `json:"latency"`
 }
 
-// Snapshot is the GET /stats document: admission counters, per-tenant
-// and per-template latency, and the runtime's own Stats (including
-// the InjectorDepth / PeggedFor backpressure signals feeding
-// admission).
+// Snapshot is the GET /v1/stats document: admission counters,
+// per-tenant and per-template latency, the sink's coalescing ledger,
+// and the runtime's own Stats (including the InjectorDepth /
+// PeggedFor backpressure signals feeding admission). The schema —
+// the set of key paths — is pinned by a golden test
+// (testdata/stats_schema.golden): adding a field means regenerating
+// the golden deliberately, and removing or renaming one is an API
+// break the test catches.
 type Snapshot struct {
 	Admitted      uint64 `json:"admitted"`
 	Completed     uint64 `json:"completed"`
@@ -63,9 +85,11 @@ type Snapshot struct {
 	ShedThrottled uint64 `json:"shed_throttled"`
 	ShedDraining  uint64 `json:"shed_draining"`
 	ShedDegraded  uint64 `json:"shed_degraded"`
+	RunsTracked   int    `json:"runs_tracked"` // admitted, unsettled runs (the 202-pending set)
 
 	Tenants   map[string]TenantSnapshot       `json:"tenants"`
 	Templates map[string]stats.LatencySummary `json:"templates"`
+	Sink      sink.Stats                      `json:"sink"`
 	Runtime   repro.Stats                     `json:"runtime"`
 }
 
@@ -88,6 +112,7 @@ func (g *Gateway) Stats() Snapshot {
 		ShedThrottled: g.shedThrottled,
 		ShedDraining:  g.shedDraining,
 		ShedDegraded:  g.shedDegraded,
+		RunsTracked:   len(g.runs),
 		Tenants:       make(map[string]TenantSnapshot, len(g.tenants)),
 	}
 	type pending struct {
@@ -121,13 +146,23 @@ func (g *Gateway) Stats() Snapshot {
 	for name, h := range hists {
 		s.Templates[name] = h.Snapshot()
 	}
+	s.Sink = g.sink.Stats()
 	s.Runtime = g.rt.Stats()
 	return s
 }
 
-// Handler returns the gateway's HTTP handler (routes above).
+// Handler returns the gateway's HTTP handler (routes above). The
+// unversioned paths are deprecated aliases of their /v1 twins, kept
+// for one release so pre-v1 clients keep working.
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs/{template}", g.handleRun)
+	mux.HandleFunc("GET /v1/runs/{id}", g.handleGetRun)
+	mux.HandleFunc("DELETE /v1/runs/{id}", g.handleCancelRun)
+	mux.HandleFunc("GET /v1/stats", g.handleStats)
+	mux.HandleFunc("GET /v1/templates", g.handleTemplates)
+	mux.HandleFunc("GET /v1/healthz", g.handleHealthz)
+	// Legacy unversioned aliases (one release).
 	mux.HandleFunc("POST /run/{template}", g.handleRun)
 	mux.HandleFunc("GET /stats", g.handleStats)
 	mux.HandleFunc("GET /templates", g.handleTemplates)
@@ -145,7 +180,7 @@ func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
 	if s := r.URL.Query().Get("n"); s != "" {
 		v, err := strconv.ParseUint(s, 10, 64)
 		if err != nil || v == 0 {
-			http.Error(w, "bad n: want a positive integer", http.StatusBadRequest)
+			badRequest(w, "bad n: want a positive integer")
 			return
 		}
 		n = v
@@ -154,13 +189,28 @@ func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
 	if s := r.URL.Query().Get("timeout"); s != "" {
 		d, err := time.ParseDuration(s)
 		if err != nil || d <= 0 {
-			http.Error(w, "bad timeout: want a positive Go duration", http.StatusBadRequest)
+			badRequest(w, "bad timeout: want a positive Go duration")
 			return
 		}
 		if d > g.cfg.MaxTimeout {
 			d = g.cfg.MaxTimeout
 		}
 		timeout = d
+	}
+
+	switch r.URL.Query().Get("mode") {
+	case "", "sync":
+	case "async":
+		id, err := g.SubmitAsync(tenant, tplName, n, timeout)
+		if err != nil {
+			g.writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, RunStatusResponse{RunID: id, Status: "pending"})
+		return
+	default:
+		badRequest(w, "bad mode: want sync or async")
+		return
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
@@ -171,44 +221,59 @@ func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, RunResponse{
+		RunID:    res.RunID,
 		Template: tplName,
 		Tenant:   tenant,
 		N:        n,
 		QueueMS:  float64(res.Queue) / float64(time.Millisecond),
 		RunMS:    float64(res.Run) / float64(time.Millisecond),
+		Result:   res.Value,
 	})
 }
 
-// writeError maps Submit's error taxonomy onto status codes. Shed and
-// drain responses carry Retry-After (whole seconds, minimum 1, per
-// RFC 9110).
-func (g *Gateway) writeError(w http.ResponseWriter, err error) {
-	var shed *ShedError
-	var size *SizeError
-	var degraded *DegradedError
-	switch {
-	case errors.As(err, &shed):
-		setRetryAfter(w, shed.RetryAfter)
-		http.Error(w, err.Error(), http.StatusTooManyRequests)
-	case errors.As(err, &degraded):
-		setRetryAfter(w, degraded.RetryAfter)
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-	case errors.Is(err, ErrHung):
-		http.Error(w, err.Error(), http.StatusGatewayTimeout)
-	case errors.Is(err, ErrDraining):
-		setRetryAfter(w, g.jitter(g.cfg.RetryAfter))
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-	case errors.Is(err, ErrUnknownTemplate):
-		http.Error(w, err.Error(), http.StatusNotFound)
-	case errors.As(err, &size):
-		http.Error(w, err.Error(), http.StatusBadRequest)
-	case errors.Is(err, context.DeadlineExceeded):
-		http.Error(w, "computation deadline exceeded", http.StatusGatewayTimeout)
-	case errors.Is(err, repro.ErrClosed):
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-	default:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+// handleGetRun is the async lifecycle's read side, the 404→202→200
+// taxonomy: a record in the sink is done (200, the RunRecord —
+// whatever its status: ok, failed, canceled, hung), a run the gateway
+// still tracks is pending (202), anything else is unknown (404
+// envelope). The sink is consulted first and dispatchers publish
+// before they untrack, so an id never transiently vanishes between
+// the two states.
+func (g *Gateway) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if rec, ok := g.sink.Lookup(id); ok {
+		writeJSON(w, http.StatusOK, rec)
+		return
 	}
+	g.mu.Lock()
+	_, pending := g.runs[id]
+	g.mu.Unlock()
+	if pending {
+		writeJSON(w, http.StatusAccepted, RunStatusResponse{RunID: id, Status: "pending"})
+		return
+	}
+	g.writeError(w, fmt.Errorf("%w: %q", ErrUnknownRun, id))
+}
+
+// handleCancelRun aborts a tracked run through the RunContext
+// plumbing: cancel flips the run's context, the runtime aborts the
+// computation cooperatively, and the dispatcher settles it with a
+// canceled RunRecord. Cancelling an already-settled run is a no-op
+// that returns its record (200) — DELETE is idempotent.
+func (g *Gateway) handleCancelRun(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	g.mu.Lock()
+	req, tracked := g.runs[id]
+	g.mu.Unlock()
+	if tracked {
+		req.cancel()
+		writeJSON(w, http.StatusAccepted, RunStatusResponse{RunID: id, Status: "canceling"})
+		return
+	}
+	if rec, ok := g.sink.Lookup(id); ok {
+		writeJSON(w, http.StatusOK, rec)
+		return
+	}
+	g.writeError(w, fmt.Errorf("%w: %q", ErrUnknownRun, id))
 }
 
 func setRetryAfter(w http.ResponseWriter, d time.Duration) {
@@ -240,16 +305,14 @@ func (g *Gateway) handleTemplates(w http.ResponseWriter, r *http.Request) {
 
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if g.Draining() {
-		setRetryAfter(w, g.jitter(g.cfg.RetryAfter))
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+		g.writeError(w, ErrDraining)
 		return
 	}
 	if g.Degraded() {
-		setRetryAfter(w, g.jitter(g.cfg.RetryAfter))
-		http.Error(w, "degraded", http.StatusServiceUnavailable)
+		g.writeError(w, &DegradedError{RetryAfter: g.jitter(g.cfg.RetryAfter)})
 		return
 	}
-	fmt.Fprintln(w, "ok")
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
@@ -20,6 +21,18 @@ type Template struct {
 	DefaultN uint64 // n used when the request does not specify one
 	MaxN     uint64 // largest accepted n (inclusive)
 	Task     func(n uint64) repro.Task
+
+	// Result, when non-nil, makes the template result-bearing: it
+	// returns a fresh task plus a getter for that task's result value,
+	// called once after the computation completes successfully. The
+	// value must be json-serializable — Register probes the getter's
+	// zero value with json.Marshal and refuses the template otherwise,
+	// so mode=async (whose result outlives the HTTP request and must
+	// round-trip through the sink) is validated at registration time,
+	// never discovered at dispatch. A template with Result may leave
+	// Task nil; Register derives it. A template without Result still
+	// serves sync requests but rejects mode=async.
+	Result func(n uint64) (repro.Task, func() any)
 }
 
 // Registry maps template names to Templates. The zero value is not
@@ -34,11 +47,14 @@ type Registry struct {
 func NewRegistry() *Registry { return &Registry{m: make(map[string]Template)} }
 
 // Register adds or replaces a template. It returns an error (rather
-// than panicking) on an unusable template: empty name, nil Task, or
-// DefaultN outside [1, MaxN].
+// than panicking) on an unusable template: empty name, neither Task
+// nor Result, DefaultN outside [1, MaxN], or a Result whose value
+// does not survive json.Marshal — the serializability contract
+// mode=async depends on, checked here so a bad template fails its
+// registration, not some later dispatch.
 func (r *Registry) Register(t Template) error {
-	if t.Name == "" || t.Task == nil {
-		return fmt.Errorf("gateway: template needs a name and a task")
+	if t.Name == "" || (t.Task == nil && t.Result == nil) {
+		return fmt.Errorf("gateway: template needs a name and a task (or a result constructor)")
 	}
 	if t.MaxN == 0 {
 		t.MaxN = 1
@@ -46,6 +62,18 @@ func (r *Registry) Register(t Template) error {
 	if t.DefaultN == 0 || t.DefaultN > t.MaxN {
 		return fmt.Errorf("gateway: template %q: DefaultN %d outside [1, MaxN=%d]",
 			t.Name, t.DefaultN, t.MaxN)
+	}
+	if t.Result != nil {
+		// Probe the getter's zero value: if the unrun result type does
+		// not marshal, no run's result will.
+		_, get := t.Result(t.DefaultN)
+		if _, err := json.Marshal(get()); err != nil {
+			return fmt.Errorf("gateway: template %q: result is not json-serializable: %v", t.Name, err)
+		}
+		if t.Task == nil {
+			res := t.Result
+			t.Task = func(n uint64) repro.Task { task, _ := res(n); return task }
+		}
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -82,12 +110,18 @@ func Builtins() *Registry {
 	for _, t := range []Template{
 		{
 			Name:     "fib",
-			Doc:      "fork/join Fibonacci with a sequential cutoff; n is the Fibonacci index",
+			Doc:      "fork/join Fibonacci with a sequential cutoff; n is the Fibonacci index; result is fib(n)",
 			DefaultN: 20,
 			MaxN:     30,
-			Task:     func(n uint64) repro.Task { var sink uint64; return fibTask(n, &sink) },
+			Result: func(n uint64) (repro.Task, func() any) {
+				out := new(uint64)
+				return fibTask(n, out), func() any { return *out }
+			},
 		},
 		{
+			// fanin deliberately has no Result: its value is pure
+			// contention, and a result-less builtin keeps the
+			// async-unsupported rejection path continuously exercised.
 			Name:     "fanin",
 			Doc:      "n asyncs signalling one finish counter (the paper's fan-in stress); n is the async count",
 			DefaultN: 1 << 12,
@@ -96,24 +130,32 @@ func Builtins() *Registry {
 		},
 		{
 			Name:     "sort",
-			Doc:      "parallel mergesort of n pseudo-random int32s, verified sorted",
+			Doc:      "parallel mergesort of n pseudo-random int32s, verified sorted; result is the xor checksum",
 			DefaultN: 1 << 15,
 			MaxN:     1 << 21,
-			Task:     sortTask,
+			Result: func(n uint64) (repro.Task, func() any) {
+				out := new(uint64)
+				return sortTaskInto(n, out), func() any { return *out }
+			},
 		},
 		{
 			Name:     "parfor",
-			Doc:      "ParallelFor over n elements (the README quickstart kernel)",
+			Doc:      "ParallelFor over n elements (the README quickstart kernel); result is the last element",
 			DefaultN: 1 << 16,
 			MaxN:     1 << 22,
-			Task:     parforTask,
+			Result: func(n uint64) (repro.Task, func() any) {
+				out := new(int64)
+				return parforTaskInto(n, out), func() any { return *out }
+			},
 		},
 		{
 			Name:     "spin",
-			Doc:      "n microseconds of calibrated CPU work in 100µs parallel leaves (predictable service time for load tests)",
+			Doc:      "n microseconds of calibrated CPU work in 100µs parallel leaves (predictable service time for load tests); result is n",
 			DefaultN: 1000,
 			MaxN:     1_000_000,
-			Task:     spinTask,
+			Result: func(n uint64) (repro.Task, func() any) {
+				return spinTask(n), func() any { return n }
+			},
 		},
 	} {
 		if err := r.Register(t); err != nil {
@@ -199,10 +241,12 @@ func faninTask(n uint64) repro.Task {
 	}
 }
 
-// sortTask mergesorts n pseudo-random int32s and fails the computation
-// if the result is not sorted, making the template an end-to-end
-// correctness probe, not just load.
-func sortTask(n uint64) repro.Task {
+// sortTaskInto mergesorts n pseudo-random int32s and fails the
+// computation if the result is not sorted, making the template an
+// end-to-end correctness probe, not just load. The xor checksum of
+// the sorted output lands in *out — deterministic for a given n, so
+// an async client can verify its result against a reference run.
+func sortTaskInto(n uint64, out *uint64) repro.Task {
 	return func(c *repro.Ctx) {
 		xs := make([]int32, n)
 		seed := uint64(0x9E3779B97F4A7C15)
@@ -216,12 +260,15 @@ func sortTask(n uint64) repro.Task {
 		c.FinishThen(
 			func(c *repro.Ctx) { mergesort(c, xs, buf) },
 			func(c *repro.Ctx) {
-				for i := 1; i < len(xs); i++ {
-					if xs[i-1] > xs[i] {
+				var sum uint64
+				for i := range xs {
+					if i > 0 && xs[i-1] > xs[i] {
 						c.Fail(fmt.Errorf("gateway: sort template produced unsorted output at %d", i))
 						return
 					}
+					sum = sum<<1 ^ sum>>63 ^ uint64(uint32(xs[i]))
 				}
+				*out = sum
 			},
 		)
 	}
@@ -262,17 +309,23 @@ func merge(a, b, out []int32) {
 	copy(out[k:], b[j:])
 }
 
-// parforTask is the README quickstart kernel: double every element of
-// an n-slice under ParallelFor.
-func parforTask(n uint64) repro.Task {
+// parforTaskInto is the README quickstart kernel: double every
+// element of an n-slice under ParallelFor, delivering the verified
+// last element (2·(n−1)) into *out.
+func parforTaskInto(n uint64, out *int64) repro.Task {
 	return func(c *repro.Ctx) {
 		xs := make([]int64, n)
 		for i := range xs {
 			xs[i] = int64(i)
 		}
 		c.ParallelForThen(0, len(xs), 1024, func(i int) { xs[i] *= 2 }, func(c *repro.Ctx) {
-			if last := len(xs) - 1; last >= 0 && xs[last] != int64(last)*2 {
+			last := len(xs) - 1
+			if last >= 0 && xs[last] != int64(last)*2 {
 				c.Fail(fmt.Errorf("gateway: parfor template verification failed"))
+				return
+			}
+			if last >= 0 {
+				*out = xs[last]
 			}
 		})
 	}

@@ -101,6 +101,13 @@ type Measurement struct {
 	DegradedTrips uint64
 	ShedDegraded  uint64
 	RecoverTick   int
+	// Coalescing outcome (sink figure): the run-record sink's write
+	// ledger after one async load step — every completed run is one
+	// logical write, every backend WriteBatch one backend call; the
+	// ratio is the write reduction coalescing bought at this
+	// threshold (Spec.Threshold).
+	LogicalWrites uint64
+	BackendCalls  uint64
 }
 
 func (m Measurement) String() string {
@@ -127,6 +134,31 @@ func (m Measurement) Block() *report.Block {
 			Out("nb_degraded_trips", m.DegradedTrips).
 			Out("nb_shed_degraded", m.ShedDegraded).
 			Out("recover_tick", m.RecoverTick).
+			Out("killed", 0)
+		if m.Caveat != "" {
+			b.Out("caveat", m.Caveat)
+		}
+		return b
+	}
+	if m.Spec.Bench == "sink" {
+		// The coalescing experiment's record: async load in, the
+		// sink's write-reduction ledger out.
+		ratio := float64(m.LogicalWrites)
+		if m.BackendCalls > 0 {
+			ratio = float64(m.LogicalWrites) / float64(m.BackendCalls)
+		}
+		b := report.NewBlock().
+			In("bench", "sink").
+			In("proc", m.Spec.Procs).
+			In("threshold", m.Spec.Threshold).
+			In("rate", fmt.Sprintf("%.1f", m.OfferedRate)).
+			Out("exectime", fmt.Sprintf("%.6f", m.Seconds.Mean)).
+			Out("nb_completed", m.Completed).
+			Out("nb_logical_writes", m.LogicalWrites).
+			Out("nb_backend_calls", m.BackendCalls).
+			Out("coalesce_ratio", fmt.Sprintf("%.1f", ratio)).
+			Out("p50_ms", fmt.Sprintf("%.3f", float64(m.P50)/1e6)).
+			Out("p99_ms", fmt.Sprintf("%.3f", float64(m.P99)/1e6)).
 			Out("killed", 0)
 		if m.Caveat != "" {
 			b.Out("caveat", m.Caveat)

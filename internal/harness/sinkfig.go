@@ -1,0 +1,131 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro"
+	"repro/internal/gateway"
+	"repro/internal/sink"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// The coalescing experiment (`ppopp17bench -fig sink`, not a figure of
+// the paper): the async v1 lifecycle driven end to end — open-loop
+// async submissions, client-side polling to completion — against a
+// gateway whose run-record sink is swept across coalescing thresholds.
+// The sink's accounting splits every completed run (one logical
+// write) from every backend WriteBatch (one backend call), so the
+// table shows the VSA-style trade directly: the write-reduction ratio
+// grows with the threshold while the client-observed completion
+// latency stays flat, because publishing is a buffer append off the
+// request path either way.
+
+// sinkServiceUS keeps each async run ~1ms so a sub-second window
+// completes hundreds of runs per threshold step.
+const sinkServiceUS = 1000
+
+// SinkCoalescing runs the threshold sweep and reports one row per
+// threshold.
+func SinkCoalescing(o Options) (*Report, error) {
+	o = o.fill()
+	rep := &Report{
+		Figure: "Sink",
+		Title:  "Run-record sink: write coalescing vs threshold under async load",
+	}
+	procs := o.MaxProcs
+	window := time.Second
+	if o.Quick {
+		window = 400 * time.Millisecond
+	}
+	// Offered below capacity: sheds would complete no run and publish
+	// no record, muddying the ledger.
+	rate := 0.8 * float64(procs) / (float64(sinkServiceUS) * 1e-6)
+	for _, threshold := range []int{1, 8, 32, 128} {
+		o.progress("sink threshold %d (%.0f async req/s)", threshold, rate)
+		m, err := sinkStep(procs, threshold, rate, window)
+		if err != nil {
+			return nil, err
+		}
+		m.Spec.N = sinkServiceUS
+		rep.Measurements = append(rep.Measurements, m)
+	}
+	tbl := stats.NewTable(
+		fmt.Sprintf("sink (spin %dµs async, %d workers): coalescing threshold sweep", sinkServiceUS, procs),
+		"threshold", "completed", "logical writes", "backend calls", "ratio", "p50", "p99")
+	for _, m := range rep.Measurements {
+		ratio := float64(m.LogicalWrites)
+		if m.BackendCalls > 0 {
+			ratio = float64(m.LogicalWrites) / float64(m.BackendCalls)
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%d", m.Spec.Threshold),
+			fmt.Sprintf("%d", m.Completed),
+			fmt.Sprintf("%d", m.LogicalWrites),
+			fmt.Sprintf("%d", m.BackendCalls),
+			fmt.Sprintf("%.1f", ratio),
+			m.P50.Round(100*time.Microsecond).String(),
+			m.P99.Round(100*time.Microsecond).String())
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	rep.Notes = append(rep.Notes,
+		"expected shape: backend calls shrink roughly linearly with the threshold (the interval flusher bounds the tail), logical writes track completed runs 1:1, and the completion quantiles stay flat across the sweep — coalescing is free at publish time because the buffer append is off the request path")
+	return rep, nil
+}
+
+// sinkStep measures one threshold on a fresh server: async load for
+// the window, then the sink ledger is read before the drain so the
+// final Close flush does not count against the steady-state ratio.
+func sinkStep(procs, threshold int, rate float64, window time.Duration) (Measurement, error) {
+	s := sink.New(sink.NewRing(1<<16),
+		sink.WithThreshold(threshold), sink.WithShards(1))
+	srv := gateway.NewServer("127.0.0.1:0", gateway.Config{
+		RuntimeOptions: []repro.Option{repro.WithWorkers(procs), repro.WithSeed(1)},
+		Dispatchers:    2 * procs,
+		QueueDepth:     4 * procs,
+		Sink:           s,
+	})
+	if err := srv.Listen(); err != nil {
+		return Measurement{}, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx) }()
+	defer func() {
+		cancel()
+		<-served
+	}()
+
+	res := workload.Uniform(workload.ServeConfig{
+		URL:      "http://" + srv.Addr(),
+		Template: "spin",
+		N:        sinkServiceUS,
+		Timeout:  time.Minute,
+		Mode:     "async",
+		Tenants:  4,
+		Rate:     rate,
+		Duration: window,
+	})
+	if res.Errors > 0 {
+		return Measurement{}, fmt.Errorf("harness: sink step at threshold %d: %d request errors", threshold, res.Errors)
+	}
+	st := s.Stats()
+	return Measurement{
+		Spec:          Spec{Bench: "sink", Algo: "adaptive", Procs: procs, Threshold: uint64(threshold), Runs: 1, Seed: 1},
+		Seconds:       stats.Summarize([]float64{res.Elapsed.Seconds()}),
+		OfferedRate:   res.Offered,
+		Throughput:    res.Throughput(),
+		ShedRate:      res.ShedRate(),
+		Sent:          res.Sent,
+		Completed:     res.OK,
+		Shed:          res.Shed,
+		P50:           res.Latency.P50,
+		P95:           res.Latency.P95,
+		P99:           res.Latency.P99,
+		LogicalWrites: st.LogicalWrites,
+		BackendCalls:  st.BackendCalls,
+		Caveat:        hostCaveat(),
+	}, nil
+}

@@ -1,0 +1,141 @@
+package sink
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestHTTPBackendE2E drives the HTTP backend against a real
+// out-of-process collector: the test binary re-execs itself as a
+// child process (TestCollectorHelperProcess) running a tiny HTTP
+// collector that persists every batch it receives to a JSONL file,
+// and the parent publishes through a coalescing Sink and verifies
+// every record crossed the process boundary. Opt-in: set
+// REPRO_SINK_E2E=1 (CI's sink-e2e job does; the default test run
+// skips it to stay hermetic).
+func TestHTTPBackendE2E(t *testing.T) {
+	if os.Getenv("REPRO_SINK_E2E") != "1" {
+		t.Skip("set REPRO_SINK_E2E=1 to run the out-of-process collector e2e")
+	}
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	outFile := filepath.Join(dir, "collected.jsonl")
+
+	cmd := exec.Command(os.Args[0], "-test.run=TestCollectorHelperProcess", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"SINK_COLLECTOR_HELPER=1",
+		"SINK_COLLECTOR_ADDR_FILE="+addrFile,
+		"SINK_COLLECTOR_OUT_FILE="+outFile,
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	}()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		b, err := os.ReadFile(addrFile)
+		if err == nil && len(b) > 0 {
+			addr = string(b)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("collector child never published its address")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	s := New(NewHTTP("http://"+addr+"/collect", nil),
+		WithThreshold(8), WithShards(1), WithInterval(time.Hour))
+	const n = 25
+	for i := 0; i < n; i++ {
+		s.Publish(rec(fmt.Sprintf("e2e-%d", i)))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close (final flush over HTTP): %v", err)
+	}
+	st := s.Stats()
+	if st.Dropped != 0 {
+		t.Fatalf("Dropped = %d publishing to a live collector", st.Dropped)
+	}
+	if st.BackendCalls >= n {
+		t.Fatalf("no coalescing over HTTP: %d calls for %d writes", st.BackendCalls, n)
+	}
+
+	// The collector fsyncs before responding, so after Close every
+	// record is on the child's disk.
+	recs, err := ReadJSONL(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, r := range recs {
+		seen[r.ID] = true
+	}
+	for i := 0; i < n; i++ {
+		if !seen[fmt.Sprintf("e2e-%d", i)] {
+			t.Fatalf("record e2e-%d never reached the collector process", i)
+		}
+	}
+}
+
+// TestCollectorHelperProcess is not a test: it is the body of the
+// collector child process TestHTTPBackendE2E spawns. It accepts
+// POSTed batches (JSON arrays of RunRecords), appends them to the
+// JSONL file named by SINK_COLLECTOR_OUT_FILE, and serves until
+// killed.
+func TestCollectorHelperProcess(t *testing.T) {
+	if os.Getenv("SINK_COLLECTOR_HELPER") != "1" {
+		t.Skip("helper process body, not a test")
+	}
+	outFile := os.Getenv("SINK_COLLECTOR_OUT_FILE")
+	out, err := NewJSONL(outFile, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /collect", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var recs []*RunRecord
+		if err := json.Unmarshal(body, &recs); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := out.WriteBatch(context.Background(), recs); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	if err := os.WriteFile(os.Getenv("SINK_COLLECTOR_ADDR_FILE"), []byte(ln.Addr().String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Serve until the parent kills the process; the error return on
+	// kill is the expected exit.
+	_ = http.Serve(ln, mux)
+}

@@ -1,0 +1,59 @@
+package sink
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// HTTP is the out-of-process backend: each batch is one POST of a
+// JSON array of RunRecords to a collector URL. The sink's coalescing
+// is what makes this backend affordable — backend_calls, not
+// logical_writes, is the request rate the collector sees. Any non-2xx
+// response (or transport error) fails the batch; the sink counts it
+// dropped and does not retry, keeping the publish path from ever
+// backing up behind a dead collector.
+type HTTP struct {
+	url    string
+	client *http.Client
+}
+
+// NewHTTP builds an HTTP backend posting batches to url. client nil
+// means a dedicated client with a 10s request timeout.
+func NewHTTP(url string, client *http.Client) *HTTP {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &HTTP{url: url, client: client}
+}
+
+// WriteBatch posts the batch as one JSON array.
+func (h *HTTP) WriteBatch(ctx context.Context, recs []*RunRecord) error {
+	body, err := json.Marshal(recs)
+	if err != nil {
+		return fmt.Errorf("sink: http: marshal: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.url, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("sink: http: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("sink: http: %w", err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("sink: http: collector returned %s", resp.Status)
+	}
+	return nil
+}
+
+// Close is a no-op: the collector connection pool belongs to the
+// client.
+func (h *HTTP) Close() error { return nil }

@@ -1,0 +1,166 @@
+package sink
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// JSONL is the append-only file backend: one JSON object per line,
+// written O_APPEND and fsync'd once per batch, so a crash can lose at
+// most the batch in flight and can corrupt at most the final line
+// (ReadJSONL tolerates a partial trailing line for exactly that
+// reason). When the live file exceeds MaxBytes it rotates: the file
+// is renamed to path.N (N increasing) and a fresh file begins, so no
+// single segment grows without bound and completed segments are
+// immutable.
+type JSONL struct {
+	mu        sync.Mutex
+	path      string
+	maxBytes  int64
+	f         *os.File
+	size      int64
+	seq       int
+	rotations uint64
+}
+
+// NewJSONL opens (creating if needed) the append-only record file at
+// path. maxBytes ≤ 0 disables rotation.
+func NewJSONL(path string, maxBytes int64) (*JSONL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sink: jsonl: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sink: jsonl: %w", err)
+	}
+	j := &JSONL{path: path, maxBytes: maxBytes, f: f, size: st.Size()}
+	// Resume rotation numbering past any segments already on disk.
+	for {
+		if _, err := os.Stat(j.segName(j.seq)); err != nil {
+			break
+		}
+		j.seq++
+	}
+	return j, nil
+}
+
+// WriteBatch appends the batch as JSON lines in one write + one
+// fsync, then rotates if the segment outgrew MaxBytes. The whole
+// batch marshals before any byte hits the file, so a marshal failure
+// writes nothing.
+func (j *JSONL) WriteBatch(_ context.Context, recs []*RunRecord) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("sink: jsonl: marshal %q: %w", rec.ID, err)
+		}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("sink: jsonl: closed")
+	}
+	n, err := j.f.Write(buf.Bytes())
+	j.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("sink: jsonl: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("sink: jsonl: %w", err)
+	}
+	if j.maxBytes > 0 && j.size > j.maxBytes {
+		return j.rotateLocked()
+	}
+	return nil
+}
+
+// rotateLocked seals the live file as path.seq and starts a fresh
+// one. Rename-then-create: the completed segment is immutable the
+// moment it has a segment name, and a crash between the two steps
+// loses no data — the next NewJSONL simply starts a new live file.
+func (j *JSONL) rotateLocked() error {
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("sink: jsonl: rotate: %w", err)
+	}
+	if err := os.Rename(j.path, j.segName(j.seq)); err != nil {
+		return fmt.Errorf("sink: jsonl: rotate: %w", err)
+	}
+	j.seq++
+	j.rotations++
+	f, err := os.OpenFile(j.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("sink: jsonl: rotate: %w", err)
+	}
+	j.f, j.size = f, 0
+	return nil
+}
+
+func (j *JSONL) segName(seq int) string { return fmt.Sprintf("%s.%d", j.path, seq) }
+
+// Rotations returns how many segments have been sealed.
+func (j *JSONL) Rotations() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rotations
+}
+
+// Close fsyncs and closes the live file.
+func (j *JSONL) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// ReadJSONL reads every record from one JSONL file. A partial or
+// corrupt *final* line — the signature of a crash mid-write — is
+// skipped silently; corruption anywhere else is an error, because an
+// interior bad line means something other than a torn tail wrote the
+// file.
+func ReadJSONL(path string) ([]*RunRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var (
+		recs    []*RunRecord
+		pendErr error
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		if pendErr != nil {
+			return nil, pendErr // the bad line was not the last one
+		}
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec RunRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			pendErr = fmt.Errorf("sink: jsonl: corrupt line: %w", err)
+			continue
+		}
+		recs = append(recs, &rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}

@@ -1,0 +1,88 @@
+package sink
+
+import (
+	"context"
+	"sync"
+)
+
+// Ring is the in-memory backend: a bounded circular store of the most
+// recent records with an id index, so memory stays constant no matter
+// how many runs complete (the oldest record is evicted to admit the
+// newest) and Lookup is O(1). It is the default backend the gateway
+// serves GET /v1/runs/{id} from.
+type Ring struct {
+	mu      sync.RWMutex
+	recs    []*RunRecord // circular, capacity fixed at construction
+	idx     map[string]int
+	head    int // next write position
+	size    int
+	evicted uint64
+}
+
+// NewRing builds a ring holding the most recent capacity records
+// (capacity ≤ 0 means 4096).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Ring{
+		recs: make([]*RunRecord, capacity),
+		idx:  make(map[string]int, capacity),
+	}
+}
+
+// WriteBatch stores each record, evicting the oldest once full. A
+// record re-published under an existing id overwrites in place.
+func (r *Ring) WriteBatch(_ context.Context, recs []*RunRecord) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, rec := range recs {
+		if pos, ok := r.idx[rec.ID]; ok {
+			r.recs[pos] = rec
+			continue
+		}
+		if old := r.recs[r.head]; old != nil {
+			delete(r.idx, old.ID)
+			r.evicted++
+		}
+		r.recs[r.head] = rec
+		r.idx[rec.ID] = r.head
+		r.head = (r.head + 1) % len(r.recs)
+		if r.size < len(r.recs) {
+			r.size++
+		}
+	}
+	return nil
+}
+
+// Lookup finds a record by id (Querier).
+func (r *Ring) Lookup(id string) (*RunRecord, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	pos, ok := r.idx[id]
+	if !ok {
+		return nil, false
+	}
+	return r.recs[pos], true
+}
+
+// Len returns how many records the ring currently holds
+// (≤ capacity).
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.size
+}
+
+// Cap returns the ring's fixed capacity.
+func (r *Ring) Cap() int { return len(r.recs) }
+
+// Evicted returns how many records the bound has pushed out.
+func (r *Ring) Evicted() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.evicted
+}
+
+// Close is a no-op: the ring holds no external resources.
+func (r *Ring) Close() error { return nil }

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -35,6 +36,16 @@ type ServeConfig struct {
 	N        uint64        // template size knob (0 = server default)
 	Timeout  time.Duration // per-request deadline passed to the server (0 = server default)
 
+	// Mode selects the v1 lifecycle: "sync" (default) blocks each
+	// request goroutine on the computation; "async" POSTs mode=async,
+	// takes the 202 run id, and polls GET /v1/runs/{id} every
+	// PollInterval until the record lands — client latency then spans
+	// submit to observed completion, which is the async lifecycle's
+	// user-visible cost (and what the coalescing figure reports
+	// against the sink's write-reduction ratio).
+	Mode         string
+	PollInterval time.Duration // async poll spacing (default 2ms)
+
 	Tenants  int           // number of distinct tenants (default 4)
 	Rate     float64       // offered load, requests/second across all tenants
 	Duration time.Duration // send window (default 1s)
@@ -60,6 +71,12 @@ func (c *ServeConfig) defaults() {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Mode == "" {
+		c.Mode = "sync"
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 2 * time.Millisecond
 	}
 	if c.Client == nil {
 		c.Client = http.DefaultClient
@@ -125,6 +142,29 @@ func HotTenant(cfg ServeConfig) ServeResult {
 	return drive(cfg, func() int { return int(zipf.Uint64()) })
 }
 
+// pollRun polls GET /v1/runs/{id} until the run settles, returning
+// the terminal status code (200 done; anything that is not
+// 202-pending ends the poll). The deadline bounds a run the server
+// lost track of: past it the poll reports 504 rather than spinning.
+func pollRun(cfg ServeConfig, id string) (int, error) {
+	deadline := time.Now().Add(cfg.Timeout + 30*time.Second)
+	for {
+		resp, err := cfg.Client.Get(fmt.Sprintf("%s/v1/runs/%s", cfg.URL, id))
+		if err != nil {
+			return 0, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			return resp.StatusCode, nil
+		}
+		if time.Now().After(deadline) {
+			return http.StatusGatewayTimeout, nil
+		}
+		time.Sleep(cfg.PollInterval)
+	}
+}
+
 // tenantCell accumulates one tenant's counters with atomics so the
 // per-request goroutines never share a lock.
 type tenantCell struct {
@@ -143,8 +183,11 @@ func drive(cfg ServeConfig, pick func() int) ServeResult {
 	var shedTotal, unavail, retryHint atomic.Int64
 	all := stats.NewLatencyHist(4)
 
-	url := fmt.Sprintf("%s/run/%s", cfg.URL, cfg.Template)
+	url := fmt.Sprintf("%s/v1/runs/%s", cfg.URL, cfg.Template)
 	query := ""
+	if cfg.Mode == "async" {
+		query += "&mode=async"
+	}
 	if cfg.N > 0 {
 		query += fmt.Sprintf("&n=%d", cfg.N)
 	}
@@ -175,9 +218,29 @@ func drive(cfg ServeConfig, pick func() int) ServeResult {
 				cell.errs.Add(1)
 				return
 			}
-			_, _ = io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			switch resp.StatusCode {
+			status := resp.StatusCode
+			var runID string
+			if cfg.Mode == "async" && status == http.StatusAccepted {
+				var acc struct {
+					RunID string `json:"run_id"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&acc)
+				resp.Body.Close()
+				if err != nil || acc.RunID == "" {
+					cell.errs.Add(1)
+					return
+				}
+				runID = acc.RunID
+				status, err = pollRun(cfg, runID)
+				if err != nil {
+					cell.errs.Add(1)
+					return
+				}
+			} else {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			switch status {
 			case http.StatusOK:
 				cell.ok.Add(1)
 				d := time.Since(t0)

@@ -162,6 +162,21 @@ func WithSeed(seed uint64) Option { return func(c *Config) { c.Seed = seed } }
 // scheduling on any host.
 func WithTopology(t Topology) Option { return func(c *Config) { c.Topology = t } }
 
+// RunInfo describes one completed Run for observers (WithRunHook,
+// RunContextInfo): the run's runtime-assigned id, wall-clock span,
+// outcome, and approximate work counters (runtime-global deltas over
+// the run's span — exact when runs execute one at a time, attribution
+// blurred under concurrent runs). See nested.RunInfo.
+type RunInfo = nested.RunInfo
+
+// WithRunHook installs a per-run completion observer: h is called
+// once for every completed Run/RunContext with that run's RunInfo, on
+// the Run caller's goroutine, after the computation has quiesced and
+// before the Run call returns. It is the hook a persistence layer
+// (internal/sink via the gateway) publishes RunRecords from. Keep h
+// brief; it is on every run's completion path.
+func WithRunHook(h func(RunInfo)) Option { return func(c *Config) { c.RunHook = h } }
+
 // WithWatchdog arms the scheduler's stall watchdog: if a computation
 // is in flight but no vertex has executed for d — and no worker is
 // inside a task body, so a single long-running task never trips it —
@@ -209,6 +224,14 @@ func (r *Runtime) Run(f Task) error { return r.n.Run(f) }
 // the dag has quiesced. An already-cancelled ctx runs nothing.
 func (r *Runtime) RunContext(ctx context.Context, f Task) error {
 	return r.n.RunContext(ctx, f)
+}
+
+// RunContextInfo is RunContext, additionally returning the run's
+// RunInfo (id, timing, work counters). The error return equals
+// info.Err; it is repeated so the call composes like the other Run
+// variants.
+func (r *Runtime) RunContextInfo(ctx context.Context, f Task) (RunInfo, error) {
+	return r.n.RunContextInfo(ctx, f)
 }
 
 // Close shuts the Runtime down: it marks the Runtime closed (further
