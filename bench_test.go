@@ -27,6 +27,7 @@ import (
 	"repro/internal/gateway"
 	"repro/internal/nested"
 	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/sink"
 	"repro/internal/snzi"
 	"repro/internal/stallsim"
@@ -667,6 +668,71 @@ func BenchmarkAblationPruning(b *testing.B) {
 			}
 			b.StopTimer()
 			reportFanin(b, res)
+		})
+	}
+}
+
+// BenchmarkSim — the discrete-event scheduler replay (`ppopp17bench
+// -fig sim`; internal/sim): the scheduler's decision logic stepped at
+// 1024 simulated workers, far beyond any runner. ns/op is the
+// simulator's own speed and is not gated; every reported metric is a
+// pure function of (seed, config) — identical on every run, every
+// host, every GOMAXPROCS — so CI gates these cells with benchgate
+// -exact-metrics against bench/baseline_sim.txt: any drift, even by
+// one steal, means the modeled decision logic changed and the
+// baseline must be regenerated in the same commit that changed it.
+func BenchmarkSim(b *testing.B) {
+	const workers = 1024
+	burst := func(n, d int) []sim.Arrival {
+		arr := make([]sim.Arrival, n)
+		for i := range arr {
+			arr[i] = sim.Arrival{Tick: i / 32, Depth: d}
+		}
+		return arr
+	}
+	type cell struct {
+		name string
+		cfg  sim.Config
+	}
+	var cells []cell
+	for _, pol := range []sched.Policy{sched.ChaseLev, sched.PrivateDeques} {
+		cells = append(cells,
+			cell{fmt.Sprintf("%s/flat", pol), sim.Config{Workers: workers, Policy: pol, Seed: 1,
+				Topo: topology.Flat(workers), Arrivals: burst(4, 12)}},
+			cell{fmt.Sprintf("%s/8-node", pol), sim.Config{Workers: workers, Policy: pol, Seed: 1,
+				Topo: topology.Synthetic(8, workers/8), Arrivals: burst(4, 12)}},
+			cell{fmt.Sprintf("%s/elastic", pol), sim.Config{Workers: 16, MaxWorkers: workers,
+				Policy: pol, Seed: 1, RetireAfterTicks: 16, Topo: topology.Flat(workers),
+				Arrivals: burst(128, 9)}},
+		)
+	}
+	for _, cell := range cells {
+		b.Run(cell.name, func(b *testing.B) {
+			cfg := cell.cfg
+			var res sim.Result
+			var err error
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err = sim.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if res.Truncated {
+				b.Fatalf("truncated at %d ticks", res.Ticks)
+			}
+			b.ReportMetric(float64(res.Ticks), "ticks")
+			b.ReportMetric(float64(res.Executed), "executed")
+			b.ReportMetric(float64(res.LocalSteals), "local-steals")
+			b.ReportMetric(float64(res.RemoteSteals), "remote-steals")
+			b.ReportMetric(float64(res.Promotions), "promotions")
+			if cfg.MaxWorkers > cfg.Workers {
+				b.ReportMetric(float64(res.Spawned), "spawned")
+				b.ReportMetric(float64(res.Retired), "retired")
+				b.ReportMetric(float64(res.PeakLive), "peak-workers")
+				b.ReportMetric(float64(res.SteadyLive), "steady-workers")
+			}
 		})
 	}
 }

@@ -99,6 +99,7 @@ func main() {
 	maxAllocRatio := flag.Float64("max-alloc-ratio", 1.10, "fail if allocs/op exceeds baseline by this factor")
 	allocSlack := flag.Float64("alloc-slack", 1, "absolute allocs/op allowed above baseline (keeps zero-alloc baselines gated; warmup noise amortizes to <1 over b.N)")
 	minOpsRatio := flag.Float64("min-ops-ratio", 0.60, "fail if ops/s/core falls below baseline by this factor (loose: shared runners are noisy)")
+	exactMetrics := flag.Bool("exact-metrics", false, "gate every custom metric by exact equality instead of presence/ratio (for deterministic cells: the sim baseline)")
 	allowMissing := flag.Bool("allow-missing", false, "tolerate baseline benchmarks absent from the run (default: a missing cell fails its gate)")
 	flag.Parse()
 	if *in == "" {
@@ -144,6 +145,7 @@ func main() {
 		maxAllocRatio: *maxAllocRatio,
 		allocSlack:    *allocSlack,
 		minOpsRatio:   *minOpsRatio,
+		exactMetrics:  *exactMetrics,
 		allowMissing:  *allowMissing,
 	})
 	if compared == 0 {
@@ -162,7 +164,15 @@ type limits struct {
 	maxAllocRatio float64
 	allocSlack    float64
 	minOpsRatio   float64
-	allowMissing  bool
+	// exactMetrics switches every custom metric from the
+	// presence/ratio regime to exact equality. It exists for cells
+	// whose metrics are pure functions of their config — the
+	// discrete-event sim benchmark — where any drift, even one steal,
+	// means the modeled decision logic changed and the baseline must
+	// be regenerated in the same change. ns/op and allocs/op stay on
+	// their usual gates: they measure the simulator, not the model.
+	exactMetrics bool
+	allowMissing bool
 }
 
 // gate compares a run against the baseline and returns the failure
@@ -221,6 +231,14 @@ func gate(w io.Writer, cur map[string]Result, order []string, base map[string]Re
 			if !ok {
 				fmt.Fprintf(w, "FAIL %s: %s missing (baseline %.0f)\n", name, metric, bo)
 				failures++
+				continue
+			}
+			if lim.exactMetrics {
+				if co != bo {
+					fmt.Fprintf(w, "FAIL %s: %s %v != baseline %v (exact gate)\n",
+						name, metric, co, bo)
+					failures++
+				}
 				continue
 			}
 			if (metric == "ops/s/core" || metric == "ops/s") && bo > 0 && co < bo*lim.minOpsRatio {

@@ -161,6 +161,54 @@ func TestGateStealCountValuesNotGated(t *testing.T) {
 	}
 }
 
+const sampleSimBench = `goos: linux
+BenchmarkSim/chase-lev/flat     100  12186868 ns/op  32768 executed  6851 local-steals  4.000 promotions  0 remote-steals  32.00 ticks  26757838 B/op  55039 allocs/op
+BenchmarkSim/chase-lev/elastic   10 110622273 ns/op  131072 executed  8202 local-steals  369.0 peak-workers  128.0 promotions  0 remote-steals  353.0 retired  353.0 spawned  16.00 steady-workers  437.0 ticks  30527190 B/op  108853 allocs/op
+PASS
+`
+
+// TestGateExactMetrics: with -exact-metrics every custom metric is an
+// equality gate — a single steal of drift fails, because the sim's
+// numbers are pure functions of the config and any change means the
+// modeled decision logic moved. ns/op and allocs/op keep their usual
+// regimes (they measure the simulator's own speed, not the model).
+func TestGateExactMetrics(t *testing.T) {
+	lim := defaultLimits()
+	lim.exactMetrics = true
+
+	failures, compared, out := runGate(t, sampleSimBench, sampleSimBench, lim)
+	if failures != 0 || compared != 2 {
+		t.Fatalf("identical run: failures=%d compared=%d\n%s", failures, compared, out)
+	}
+
+	drifted := strings.Replace(sampleSimBench, "6851 local-steals", "6850 local-steals", 1)
+	failures, _, out = runGate(t, drifted, sampleSimBench, lim)
+	if failures != 1 || !strings.Contains(out, "exact gate") {
+		t.Fatalf("one-steal drift: failures=%d, want 1\n%s", failures, out)
+	}
+
+	// The same drift passes the default presence-only regime — the
+	// exact regime is opt-in per baseline, not a global tightening.
+	failures, _, out = runGate(t, drifted, sampleSimBench, defaultLimits())
+	if failures != 0 {
+		t.Fatalf("presence regime: failures=%d, want 0\n%s", failures, out)
+	}
+
+	// Vanished metrics still fail first, with the missing-metric shape.
+	stripped := strings.Replace(sampleSimBench, "128.0 promotions  ", "", 1)
+	failures, _, out = runGate(t, stripped, sampleSimBench, lim)
+	if failures != 1 || !strings.Contains(out, "promotions missing") {
+		t.Fatalf("vanished metric: failures=%d\n%s", failures, out)
+	}
+
+	// ns/op is not exact-gated: wall time may move freely.
+	slower := strings.Replace(sampleSimBench, "12186868 ns/op", "99999999 ns/op", 1)
+	failures, _, out = runGate(t, slower, sampleSimBench, lim)
+	if failures != 0 {
+		t.Fatalf("ns/op drift: failures=%d, want 0\n%s", failures, out)
+	}
+}
+
 // TestGateExtraCellIsNotCompared: new benchmarks without a baseline
 // row pass through (they gain a gate when the baseline is next
 // regenerated).

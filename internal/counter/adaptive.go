@@ -188,6 +188,25 @@ func (c *adaptiveCounter) noteMiss() {
 	}
 }
 
+// ContentionStep is the promotion decision of noteMiss as a pure
+// function — the hook the discrete-event simulator (internal/sim) uses
+// to model adaptive counters without running them. One observation
+// window in which colliders operations hit the same cell concurrently
+// costs colliders−1 CAS misses (exactly one op's CAS lands per
+// collision round; the model charges one round, the cheapest consistent
+// accounting). The returned promote flag is the threshold crossing;
+// like the real counter, a caller promotes at most once and a
+// contention of 0 means DefaultContention.
+func ContentionStep(misses uint64, colliders int, contention uint64) (uint64, bool) {
+	if contention == 0 {
+		contention = DefaultContention
+	}
+	if colliders > 1 {
+		misses += uint64(colliders - 1)
+	}
+	return misses, misses >= contention
+}
+
 // promote installs the in-counter phase: a dynamic in-counter born
 // with one dependency — the anchor — whose State the adaptive counter
 // keeps for itself. Exactly one installer wins the CAS; losers release

@@ -108,6 +108,14 @@ type Measurement struct {
 	// threshold (Spec.Threshold).
 	LogicalWrites uint64
 	BackendCalls  uint64
+	// Discrete-event outcome (sim figure): virtual time instead of
+	// wall-clock. Ticks is how many simulated steps the run took to
+	// quiesce; PeggedTicks is how many of them the elastic pool spent
+	// at its ceiling with backlog pressure. Every sim number is
+	// deterministic from the Spec, which is why the sim benchmark is
+	// gated exactly rather than by ratio.
+	Ticks       int
+	PeggedTicks int
 }
 
 func (m Measurement) String() string {
@@ -162,6 +170,38 @@ func (m Measurement) Block() *report.Block {
 			Out("killed", 0)
 		if m.Caveat != "" {
 			b.Out("caveat", m.Caveat)
+		}
+		return b
+	}
+	if m.Spec.Bench == "sim" {
+		// The sim record is virtual-time-shaped: no exectime, no caveat
+		// (the simulation is host-independent by construction — that is
+		// the point), scheduling counts out. proc is the simulated
+		// worker floor, far beyond any host.
+		b := report.NewBlock().
+			In("bench", "sim").
+			In("policy", m.Spec.Algo).
+			In("proc", m.Spec.Procs).
+			In("n", m.Spec.N)
+		if m.Spec.MaxWorkers > m.Spec.Procs {
+			b.In("maxproc", m.Spec.MaxWorkers)
+		}
+		if m.Spec.Nodes > 1 {
+			b.In("nodes", m.Spec.Nodes)
+		}
+		b.Out("nb_ticks", m.Ticks).
+			Out("nb_vertices", m.Vertices).
+			Out("nb_steals", m.Steals).
+			Out("nb_local_steals", m.LocalSteals).
+			Out("nb_remote_steals", m.RemoteSteals).
+			Out("nb_promotions", m.Promotions).
+			Out("nb_pegged_ticks", m.PeggedTicks).
+			Out("killed", 0)
+		if m.Spec.MaxWorkers > m.Spec.Procs {
+			b.Out("nb_peak_workers", m.PeakWorkers).
+				Out("nb_steady_workers", m.SteadyWorkers).
+				Out("nb_spawned_workers", m.Spawned).
+				Out("nb_retired_workers", m.Retired)
 		}
 		return b
 	}

@@ -68,7 +68,12 @@ func TestPeggedForFixedPoolAlwaysZero(t *testing.T) {
 func TestPeggedForUnderSaturation(t *testing.T) {
 	requireParallelism(t)
 	const max = 2
-	s := New(1, WithSeed(5), WithMaxWorkers(max), WithRetireAfter(5*time.Millisecond))
+	// The pegged window and the retirement timers run on a manual
+	// clock: PeggedFor rises exactly when the test advances time past
+	// the stamp, and quiescing is advance-driven instead of racing a
+	// 5ms wall-clock window.
+	clk := NewManualClock(time.Unix(0, 0))
+	s := New(1, WithSeed(5), WithMaxWorkers(max), WithRetireAfter(5*time.Millisecond), WithClock(clk))
 	d := spdag.New(counter.FetchAdd{}, spdag.WithScheduler(s.Submit))
 	s.Start()
 	defer s.Shutdown()
@@ -102,9 +107,12 @@ func TestPeggedForUnderSaturation(t *testing.T) {
 	})
 	waitCond(t, 10*time.Second, "pegged signal raised", func() bool {
 		// One more spaced push per probe keeps the pressure counter
-		// moving in case the earlier ones raced a transient state.
+		// moving in case the earlier ones raced a transient state; the
+		// clock advance turns a placed stamp into a positive duration
+		// (PeggedFor is clock-now minus the stamp).
 		submit(func(*spdag.Vertex) { executed.Add(1) })
 		time.Sleep(time.Millisecond)
+		clk.Advance(time.Millisecond)
 		return s.PeggedFor() > 0
 	})
 

@@ -1,0 +1,162 @@
+package sched
+
+// The clock seam. Every read of wall time the scheduler makes — the
+// pegged-overload stamp, the watchdog's progress window, the
+// mid-execution bracket, and the retirement timer — goes through the
+// Clock the scheduler was built with. The default is the real clock,
+// and a production scheduler pays nothing for the indirection beyond a
+// static interface call. Substituting ManualClock makes every
+// time-dependent decision (retire-after, pegged-for, watchdog windows)
+// a deterministic function of explicit Advance calls, which is what
+// turns the elastic/admission tests from timing-dependent polls into
+// replayable scripts and lets the discrete-event simulator
+// (internal/sim) and the production loop share one notion of "when".
+//
+// The seam deliberately stops at time: goroutine scheduling itself is
+// not virtualized here. Full scheduling determinism is internal/sim's
+// job; the clock seam removes the *timer* races from the real
+// scheduler's tests.
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the scheduler's time source.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// NewTimer returns an armed Timer that delivers one tick on C
+	// after d.
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer is the clock-agnostic subset of time.Timer the scheduler
+// needs, with Go 1.23 semantics: Reset and Stop discard any pending
+// undelivered tick, so no drain discipline is needed (or safe — see
+// parkTimed).
+type Timer interface {
+	C() <-chan time.Time
+	Reset(d time.Duration)
+	Stop()
+}
+
+// realClock is the production Clock: time.Now and time.Timer.
+type realClock struct{}
+
+func (realClock) Now() time.Time                 { return time.Now() }
+func (realClock) NewTimer(d time.Duration) Timer { return &realTimer{t: time.NewTimer(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (rt *realTimer) C() <-chan time.Time   { return rt.t.C }
+func (rt *realTimer) Reset(d time.Duration) { rt.t.Reset(d) }
+func (rt *realTimer) Stop()                 { rt.t.Stop() }
+
+// WithClock substitutes the scheduler's time source (default: the real
+// clock). Tests install a ManualClock so retirement, pegged-overload,
+// and watchdog windows fire exactly when the test advances time,
+// instead of racing wall-clock sleeps.
+func WithClock(c Clock) Option {
+	return func(cfg *config) { cfg.clock = c }
+}
+
+// ManualClock is a deterministic Clock: time stands still until
+// Advance moves it, and timers fire inside Advance, in deadline order.
+// It is safe for concurrent use — workers arm and stop timers from
+// their own goroutines while the test advances.
+type ManualClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*manualTimer
+}
+
+// NewManualClock returns a ManualClock reading start.
+func NewManualClock(start time.Time) *ManualClock {
+	return &ManualClock{now: start}
+}
+
+// Now returns the clock's current (frozen) time.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and fires every armed timer
+// whose deadline has been reached, in deadline order.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	c.fireDue()
+}
+
+// fireDue delivers ticks for all due timers; c.mu must be held.
+func (c *ManualClock) fireDue() {
+	for {
+		var due *manualTimer
+		for _, t := range c.timers {
+			if !t.armed || t.deadline.After(c.now) {
+				continue
+			}
+			if due == nil || t.deadline.Before(due.deadline) {
+				due = t
+			}
+		}
+		if due == nil {
+			return
+		}
+		due.armed = false
+		// Non-blocking: the channel is buffered with capacity 1 and
+		// drained on Reset/Stop, so a skipped send can only mean an
+		// undelivered tick is already pending — which is the tick.
+		select {
+		case due.ch <- due.deadline:
+		default:
+		}
+	}
+}
+
+// NewTimer returns a timer armed d from the clock's current time. A
+// non-positive d fires on the next Advance (including Advance(0)).
+func (c *ManualClock) NewTimer(d time.Duration) Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &manualTimer{c: c, ch: make(chan time.Time, 1), deadline: c.now.Add(d), armed: true}
+	c.timers = append(c.timers, t)
+	return t
+}
+
+type manualTimer struct {
+	c        *ManualClock
+	ch       chan time.Time
+	deadline time.Time
+	armed    bool
+}
+
+func (t *manualTimer) C() <-chan time.Time { return t.ch }
+
+func (t *manualTimer) Reset(d time.Duration) {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	t.drain()
+	t.deadline = t.c.now.Add(d)
+	t.armed = true
+}
+
+func (t *manualTimer) Stop() {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	t.drain()
+	t.armed = false
+}
+
+// drain discards an undelivered tick (the Go 1.23 Reset/Stop
+// contract); t.c.mu must be held.
+func (t *manualTimer) drain() {
+	select {
+	case <-t.ch:
+	default:
+	}
+}

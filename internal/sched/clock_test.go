@@ -1,0 +1,117 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/counter"
+	"repro/internal/spdag"
+)
+
+func TestManualClockAdvanceFiresInDeadlineOrder(t *testing.T) {
+	clk := NewManualClock(time.Unix(0, 0))
+	a := clk.NewTimer(10 * time.Millisecond)
+	b := clk.NewTimer(5 * time.Millisecond)
+
+	clk.Advance(4 * time.Millisecond)
+	select {
+	case <-a.C():
+		t.Fatal("timer a fired before its deadline")
+	case <-b.C():
+		t.Fatal("timer b fired before its deadline")
+	default:
+	}
+
+	clk.Advance(6 * time.Millisecond) // now = 10ms: both due
+	ta, tb := <-a.C(), <-b.C()
+	if !tb.Before(ta) {
+		t.Fatalf("deadline order lost: b fired at %v, a at %v", tb, ta)
+	}
+	if got := clk.Now(); !got.Equal(time.Unix(0, 0).Add(10 * time.Millisecond)) {
+		t.Fatalf("Now = %v after advancing 10ms", got)
+	}
+}
+
+func TestManualTimerResetDiscardsPendingTick(t *testing.T) {
+	// The Go 1.23 contract the Timer seam promises: Reset and Stop
+	// discard an already-fired, un-received tick, so parkTimed's
+	// drain-free select stays correct under the manual clock.
+	clk := NewManualClock(time.Unix(0, 0))
+	tm := clk.NewTimer(time.Millisecond)
+	clk.Advance(time.Millisecond) // tick pending, never received
+	tm.Reset(time.Millisecond)
+	select {
+	case <-tm.C():
+		t.Fatal("Reset leaked the stale tick")
+	default:
+	}
+	clk.Advance(time.Millisecond)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("reset timer did not fire at its new deadline")
+	}
+
+	tm.Reset(time.Millisecond)
+	clk.Advance(time.Millisecond)
+	tm.Stop()
+	select {
+	case <-tm.C():
+		t.Fatal("Stop leaked the pending tick")
+	default:
+	}
+	clk.Advance(time.Hour)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+}
+
+func TestManualTimerZeroDurationFiresOnNextAdvance(t *testing.T) {
+	clk := NewManualClock(time.Unix(0, 0))
+	tm := clk.NewTimer(0)
+	clk.Advance(0)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("zero-duration timer did not fire on Advance(0)")
+	}
+}
+
+func TestRealClockRoundTrips(t *testing.T) {
+	var c Clock = realClock{}
+	before := time.Now()
+	if c.Now().Before(before) {
+		t.Fatal("realClock.Now went backwards")
+	}
+	tm := c.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("real timer never fired")
+	}
+	tm.Reset(time.Hour)
+	tm.Stop()
+}
+
+// TestSchedulerOnManualClockStillCompletes pins the seam's default-
+// behavior guarantee: a scheduler whose clock never moves still
+// executes everything — only retirement and the pegged/watchdog
+// windows are time-dependent, never progress.
+func TestSchedulerOnManualClockStillCompletes(t *testing.T) {
+	clk := NewManualClock(time.Unix(0, 0))
+	s := New(2, WithSeed(13), WithClock(clk))
+	d := spdag.New(counter.FetchAdd{}, spdag.WithScheduler(s.Submit))
+	s.Start()
+	defer s.Shutdown()
+	if st := s.Stats(); st.Executed != 0 {
+		t.Fatalf("fresh scheduler executed %d", st.Executed)
+	}
+	var leaves atomic.Int64
+	s.Run(d, func(u *spdag.Vertex) { spawnTree(u, 4, &leaves) })
+	if got := leaves.Load(); got != 1<<4 {
+		t.Fatalf("frozen-clock run produced %d leaves, want %d", got, 1<<4)
+	}
+}

@@ -59,7 +59,11 @@ func TestElasticSpawnOnSustainedBacklog(t *testing.T) {
 	for _, policy := range []Policy{ChaseLev, PrivateDeques} {
 		t.Run(policy.String(), func(t *testing.T) {
 			const max = 4
-			s := New(1, WithSeed(5), WithPolicy(policy), WithMaxWorkers(max), WithRetireAfter(5*time.Millisecond))
+			// Retirement runs on a manual clock: the window elapses only
+			// when this test advances it, so quiescing is a scripted
+			// decision, not a race against wall-clock sleeps.
+			clk := NewManualClock(time.Unix(0, 0))
+			s := New(1, WithSeed(5), WithPolicy(policy), WithMaxWorkers(max), WithRetireAfter(5*time.Millisecond), WithClock(clk))
 			d := spdag.New(counter.FetchAdd{}, spdag.WithScheduler(s.Submit))
 			s.Start()
 			defer s.Shutdown()
@@ -101,12 +105,17 @@ func TestElasticSpawnOnSustainedBacklog(t *testing.T) {
 			}
 
 			// Release the blockers: the no-op backlog drains, and the
-			// idle pool retires back to the floor.
+			// idle pool retires back to the floor. Workers arm their
+			// retirement timers as they park; advancing the clock one
+			// full window per probe fires whichever timers are armed by
+			// then, so every parked-above-floor worker retires no matter
+			// how its park interleaves with the probes.
 			close(release)
 			waitCond(t, 10*time.Second, "backlog drained", func() bool {
 				return executed.Load() == noops
 			})
 			waitCond(t, 10*time.Second, "pool quiesced to the floor", func() bool {
+				clk.Advance(5 * time.Millisecond)
 				return s.NumWorkers() == 1 && s.ParkedWorkers() == 1 &&
 					s.RetiredWorkers() == s.SpawnedWorkers()
 			})
@@ -116,9 +125,12 @@ func TestElasticSpawnOnSustainedBacklog(t *testing.T) {
 
 // TestElasticSequentialRunsNeverSpawn: one-shot submissions — each
 // fully drained before the next — are spikes, not sustained backlog,
-// and must not grow the pool.
+// and must not grow the pool. The manual clock never advances, so the
+// assertion is time-independent by construction: no retirement window
+// can elapse, and the spawn decision is pressure-only.
 func TestElasticSequentialRunsNeverSpawn(t *testing.T) {
-	s := New(1, WithSeed(7), WithMaxWorkers(4), WithRetireAfter(time.Millisecond))
+	s := New(1, WithSeed(7), WithMaxWorkers(4), WithRetireAfter(time.Millisecond),
+		WithClock(NewManualClock(time.Unix(0, 0))))
 	d := spdag.New(counter.FetchAdd{}, spdag.WithScheduler(s.Submit))
 	s.Start()
 	defer s.Shutdown()
@@ -201,7 +213,8 @@ func TestElasticChurnStress(t *testing.T) {
 // per-slot and must not reset when a worker retires and its slot is
 // respawned.
 func TestElasticStatsSurviveRetirement(t *testing.T) {
-	s := New(1, WithSeed(31), WithMaxWorkers(2), WithRetireAfter(time.Millisecond))
+	clk := NewManualClock(time.Unix(0, 0))
+	s := New(1, WithSeed(31), WithMaxWorkers(2), WithRetireAfter(time.Millisecond), WithClock(clk))
 	d := spdag.New(counter.FetchAdd{}, spdag.WithScheduler(s.Submit))
 	s.Start()
 	defer s.Shutdown()
@@ -223,6 +236,12 @@ func TestElasticStatsSurviveRetirement(t *testing.T) {
 		} else {
 			before = st.Executed
 		}
-		time.Sleep(3 * time.Millisecond) // let the pool shrink between rounds
+		// Shrink the pool between rounds on the manual clock: advance a
+		// full retirement window per probe until any spawned worker has
+		// retired (immediately true for rounds that never grew the pool).
+		waitCond(t, 10*time.Second, "pool shrank to the floor", func() bool {
+			clk.Advance(time.Millisecond)
+			return s.NumWorkers() == 1
+		})
 	}
 }

@@ -225,8 +225,8 @@ func (w *worker) stealAttempt(victim *worker, stat *atomic.Uint64) *spdag.Vertex
 	}
 }
 
-// pickAnswerable walks the candidate list once, from a random
-// starting point, for a victim that is live and unparked — every
+// pickAnswerable walks the candidate list once in the VictimWalk
+// order (step.go) for a victim that is live and unparked — every
 // candidate is considered exactly once, so an answerable local victim
 // cannot be missed by unlucky sampling (which would escalate the
 // thief to a remote request). The eligibility read is racy by nature
@@ -237,9 +237,9 @@ func (w *worker) pickAnswerable(victims []*worker) *worker {
 	if n == 0 {
 		return nil
 	}
-	start := int(w.g.Uint64n(uint64(n)))
+	start := VictimWalk(w.g, n)
 	for attempt := 0; attempt < n; attempt++ {
-		v := victims[(start+attempt)%n]
+		v := victims[WalkVictim(start, attempt, n)]
 		if !v.parked.Load() && v.live() {
 			return v
 		}

@@ -34,6 +34,15 @@ type Scheduler struct {
 	topo  topology.Topology
 	pools *spdag.NodePools // per-node vertex overflow pools
 
+	// slotNodes caches topo.NodeOf per slot (== workers[i].node) in the
+	// slice shape SpawnPlacement consumes.
+	slotNodes []int
+
+	// clock is the scheduler's time source (clock.go): the real clock
+	// in production, a ManualClock in deterministic tests. Set in New,
+	// never changed.
+	clock Clock
+
 	// nparked counts workers currently parked (registered for wake-up).
 	// Producers read it on every push; it only changes on park/unpark
 	// transitions, so in a busy scheduler the line is read-shared.
@@ -177,10 +186,11 @@ type worker struct {
 	parked atomic.Bool
 	sema   chan struct{}
 
-	// timer arms timed parks (retirement); lazily allocated and reused
-	// (Go 1.23 timer semantics: Reset/Stop discard any pending tick,
-	// so no drain discipline is needed — or safe, see parkTimed).
-	timer *time.Timer
+	// timer arms timed parks (retirement); lazily allocated from the
+	// scheduler's clock and reused (Go 1.23 timer semantics: Reset/Stop
+	// discard any pending tick, so no drain discipline is needed — or
+	// safe, see parkTimed).
+	timer Timer
 
 	// execStart is the UnixNano at which the worker entered Execute
 	// (0 = not executing). Maintained only when the watchdog is armed:
@@ -197,7 +207,13 @@ type worker struct {
 // after New) they are a single predictable branch.
 func (w *worker) markExec() {
 	if w.s.wdStop != nil {
-		w.execStart.Store(time.Now().UnixNano())
+		// 0 is the "not executing" sentinel; a manual clock sitting at
+		// the Unix epoch must not make the mark invisible.
+		ns := w.s.clock.Now().UnixNano()
+		if ns == 0 {
+			ns = 1
+		}
+		w.execStart.Store(ns)
 	}
 }
 
@@ -219,6 +235,7 @@ type config struct {
 	retireAfter time.Duration
 	topo        topology.Topology
 	watchdog    time.Duration
+	clock       Clock
 }
 
 // WithSeed fixes the per-worker RNG seeds for reproducible runs.
@@ -302,6 +319,9 @@ func New(p int, opts ...Option) *Scheduler {
 	if cfg.topo.IsZero() {
 		cfg.topo = topology.Detect()
 	}
+	if cfg.clock == nil {
+		cfg.clock = realClock{}
+	}
 	s := &Scheduler{
 		workers:     make([]*worker, cfg.max),
 		policy:      cfg.policy,
@@ -309,12 +329,14 @@ func New(p int, opts ...Option) *Scheduler {
 		elastic:     cfg.max > p,
 		retireAfter: cfg.retireAfter,
 		topo:        cfg.topo,
+		clock:       cfg.clock,
 	}
 	if cfg.watchdog > 0 {
 		s.wdThreshold = cfg.watchdog
 		s.wdStop = make(chan struct{})
 	}
 	s.pools = spdag.NewNodePools(s.topo.Nodes())
+	s.slotNodes = make([]int, cfg.max)
 	s.inj.init()
 	s.nlive.Store(int32(p))
 	for i := range s.workers {
@@ -330,6 +352,7 @@ func New(p int, opts ...Option) *Scheduler {
 			w.state.Store(wsLive)
 		}
 		s.workers[i] = w
+		s.slotNodes[i] = w.node
 	}
 	// Victim candidate lists for the two-phase steal order. Built once:
 	// the slot→node map never changes, and keeping them per worker (not
@@ -403,7 +426,7 @@ func (s *Scheduler) PeggedFor() time.Duration {
 	if since == 0 {
 		return 0
 	}
-	return time.Duration(time.Now().UnixNano() - since)
+	return time.Duration(s.clock.Now().UnixNano() - since)
 }
 
 // Start launches the minimum worker goroutines. It may be called once.
@@ -498,26 +521,28 @@ func (s *Scheduler) clearPegged() {
 	}
 }
 
-// maybeSpawn implements the sustained-backlog signal: a wake attempt
-// that found no parked worker raises pressure only while the injector
-// holds work *beyond the submission that triggered the attempt*, and
-// the spawnPressure-th consecutive such attempt spawns. The ≥ 2 floor
-// matters because pressure is only sampled at wake attempts: a lone
-// submission into a momentarily-unparked pool always observes its own
-// vertex (size 1), so without the floor a sequence of such one-shot
-// spikes — each fully drained before the next — would masquerade as a
-// sustained backlog.
+// maybeSpawn is the production driver of the sustained-backlog spawn
+// signal: the decision itself is SpawnPressureStep (step.go, shared
+// with the simulator); what this driver adds is the concurrency
+// discipline — producers race on the shared pressure counter, so each
+// step is applied under a CAS (a failed CAS means another producer's
+// step landed first; re-read and step again, which preserves the
+// every-attempt-counts accounting of the old atomic Add).
 func (s *Scheduler) maybeSpawn() {
-	if s.inj.size.Load() < 2 {
-		s.pressure.Store(0)
-		s.clearPegged()
+	for {
+		old := s.pressure.Load()
+		next, signal := SpawnPressureStep(int(s.inj.size.Load()), old)
+		if !s.pressure.CompareAndSwap(old, next) {
+			continue
+		}
+		switch signal {
+		case SignalIdle:
+			s.clearPegged()
+		case SignalSpawn:
+			s.trySpawn()
+		}
 		return
 	}
-	if s.pressure.Add(1) < spawnPressure {
-		return
-	}
-	s.pressure.Store(0)
-	s.trySpawn()
 }
 
 // trySpawn launches one dormant slot, if the pool is below max and the
@@ -544,7 +569,7 @@ func (s *Scheduler) trySpawn() {
 			// one read-shared load; the CAS (not a store) preserves the
 			// start of the current pegged window when crossings race.
 			if s.peggedSince.Load() == 0 {
-				s.peggedSince.CompareAndSwap(0, time.Now().UnixNano())
+				s.peggedSince.CompareAndSwap(0, s.clock.Now().UnixNano())
 			}
 			return
 		}
@@ -561,27 +586,24 @@ func (s *Scheduler) trySpawn() {
 	// Load per node, counting retiring slots too: a retiring worker's
 	// storage is still homed on its node, and by the time the spawn
 	// lands it is usually dormant — counting it live only makes the
-	// scan slightly conservative.
+	// scan slightly conservative. The placement decision itself is
+	// SpawnPlacement (step.go, shared with the simulator); this driver
+	// snapshots the slot states under spawnMu and claims with a CAS.
 	load := make([]int, s.topo.Nodes())
-	for _, w := range s.workers {
+	dormant := make([]bool, len(s.workers))
+	for i, w := range s.workers {
 		if w.state.Load() != wsDormant {
 			load[w.node]++
+		} else {
+			dormant[i] = true
 		}
 	}
 	for {
-		var best *worker
-		for _, w := range s.workers {
-			if w.state.Load() != wsDormant {
-				continue
-			}
-			if best == nil || load[w.node] < load[best.node] {
-				best = w
-			}
-		}
-		if best == nil {
+		i := SpawnPlacement(s.slotNodes, dormant, load)
+		if i < 0 {
 			break
 		}
-		if best.state.CompareAndSwap(wsDormant, wsLive) {
+		if best := s.workers[i]; best.state.CompareAndSwap(wsDormant, wsLive) {
 			s.spawned.Add(1)
 			s.wg.Add(1)
 			go best.loop()
@@ -589,7 +611,9 @@ func (s *Scheduler) trySpawn() {
 		}
 		// Unreachable in practice — dormant→live transitions are
 		// serialized under spawnMu, so the claim cannot be contended —
-		// but rescanning keeps the loop correct if that ever changes.
+		// but dropping the slot and rescanning keeps the loop correct
+		// if that ever changes.
+		dormant[i] = false
 	}
 	s.nlive.Add(-1)
 }
@@ -756,19 +780,17 @@ func (w *worker) findWork() *spdag.Vertex {
 }
 
 // stealRound makes one round of steal attempts over the given victim
-// list — a full cyclic walk from a random starting point, so every
-// victim is tried exactly once per round (sampling with replacement
-// would skip an available victim with probability ≈ 1/e per round,
-// and a skipped local victim here escalates the thief to a remote
-// steal) — crediting successes to the given counter.
+// list in the VictimWalk order (step.go: a full cyclic walk from a
+// random starting point, so every victim is tried exactly once per
+// round), crediting successes to the given counter.
 func (w *worker) stealRound(victims []*worker, stat *atomic.Uint64) *spdag.Vertex {
 	n := len(victims)
 	if n == 0 {
 		return nil
 	}
-	start := int(w.g.Uint64n(uint64(n)))
+	start := VictimWalk(w.g, n)
 	for attempt := 0; attempt < n; attempt++ {
-		victim := victims[(start+attempt)%n]
+		victim := victims[WalkVictim(start, attempt, n)]
 		for {
 			v, empty := victim.dq.Steal()
 			if v != nil {
@@ -793,14 +815,15 @@ const (
 	yieldRounds = 64
 )
 
-// backoff escalates with persistent idleness; it reports whether the
-// worker parked and was woken, and whether it retired (in which case
-// the caller must exit its loop — the worker's goroutine is done).
+// backoff escalates with persistent idleness per IdleStep (step.go);
+// it reports whether the worker parked and was woken, and whether it
+// retired (in which case the caller must exit its loop — the worker's
+// goroutine is done).
 func (w *worker) backoff(rounds int) (woken, retired bool) {
-	switch {
-	case rounds < spinRounds:
+	switch IdleStep(rounds) {
+	case IdleSpin:
 		// spin
-	case rounds < yieldRounds:
+	case IdleYield:
 		runtime.Gosched()
 	default:
 		return w.park()
@@ -838,14 +861,14 @@ func (w *worker) park() (woken, retired bool) {
 		return true, false
 	}
 	// Retirement is possible only on an elastic pool with live workers
-	// to spare. The eligibility read is racy but sound: if nlive rises
-	// after we chose the untimed sleep (a spawn racing our
-	// registration), the capacity above the minimum lives in workers
-	// that are awake — and any of them that later parks re-evaluates
-	// with the higher nlive, takes the timed branch, and retires — so
-	// an untimed sleeper never permanently strands the pool above its
-	// floor.
-	if !s.elastic || int(s.nlive.Load()) <= s.min {
+	// to spare (RetireEligible, step.go). The eligibility read is racy
+	// but sound: if nlive rises after we chose the untimed sleep (a
+	// spawn racing our registration), the capacity above the minimum
+	// lives in workers that are awake — and any of them that later
+	// parks re-evaluates with the higher nlive, takes the timed branch,
+	// and retires — so an untimed sleeper never permanently strands the
+	// pool above its floor.
+	if !s.elastic || !RetireEligible(int(s.nlive.Load()), s.min) {
 		<-w.sema
 		return true, false
 	}
@@ -857,25 +880,25 @@ func (w *worker) park() (woken, retired bool) {
 func (w *worker) parkTimed() (woken, retired bool) {
 	s := w.s
 	if w.timer == nil {
-		w.timer = time.NewTimer(s.retireAfter)
+		w.timer = s.clock.NewTimer(s.retireAfter)
 	} else {
 		w.timer.Reset(s.retireAfter)
 	}
 	select {
 	case <-w.sema:
-		// Go 1.23+ timer semantics (this module's go.mod): Stop
-		// discards any already-fired, un-received tick, so no drain —
-		// draining here would block forever when the timer fired in the
-		// same instant the wake token arrived.
+		// Go 1.23+ timer semantics (this module's go.mod, mirrored by
+		// the Timer seam): Stop discards any already-fired, un-received
+		// tick, so no drain — draining here would block forever when
+		// the timer fired in the same instant the wake token arrived.
 		w.timer.Stop()
 		return true, false
-	case <-w.timer.C:
+	case <-w.timer.C():
 	}
 	// The timer fired with no wake. First reserve the capacity: retire
 	// only while the pool stays at or above its minimum without us.
 	for {
 		n := s.nlive.Load()
-		if int(n) <= s.min {
+		if !RetireEligible(int(n), s.min) {
 			// Eligibility evaporated (others retired first). Fall back
 			// to an untimed sleep; see park for why eligibility cannot
 			// return while we sleep.

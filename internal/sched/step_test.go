@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestIdleStepLadder(t *testing.T) {
+	if got := IdleStep(0); got != IdleSpin {
+		t.Fatalf("IdleStep(0) = %v, want spin", got)
+	}
+	if got := IdleStep(spinRounds - 1); got != IdleSpin {
+		t.Fatalf("IdleStep(%d) = %v, want spin", spinRounds-1, got)
+	}
+	if got := IdleStep(spinRounds); got != IdleYield {
+		t.Fatalf("IdleStep(%d) = %v, want yield", spinRounds, got)
+	}
+	if got := IdleStep(yieldRounds - 1); got != IdleYield {
+		t.Fatalf("IdleStep(%d) = %v, want yield", yieldRounds-1, got)
+	}
+	if got := IdleStep(yieldRounds); got != IdlePark {
+		t.Fatalf("IdleStep(%d) = %v, want park", yieldRounds, got)
+	}
+}
+
+func TestSpawnPressureStep(t *testing.T) {
+	// Below the sustained-signal floor: pressure resets, spike signal.
+	for _, backlog := range []int{0, 1} {
+		if p, sig := SpawnPressureStep(backlog, 5); p != 0 || sig != SignalIdle {
+			t.Fatalf("backlog=%d: (%d, %v), want (0, idle)", backlog, p, sig)
+		}
+	}
+	// Building pressure: spawnPressure−1 backlogged attempts signal
+	// nothing, the next one spawns and resets.
+	p := int32(0)
+	var sig SpawnSignal
+	for i := 0; i < spawnPressure-1; i++ {
+		p, sig = SpawnPressureStep(2, p)
+		if sig != SignalNone {
+			t.Fatalf("attempt %d: signal %v, want none", i, sig)
+		}
+	}
+	if p, sig = SpawnPressureStep(2, p); p != 0 || sig != SignalSpawn {
+		t.Fatalf("crossing attempt: (%d, %v), want (0, spawn)", p, sig)
+	}
+}
+
+func TestVictimWalkCoversAll(t *testing.T) {
+	g := rng.NewXoshiro(1)
+	const n = 7
+	start := VictimWalk(g, n)
+	if start < 0 || start >= n {
+		t.Fatalf("start %d out of range [0,%d)", start, n)
+	}
+	seen := make(map[int]bool)
+	for attempt := 0; attempt < n; attempt++ {
+		seen[WalkVictim(start, attempt, n)] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("cyclic walk visited %d of %d victims", len(seen), n)
+	}
+}
+
+func TestRetireEligible(t *testing.T) {
+	if RetireEligible(2, 2) {
+		t.Fatal("retiring at the floor must be ineligible")
+	}
+	if !RetireEligible(3, 2) {
+		t.Fatal("retiring above the floor must be eligible")
+	}
+}
+
+func TestSpawnPlacementLeastLoadedNode(t *testing.T) {
+	// Slots 0,1 on node 0; slots 2,3 on node 1. Node 0 carries two live
+	// workers, node 1 one — the dormant slot on node 1 must win.
+	nodeOf := []int{0, 0, 1, 1}
+	dormant := []bool{false, true, false, true}
+	load := []int{2, 1}
+	if got := SpawnPlacement(nodeOf, dormant, load); got != 3 {
+		t.Fatalf("SpawnPlacement = %d, want 3 (dormant slot on the lighter node)", got)
+	}
+	// Ties resolve to the first dormant slot (flat-topology behavior).
+	if got := SpawnPlacement([]int{0, 0, 0}, []bool{false, true, true}, []int{1}); got != 1 {
+		t.Fatalf("flat tie: SpawnPlacement = %d, want 1", got)
+	}
+	if got := SpawnPlacement(nodeOf, []bool{false, false, false, false}, load); got != -1 {
+		t.Fatalf("no dormant slot: SpawnPlacement = %d, want -1", got)
+	}
+}

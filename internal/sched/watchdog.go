@@ -110,7 +110,7 @@ func (s *Scheduler) stallReport(since time.Duration) StallReport {
 		Executed:      s.executedTotal(),
 		InjectorDepth: s.InjectorDepth(),
 	}
-	now := time.Now().UnixNano()
+	now := s.clock.Now().UnixNano()
 	for _, w := range s.workers {
 		st := w.state.Load()
 		if st == wsDormant {
@@ -149,23 +149,27 @@ func (s *Scheduler) watchdog() {
 	if tick < time.Millisecond {
 		tick = time.Millisecond
 	}
-	t := time.NewTicker(tick)
+	// A repeatedly-reset clock timer instead of a ticker: the Clock
+	// seam exposes timers only, and the sampling loop has no use for
+	// tick catch-up semantics anyway.
+	t := s.clock.NewTimer(tick)
 	defer t.Stop()
 	lastExec := s.executedTotal()
-	lastProgress := time.Now()
+	lastProgress := s.clock.Now()
 	for {
 		select {
 		case <-s.wdStop:
 			return
-		case <-t.C:
+		case <-t.C():
+			t.Reset(tick)
 		}
 		cur := s.executedTotal()
 		if cur != lastExec || s.live.Load() == 0 || s.anyExecuting() {
 			lastExec = cur
-			lastProgress = time.Now()
+			lastProgress = s.clock.Now()
 			continue
 		}
-		since := time.Since(lastProgress)
+		since := s.clock.Now().Sub(lastProgress)
 		if since < s.wdThreshold {
 			continue
 		}
@@ -179,6 +183,6 @@ func (s *Scheduler) watchdog() {
 		// work in the injector.
 		s.wakeAll()
 		// Re-arm: fire again only if the stall persists a full window.
-		lastProgress = time.Now()
+		lastProgress = s.clock.Now()
 	}
 }

@@ -76,15 +76,24 @@ func TestWatchdogQuietWhenIdle(t *testing.T) {
 func TestWatchdogSuppressedMidExecute(t *testing.T) {
 	for _, pol := range []Policy{ChaseLev, PrivateDeques} {
 		t.Run(pol.String(), func(t *testing.T) {
-			s := New(2, WithSeed(1), WithPolicy(pol), WithWatchdog(10*time.Millisecond))
+			// The watchdog runs on a manual clock, so the only place
+			// simulated time passes is inside the body — after the
+			// mid-execute mark is set. Every sampling window the watchdog
+			// can possibly observe therefore has a worker inside Execute,
+			// and the no-stall assertion is deterministic instead of
+			// racing wall-clock starvation between Run and markExec.
+			clk := NewManualClock(time.Unix(0, 0))
+			s := New(2, WithSeed(1), WithPolicy(pol), WithWatchdog(10*time.Millisecond), WithClock(clk))
 			s.Start()
 			defer s.Shutdown()
 			d := spdag.New(counter.Dynamic{Threshold: 1}, spdag.WithScheduler(s.Submit))
 			s.Run(d, func(*spdag.Vertex) {
-				until := time.Now().Add(150 * time.Millisecond)
-				for time.Now().Before(until) {
-					// A single long body: 15 threshold windows of no
-					// vertex completing anywhere.
+				// 15 threshold windows of no vertex completing anywhere,
+				// with a pause after each advance so the sampler can
+				// observe the window mid-execute.
+				for i := 0; i < 60; i++ {
+					clk.Advance(2500 * time.Microsecond)
+					time.Sleep(100 * time.Microsecond)
 				}
 			})
 			if n := s.Stalls(); n != 0 {
