@@ -119,6 +119,53 @@ func BenchmarkPhaseShift(b *testing.B) {
 	}
 }
 
+// BenchmarkZipfHotKey — the batched counter frontend's motivating
+// workload: k live finish counters drawing zipf(skew)-distributed
+// shares of n operations, so the hot head key stays promoted while the
+// cold tail stays on cells. The cells compare the promoted-unbatched
+// spec (adaptive:0 — eager promotion isolates the batching axis from
+// host parallelism) against the batched frontend (adaptive:0:16);
+// shared-rmws/op is the coalescing ledger's headline quotient, and the
+// full batch-threshold sweep lives in ppopp17bench -fig zipf.
+func BenchmarkZipfHotKey(b *testing.B) {
+	const (
+		zipfN    = benchN / 4
+		zipfKeys = 8
+		zipfSkew = 1.2
+	)
+	for _, spec := range []string{"adaptive:0", "adaptive:0:16"} {
+		for _, p := range procsAxis() {
+			b.Run(fmt.Sprintf("%s/p=%d", spec, p), func(b *testing.B) {
+				alg, err := counter.Parse(spec, nested.DefaultThreshold(p))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rt := newRT(b, p, alg)
+				before := rt.Scheduler().Stats()
+				var res workload.Result
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res = workload.ZipfHotKey(rt, zipfN, zipfKeys, zipfSkew)
+				}
+				b.StopTimer()
+				after := rt.Scheduler().Stats()
+				b.ReportMetric(res.OpsPerSecPerCore(), "ops/s/core")
+				// Per-op ledger across all b.N runs: operations not
+				// buffered hit the shared counter directly, buffered ones
+				// only surface as frontend flushes.
+				ops := res.CounterOps * uint64(b.N)
+				flushes := after.CounterFlushes - before.CounterFlushes
+				buffered := after.CounterLocalIncs - before.CounterLocalIncs
+				rmws := flushes
+				if ops > buffered {
+					rmws += ops - buffered
+				}
+				b.ReportMetric(float64(rmws)/float64(ops), "shared-rmws/op")
+			})
+		}
+	}
+}
+
 // BenchmarkBurst — the elastic worker pool's motivating workload (not
 // a figure of the paper): alternating idle gaps and concurrent
 // fan-out storms, on a pool fixed at the floor, fixed at the ceiling,

@@ -75,7 +75,7 @@ func main() {
 		budget = flag.Int("budget", 300, "operation budget per program")
 		procs  = flag.Int("procs", 0, "workers (0 = GOMAXPROCS)")
 		seed   = flag.Uint64("seed", 0, "replay a single seed (0 = fresh seeds)")
-		algo   = flag.String("algo", "dyn", "counter algorithm: fetchadd | dyn | adaptive[:K] | snzi-D")
+		algo   = flag.String("algo", "dyn", "counter algorithm: fetchadd | dyn | adaptive[:K[:batch]] | snzi-D")
 		dot    = flag.String("dot", "", "with -seed: write the recorded dag in Graphviz format to this file")
 	)
 	flag.Parse()

@@ -69,7 +69,7 @@ func main() {
 		addr        = flag.String("addr", ":8080", "listen address")
 		workers     = flag.Int("workers", 0, "worker floor (0 = GOMAXPROCS)")
 		maxWorkers  = flag.Int("max-workers", 0, "elastic worker ceiling (0 = fixed pool)")
-		counterSpec = flag.String("counter", "adaptive", "dependency counter: adaptive[:K] | dyn | fetchadd | snzi-D")
+		counterSpec = flag.String("counter", "adaptive", "dependency counter: adaptive[:K[:batch]] | dyn | fetchadd | snzi-D")
 		queueDepth  = flag.Int("queue-depth", 128, "bounded admission queue across tenants")
 		dispatchers = flag.Int("dispatchers", 0, "concurrent Runs bound (0 = 2×GOMAXPROCS)")
 		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant quota, requests/second (0 = unmetered)")

@@ -33,18 +33,27 @@ func TestParseAdaptiveRoundTrip(t *testing.T) {
 		in         string
 		ok         bool
 		contention uint64 // effective threshold (0 in cases where !ok)
+		batch      uint64 // effective batch threshold (1 = batching off)
+		eager      bool   // K = 0: promote at creation
 	}{
-		{"adaptive", true, DefaultContention},
-		{"adaptive:50", true, 50},
-		{"adaptive:1", true, 1},
-		{"adaptive:0", false, 0},
-		{"adaptive:", false, 0},
-		{"adaptive:x", false, 0},
-		{"adaptive:-1", false, 0},
-		{"adaptive:1.5", false, 0},
-		{"adaptive:50:50", false, 0},
-		{"Adaptive", false, 0},
-		{"adaptive50", false, 0},
+		{"adaptive", true, DefaultContention, 1, false},
+		{"adaptive:50", true, 50, 1, false},
+		{"adaptive:1", true, 1, 1, false},
+		{"adaptive:0", true, DefaultContention, 1, true},
+		{"adaptive:0:16", true, DefaultContention, 16, true},
+		{"adaptive:", false, 0, 0, false},
+		{"adaptive:x", false, 0, 0, false},
+		{"adaptive:-1", false, 0, 0, false},
+		{"adaptive:1.5", false, 0, 0, false},
+		{"adaptive:50:50", true, 50, 50, false},
+		{"adaptive:32:16", true, 32, 16, false},
+		{"adaptive:32:1", true, 32, 1, false},
+		{"adaptive:32:0", false, 0, 0, false},
+		{"adaptive:32:", false, 0, 0, false},
+		{"adaptive:32:x", false, 0, 0, false},
+		{"adaptive:32:16:8", false, 0, 0, false},
+		{"Adaptive", false, 0, 0, false},
+		{"adaptive50", false, 0, 0, false},
 	}
 	for _, c := range cases {
 		alg, err := Parse(c.in, 100)
@@ -65,6 +74,12 @@ func TestParseAdaptiveRoundTrip(t *testing.T) {
 		}
 		if a.contention() != c.contention {
 			t.Errorf("Parse(%q) contention = %d, want %d", c.in, a.contention(), c.contention)
+		}
+		if a.batch() != c.batch {
+			t.Errorf("Parse(%q) batch = %d, want %d", c.in, a.batch(), c.batch)
+		}
+		if a.Eager != c.eager {
+			t.Errorf("Parse(%q) eager = %v, want %v", c.in, a.Eager, c.eager)
 		}
 		if a.Threshold != 100 {
 			t.Errorf("Parse(%q) grow threshold = %d, want 100", c.in, a.Threshold)
@@ -321,4 +336,78 @@ func TestAdaptiveUnderflowPanics(t *testing.T) {
 		}
 	}()
 	s.Decrement()
+}
+
+// TestContentionStepCrossval pins the sim-vs-production miss
+// accounting relationship the Misses and ContentionStep doc comments
+// claim. The simulator charges one collision window of k colliders
+// exactly k−1 misses (one winner per round, every loser lands on its
+// retry); production counts one miss per failed CAS iteration, so for
+// the same window structure it is bounded below by the sim's charge
+// when the colliders truly overlap and above by k·(k−1) (each op can
+// fail at most once per other op's landed CAS). The pure-function half
+// is exact; the live half hammers real collision windows and checks
+// the upper bound — the lower bound is unassertable on hosts whose
+// scheduler serializes the "concurrent" ops (a 1-core box produces
+// zero misses, which only delays promotion relative to the sim, never
+// hastens it).
+func TestContentionStepCrossval(t *testing.T) {
+	// Exact sim charge: k colliders → k−1 misses, accumulating.
+	for k := 0; k <= 16; k++ {
+		got, _ := ContentionStep(0, k, 1<<20)
+		want := uint64(0)
+		if k > 1 {
+			want = uint64(k - 1)
+		}
+		if got != want {
+			t.Fatalf("ContentionStep(0, %d) charged %d misses, want %d", k, got, want)
+		}
+	}
+	if got, _ := ContentionStep(5, 3, 1<<20); got != 7 {
+		t.Fatalf("accumulation: ContentionStep(5, 3) = %d, want 7", got)
+	}
+	// Threshold crossing, including the contention=0 → default mapping.
+	if _, promote := ContentionStep(30, 2, 32); promote {
+		t.Fatal("promoted below threshold")
+	}
+	if _, promote := ContentionStep(31, 2, 32); !promote {
+		t.Fatal("did not promote at threshold")
+	}
+	if _, promote := ContentionStep(DefaultContention-1, 2, 0); !promote {
+		t.Fatal("contention=0 did not map to DefaultContention")
+	}
+
+	// Live half: W windows of k one-shot cell CASes released together.
+	const (
+		k = 8
+		w = 50
+	)
+	alg := NewAdaptive(1<<40, 1) // never promote: every miss stays a cell miss
+	c := alg.New(1).(*adaptiveCounter)
+	st := c.RootState()
+	g := make([]*rng.Xoshiro256ss, k)
+	for i := range g {
+		g[i] = rng.NewXoshiro(uint64(i + 1))
+	}
+	for win := 0; win < w; win++ {
+		var start, done sync.WaitGroup
+		start.Add(1)
+		done.Add(k)
+		for i := 0; i < k; i++ {
+			go func(i int) {
+				defer done.Done()
+				start.Wait()
+				st.Increment(g[i])
+			}(i)
+		}
+		start.Done()
+		done.Wait()
+	}
+	bound := uint64(w * k * (k - 1))
+	if got := c.Misses(); got > bound {
+		t.Fatalf("production misses %d exceed the %d (= W·k·(k−1)) pairing bound", got, bound)
+	}
+	if c.Promoted() {
+		t.Fatal("counter promoted under an unreachable threshold")
+	}
 }

@@ -1,0 +1,430 @@
+package counter
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// eagerBatched builds the batched-frontend test subject: an eagerly
+// promoted counter (initial 1) with the given batch threshold.
+func eagerBatched(t *testing.T, batch uint64) (*adaptiveCounter, *AdaptiveStats) {
+	t.Helper()
+	alg := Adaptive{Eager: true, Batch: batch, Threshold: 1, Stats: new(AdaptiveStats)}
+	c := alg.New(1).(*adaptiveCounter)
+	if !c.Promoted() {
+		t.Fatal("eager counter not promoted at creation")
+	}
+	return c, alg.Stats
+}
+
+// TestHomeLedgerAndAnchorFolding walks the ledger through one worker's
+// buffered lifecycle and pins the exact RMW accounting: one anchor
+// chunk per slot activation, one weighted depart per flush, and the
+// fold case — a flush whose delta exactly equals its anchor — costing
+// zero RMWs.
+func TestHomeLedgerAndAnchorFolding(t *testing.T) {
+	c, _ := eagerBatched(t, 8)
+	h := NewHome()
+	g := rng.NewXoshiro(1)
+
+	root := c.RootState().(HomedState)
+	l, r := root.IncrementHomed(g, h, "fin")
+	// The increment buffered +2 behind a freshly acquired anchor chunk
+	// (8 units in one RMW), two buffered units.
+	if got := h.Flushes(); got != 1 {
+		t.Fatalf("flushes after homed increment = %d, want 1 (the anchor chunk)", got)
+	}
+	if got := h.LocalIncs(); got != 2 {
+		t.Fatalf("localIncs after homed increment = %d, want 2", got)
+	}
+	if !h.Active() {
+		t.Fatal("home inactive with a pending delta")
+	}
+
+	if l.(HomedState).DecrementHomed(h, "fin") {
+		t.Fatal("buffered decrement reported zero with live obligations")
+	}
+	if got := h.LocalIncs(); got != 3 {
+		t.Fatalf("localIncs after buffered decrement = %d, want 3", got)
+	}
+
+	// Boundary flush with net delta +1 against an 8-unit anchor: one
+	// weighted depart returns the 7 unused units.
+	h.FlushAll(func(any) { t.Fatal("flush reported zero with a live obligation") })
+	if got := h.Flushes(); got != 2 {
+		t.Fatalf("flushes after boundary flush = %d, want 2 (anchor + flush depart)", got)
+	}
+	if h.Active() {
+		t.Fatal("home active after FlushAll")
+	}
+
+	// The final obligation: buffered decrement, then a boundary flush
+	// whose weighted depart drains the counter; the zero arrives via the
+	// ready callback, tagged with the finish vertex.
+	if r.(HomedState).DecrementHomed(h, "fin2") {
+		t.Fatal("buffered decrement reported zero before its flush")
+	}
+	var readyTag any
+	var readyCalls int
+	h.FlushAll(func(tag any) { readyTag = tag; readyCalls++ })
+	if readyCalls != 1 {
+		t.Fatalf("ready callbacks = %d, want 1", readyCalls)
+	}
+	if readyTag != "fin2" {
+		t.Fatalf("ready tag = %v, want fin2", readyTag)
+	}
+	if !c.IsZero() {
+		t.Fatal("counter not zero after drain")
+	}
+	// Second slot: anchor chunk (1 RMW) + draining depart (1 RMW).
+	if got := h.Flushes(); got != 4 {
+		t.Fatalf("flushes after drain = %d, want 4", got)
+	}
+	if got := h.LocalIncs(); got != 4 {
+		t.Fatalf("localIncs after drain = %d, want 4", got)
+	}
+
+	// The fold case, on a fresh counter with batch=2: a +2 delta
+	// exactly consumes the 2-unit anchor chunk, so its flush costs zero
+	// RMWs.
+	c2, _ := eagerBatched(t, 2)
+	h2 := NewHome()
+	l2, r2 := c2.RootState().(HomedState).IncrementHomed(g, h2, nil)
+	if got := h2.Flushes(); got != 1 {
+		t.Fatalf("fold setup flushes = %d, want 1", got)
+	}
+	h2.FlushAll(func(any) { t.Fatal("early zero") })
+	if got := h2.Flushes(); got != 1 {
+		t.Fatalf("flushes after delta==anchor flush = %d, want 1 (anchor folding)", got)
+	}
+	zeros := 0
+	if l2.(HomedState).DecrementHomed(h2, nil) {
+		zeros++
+	}
+	if r2.(HomedState).DecrementHomed(h2, nil) { // −2 hits the threshold inline
+		zeros++
+	}
+	h2.FlushAll(func(any) { zeros++ })
+	if zeros != 1 {
+		t.Fatalf("fold-case zero reports = %d, want 1", zeros)
+	}
+	if !c2.IsZero() {
+		t.Fatal("fold-case counter not zero after drain")
+	}
+}
+
+// TestHomeThresholdFlush pins the two in-op shared-RMW triggers: on
+// the increment side the anchor chunk covers a full batch of buffered
+// arrives (no inline flush — the slot stays active with delta up to
+// the chunk), and on the decrement side the delta reaching −batch
+// flushes inline, without waiting for a boundary, delivering the zero
+// report through the in-progress Signal when the flush drains the
+// counter.
+func TestHomeThresholdFlush(t *testing.T) {
+	c, _ := eagerBatched(t, 4)
+	h := NewHome()
+	g := rng.NewXoshiro(1)
+
+	s := c.RootState().(HomedState)
+	var live []State
+	l, r := s.IncrementHomed(g, h, nil) // delta +2
+	live = append(live, l, r)
+	for i := 0; i < 2; i++ { // +1 each: delta hits 4, the chunk's cover
+		nl, nr := live[len(live)-1].(HomedState).IncrementHomed(g, h, nil)
+		live[len(live)-1] = nl
+		live = append(live, nr)
+	}
+	// One anchor chunk covers all four buffered arrives; no flush yet.
+	if got := h.Flushes(); got != 1 {
+		t.Fatalf("flushes after a chunk's worth of increments = %d, want 1", got)
+	}
+	if !h.Active() {
+		t.Fatal("slot inactive with buffered increments")
+	}
+	// Boundary flush with delta == anchor: the fold, zero RMWs.
+	h.FlushAll(func(any) { t.Fatal("early zero") })
+	if got := h.Flushes(); got != 1 {
+		t.Fatalf("flushes after folding boundary flush = %d, want 1", got)
+	}
+
+	// Drain: the fourth buffered decrement reaches −batch and flushes
+	// inline — the zero comes back through DecrementHomed itself.
+	zeros := 0
+	for len(live) > 0 {
+		s := live[len(live)-1].(HomedState)
+		live = live[:len(live)-1]
+		if s.DecrementHomed(h, "fin") {
+			zeros++
+		}
+	}
+	if h.Active() {
+		t.Fatal("slot still active after decrement-threshold flush")
+	}
+	if got := h.Flushes(); got != 3 {
+		t.Fatalf("flushes after drain = %d, want 3 (second chunk + threshold depart)", got)
+	}
+	h.FlushAll(func(any) { zeros++ })
+	if zeros != 1 {
+		t.Fatalf("zero reports = %d, want exactly 1", zeros)
+	}
+	if !c.IsZero() {
+		t.Fatal("counter not zero after drain")
+	}
+}
+
+// TestDemotionAfterCalmStreakAndRePromotion drives the full lifecycle
+// single-threaded: eager promotion → a quiet tail of calm boundary
+// flushes → demotion (with the demotion anchor carrying the handoff) →
+// cell-phase operation → forced re-promotion → final drain with
+// exactly one zero report.
+func TestDemotionAfterCalmStreakAndRePromotion(t *testing.T) {
+	c, stats := eagerBatched(t, 4)
+	h := NewHome()
+	g := rng.NewXoshiro(1)
+
+	var live []State
+	l, r := c.RootState().(HomedState).IncrementHomed(g, h, nil)
+	live = append(live, l, r)
+	h.FlushAll(func(any) { t.Fatal("early zero") })
+
+	// Quiet boundary cycles: each buffers a single unit (under the
+	// threshold) and flushes clean, extending the calm streak; the
+	// flush after the streak completes demotes.
+	for i := 0; i < demoteCalm+2; i++ {
+		nl, nr := live[len(live)-1].(HomedState).IncrementHomed(g, h, nil)
+		live[len(live)-1] = nl
+		live = append(live, nr)
+		h.FlushAll(func(any) { t.Fatal("early zero") })
+	}
+	if !c.Demoted() {
+		t.Fatalf("counter not demoted after %d calm boundary flushes", demoteCalm+2)
+	}
+	if got := stats.Demotions.Load(); got != 1 {
+		t.Fatalf("stats.Demotions = %d, want 1", got)
+	}
+	if c.Promoted() {
+		t.Fatal("Promoted() true on a demoted counter")
+	}
+
+	// Operations on demoted-phase states route new obligations back to
+	// the cell.
+	cellBefore := c.cell.Load()
+	nl, nr := live[len(live)-1].(HomedState).IncrementHomed(g, h, nil)
+	live[len(live)-1] = nl
+	live = append(live, nr)
+	h.FlushAll(func(any) { t.Fatal("early zero") })
+	if c.cell.Load() <= cellBefore {
+		t.Fatalf("demoted-phase increment did not land in the cell (%d -> %d)", cellBefore, c.cell.Load())
+	}
+
+	// Re-promote (forced — the organic path needs a fresh miss burst)
+	// and keep operating; obligations now span three regimes: the old
+	// phase's in-counter, the cell, and the new phase's in-counter.
+	c.promote()
+	if !c.Promoted() {
+		t.Fatal("re-promotion did not install a new phase")
+	}
+	if got := stats.Promotions.Load(); got != 2 {
+		t.Fatalf("stats.Promotions = %d, want 2 (eager + forced re-promotion)", got)
+	}
+	nl, nr = live[len(live)-1].(HomedState).IncrementHomed(g, h, nil)
+	live[len(live)-1] = nl
+	live = append(live, nr)
+
+	zeros := 0
+	for len(live) > 0 {
+		s := live[len(live)-1].(HomedState)
+		live = live[:len(live)-1]
+		if s.DecrementHomed(h, "fin") {
+			zeros++
+		}
+	}
+	h.FlushAll(func(any) { zeros++ })
+	if zeros != 1 {
+		t.Fatalf("zero reports = %d, want exactly 1", zeros)
+	}
+	if !c.IsZero() {
+		t.Fatal("counter not zero after full promote→demote→re-promote drain")
+	}
+}
+
+// TestHomeSlotReuseAcrossPhases pins that slots are keyed by phase,
+// not by counter: after a demotion and re-promotion, a buffered
+// obligation of the old phase must resolve against the old phase's
+// in-counter even while the new phase has its own active slot.
+func TestHomeSlotReuseAcrossPhases(t *testing.T) {
+	c, _ := eagerBatched(t, 64)
+	h := NewHome()
+	g := rng.NewXoshiro(1)
+
+	l, r := c.RootState().(HomedState).IncrementHomed(g, h, nil)
+	h.FlushAll(func(any) { t.Fatal("early zero") })
+	oldPhase := c.dyn.Load()
+
+	// Force the flap while both obligations are live.
+	for i := 0; i < demoteCalm+1; i++ {
+		h.slotFor(c, oldPhase)
+		h.FlushAll(func(any) { t.Fatal("early zero") })
+	}
+	if !c.Demoted() {
+		t.Fatal("not demoted")
+	}
+	c.promote()
+	if p := c.dyn.Load(); p == oldPhase {
+		t.Fatal("re-promotion kept the demoted phase")
+	}
+
+	// Buffer one op against each phase: two distinct active slots.
+	nl, nr := l.(HomedState).IncrementHomed(g, h, nil) // old phase: routes via cell (demoted)
+	zeros := 0
+	dec := func(s State) {
+		if s.(HomedState).DecrementHomed(h, nil) {
+			zeros++
+		}
+	}
+	dec(nl)
+	dec(nr)
+	dec(r)
+	h.FlushAll(func(any) { zeros++ })
+	if zeros != 1 {
+		t.Fatalf("zero reports = %d, want exactly 1", zeros)
+	}
+	if !c.IsZero() {
+		t.Fatal("counter not zero after cross-phase drain")
+	}
+}
+
+// TestAdaptiveFlapStressShadow is the demotion/re-promotion flap
+// stress (run it under -race): a worker pool hammers one batched
+// counter through alternating storm and quiet phases while the
+// lifecycle flaps promote→demote→re-promote, with a shadow live-count
+// — retired strictly before each real operation — catching any early
+// zero, and a watchdog catching a lost zero report. Workers own one
+// Home each, mirroring the scheduler's per-worker slots.
+func TestAdaptiveFlapStressShadow(t *testing.T) {
+	iters := 60
+	if testing.Short() {
+		iters = 12
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+		case <-time.After(4 * time.Minute):
+			panic("counter: flap stress wedged (lost zero report?)")
+		}
+	}()
+	defer close(done)
+
+	const workers = 4
+	for it := 0; it < iters; it++ {
+		alg := Adaptive{Eager: true, Batch: 4, Contention: 1, Threshold: 1, Stats: new(AdaptiveStats)}
+		c := alg.New(1).(*adaptiveCounter)
+		var shadow atomic.Int64
+		shadow.Store(1)
+		var zeros, earlyZeros atomic.Int32
+		onZero := func() {
+			zeros.Add(1)
+			if shadow.Load() != 0 {
+				earlyZeros.Add(1)
+			}
+		}
+
+		// The shared work pool: a stack of live states, each entry one
+		// undischarged obligation.
+		var mu sync.Mutex
+		var stack []State
+		stack = append(stack, c.RootState())
+		pop := func() (State, bool) {
+			mu.Lock()
+			defer mu.Unlock()
+			if len(stack) == 0 {
+				return nil, false
+			}
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			return s, true
+		}
+		push := func(l, r State) {
+			mu.Lock()
+			stack = append(stack, l, r)
+			mu.Unlock()
+		}
+
+		// The flapper: force re-promotion whenever the counter demotes,
+		// keeping the lifecycle churning against the operation storm.
+		stop := make(chan struct{})
+		var flapWG sync.WaitGroup
+		flapWG.Add(1)
+		go func() {
+			defer flapWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if c.Demoted() {
+					c.promote()
+				}
+			}
+		}()
+
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				h := NewHome()
+				g := rng.NewXoshiro(uint64(it*workers + w + 1))
+				budget := 400 // net obligations this worker may create
+				for {
+					s, ok := pop()
+					if !ok {
+						break
+					}
+					hs := s.(HomedState)
+					r := g.Next()
+					if budget > 0 && r%4 != 0 { // grow fast, then drain
+						budget--
+						shadow.Add(1)
+						l, rr := hs.IncrementHomed(g, h, nil)
+						push(l, rr)
+					} else {
+						shadow.Add(-1)
+						if hs.DecrementHomed(h, w) {
+							onZero()
+						}
+					}
+					if r%64 == 0 {
+						// Quiet boundary: flush everything, building calm
+						// streaks that trigger demotions mid-run.
+						h.FlushAll(func(any) { onZero() })
+					}
+				}
+				h.FlushAll(func(any) { onZero() })
+			}(w)
+		}
+		wg.Wait()
+		close(stop)
+		flapWG.Wait()
+
+		if z := zeros.Load(); z != 1 {
+			t.Fatalf("iter %d: %d zero reports, want 1 (promoted=%v demoted=%v)",
+				it, z, c.Promoted(), c.Demoted())
+		}
+		if earlyZeros.Load() != 0 {
+			t.Fatalf("iter %d: counter reported zero with live obligations outstanding", it)
+		}
+		if shadow.Load() != 0 {
+			t.Fatalf("iter %d: shadow count %d after drain", it, shadow.Load())
+		}
+		if !c.IsZero() {
+			t.Fatalf("iter %d: not zero after drain", it)
+		}
+	}
+}

@@ -80,10 +80,14 @@ type Algorithm interface {
 
 // Parse maps an artifact-style algorithm name to an Algorithm:
 // "fetchadd", "dyn" (with the given grow threshold), "snzi-D" for a
-// fixed-depth tree of depth D, or "adaptive[:K]" for the
+// fixed-depth tree of depth D, or "adaptive[:K[:batch]]" for the
 // contention-adaptive counter promoting after K cell CAS failures
-// (default DefaultContention); threshold is the grow denominator of
-// the in-counter it promotes into.
+// (default DefaultContention; K = 0 promotes eagerly at creation,
+// for sweeps that study the promoted regime itself), with an
+// optional batched frontend
+// flushing per-worker deltas every `batch` units (batch ≥ 2; omitted
+// or 1 disables batching); threshold is the grow denominator of the
+// in-counter it promotes into.
 func Parse(name string, threshold uint64) (Algorithm, error) {
 	switch {
 	case name == "fetchadd":
@@ -93,11 +97,26 @@ func Parse(name string, threshold uint64) (Algorithm, error) {
 	case name == "adaptive":
 		return NewAdaptive(0, threshold), nil
 	case strings.HasPrefix(name, "adaptive:"):
-		k, err := strconv.ParseUint(strings.TrimPrefix(name, "adaptive:"), 10, 64)
-		if err != nil || k == 0 {
-			return nil, fmt.Errorf("counter: bad adaptive contention threshold in %q (want adaptive:K, K ≥ 1)", name)
+		parts := strings.Split(strings.TrimPrefix(name, "adaptive:"), ":")
+		if len(parts) > 2 {
+			return nil, fmt.Errorf("counter: bad adaptive spec %q (want adaptive[:K[:batch]])", name)
 		}
-		return NewAdaptive(k, threshold), nil
+		k, err := strconv.ParseUint(parts[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("counter: bad adaptive contention threshold in %q (want adaptive:K, K ≥ 0)", name)
+		}
+		a := NewAdaptive(k, threshold)
+		if k == 0 {
+			a.Eager = true
+		}
+		if len(parts) == 2 {
+			b, err := strconv.ParseUint(parts[1], 10, 64)
+			if err != nil || b == 0 {
+				return nil, fmt.Errorf("counter: bad adaptive batch threshold in %q (want adaptive:K:batch, batch ≥ 1)", name)
+			}
+			a.Batch = b
+		}
+		return a, nil
 	case strings.HasPrefix(name, "snzi-"):
 		d, err := strconv.Atoi(strings.TrimPrefix(name, "snzi-"))
 		if err != nil || d < 0 {
@@ -105,6 +124,6 @@ func Parse(name string, threshold uint64) (Algorithm, error) {
 		}
 		return FixedSNZI{Depth: d}, nil
 	default:
-		return nil, fmt.Errorf("counter: unknown algorithm %q (want fetchadd, dyn, adaptive[:K], or snzi-D)", name)
+		return nil, fmt.Errorf("counter: unknown algorithm %q (want fetchadd, dyn, adaptive[:K[:batch]], or snzi-D)", name)
 	}
 }

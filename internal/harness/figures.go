@@ -85,6 +85,7 @@ func Figures() map[string]func(Options) (*Report, error) {
 		"sink":      SinkCoalescing,
 		"chaos":     Chaos,
 		"sim":       Sim,
+		"zipf":      Zipf,
 		"stalls":    StallModel,
 		"ablations": Ablations,
 	}
@@ -92,7 +93,7 @@ func Figures() map[string]func(Options) (*Report, error) {
 
 // FigureOrder lists the drivers in presentation order.
 func FigureOrder() []string {
-	return []string{"8", "9", "10", "11", "12", "13", "13-proxy", "14", "15", "phase", "burst", "serve", "sink", "chaos", "sim", "stalls", "ablations"}
+	return []string{"8", "9", "10", "11", "12", "13", "13-proxy", "14", "15", "phase", "burst", "serve", "sink", "chaos", "sim", "zipf", "stalls", "ablations"}
 }
 
 // runSeries measures one spec per procs value and adds a table row per

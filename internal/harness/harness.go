@@ -22,8 +22,8 @@ import (
 
 // Spec is one measurement point.
 type Spec struct {
-	Bench string // fanin | indegree2 | fanin-work | fanin-numa | fanin-numa-proxy | phase-shift | burst | snzi-stress
-	Algo  string // fetchadd | dyn | adaptive[:K] | snzi-D (counter.Parse syntax)
+	Bench string // fanin | indegree2 | fanin-work | fanin-numa | fanin-numa-proxy | phase-shift | zipf | burst | snzi-stress
+	Algo  string // fetchadd | dyn | adaptive[:K[:batch]] | snzi-D (counter.Parse syntax)
 	Procs int
 	// MaxWorkers, when > Procs, runs the benchmark on an elastic pool
 	// with floor Procs and ceiling MaxWorkers (0 = fixed pool of
@@ -68,6 +68,16 @@ type Measurement struct {
 	// in-counter across the measured runs (0 for static algorithms) —
 	// the "which algorithm did adaptive settle on" statistic.
 	Promotions uint64
+	// Demotions counts promoted counters that migrated back to the
+	// cell across the measured runs (0 unless the adaptive spec
+	// batches: demotion exists only in the batched frontend).
+	Demotions uint64
+	// The batched counter frontend's coalescing ledger across the
+	// measured runs, mirroring the sink's LogicalWrites/BackendCalls
+	// split: units buffered in per-worker delta slots versus shared
+	// RMWs the frontend actually issued. Both 0 without batching.
+	CounterFlushes   uint64
+	CounterLocalIncs uint64
 	// Elastic-pool movement (burst benchmark): peak live workers
 	// observed during the measured runs, the resident worker count
 	// after the pool was given time to quiesce, and the runtime's
@@ -257,7 +267,10 @@ func (m Measurement) Block() *report.Block {
 		Out("nb_incounter_nodes", m.IncounterNodes).
 		Out("killed", 0)
 	if strings.HasPrefix(m.Spec.Algo, "adaptive") {
-		b.Out("nb_promotions", m.Promotions)
+		b.Out("nb_promotions", m.Promotions).
+			Out("nb_demotions", m.Demotions).
+			Out("nb_counter_flushes", m.CounterFlushes).
+			Out("nb_counter_local_incs", m.CounterLocalIncs)
 	}
 	if m.Caveat != "" {
 		b.Out("caveat", m.Caveat)
@@ -350,6 +363,8 @@ func Run(spec Spec) (Measurement, error) {
 			return workload.Indegree2(rt, spec.N)
 		case "phase-shift":
 			return workload.PhaseShift(rt, spec.N)
+		case "zipf":
+			return workload.ZipfHotKey(rt, spec.N, zipfKeys, zipfSkew)
 		case "burst":
 			ceiling := spec.MaxWorkers
 			if ceiling < spec.Procs {
@@ -364,7 +379,7 @@ func Run(spec Spec) (Measurement, error) {
 		}
 	}
 	switch spec.Bench {
-	case "fanin", "fanin-work", "fanin-numa", "fanin-numa-proxy", "indegree2", "phase-shift", "burst":
+	case "fanin", "fanin-work", "fanin-numa", "fanin-numa-proxy", "indegree2", "phase-shift", "zipf", "burst":
 	default:
 		return Measurement{}, fmt.Errorf("harness: unknown bench %q", spec.Bench)
 	}
@@ -372,9 +387,12 @@ func Run(spec Spec) (Measurement, error) {
 	one() // warmup
 	sc := rt.Scheduler()
 	st0 := sc.Stats()
-	var prom0 uint64
+	var prom0, dem0 uint64
 	if pr, ok := alg.(counter.PromotionReporter); ok {
 		prom0 = pr.Promotions()
+	}
+	if dr, ok := alg.(counter.DemotionReporter); ok {
+		dem0 = dr.Demotions()
 	}
 	times := make([]float64, 0, spec.Runs)
 	var last workload.Result
@@ -401,6 +419,8 @@ func Run(spec Spec) (Measurement, error) {
 		Steals:           st.Steals - st0.Steals,
 		LocalSteals:      st.LocalSteals - st0.LocalSteals,
 		RemoteSteals:     st.RemoteSteals - st0.RemoteSteals,
+		CounterFlushes:   st.CounterFlushes - st0.CounterFlushes,
+		CounterLocalIncs: st.CounterLocalIncs - st0.CounterLocalIncs,
 		OpsPerSecPerCore: float64(last.CounterOps) / sum.Mean / float64(cores),
 		PeakWorkers:      peak,
 		Caveat:           hostCaveat(),
@@ -409,6 +429,9 @@ func Run(spec Spec) (Measurement, error) {
 		// Delta against the warmup, like Steals: the stats sink is
 		// shared across every run on this runtime.
 		m.Promotions = pr.Promotions() - prom0
+	}
+	if dr, ok := alg.(counter.DemotionReporter); ok {
+		m.Demotions = dr.Demotions() - dem0
 	}
 	if spec.Bench == "burst" {
 		// Resident worker count once the load is gone: give the pool a

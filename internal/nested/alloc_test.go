@@ -31,6 +31,13 @@ func TestAsyncSteadyStateAllocs(t *testing.T) {
 		alg  counter.Algorithm // nil = the runtime default (adaptive)
 	}{
 		{"default-adaptive", nil},
+		{"adaptive:32:16", counter.Adaptive{Contention: 32, Batch: 16, Threshold: 25, Stats: new(counter.AdaptiveStats)}},
+		// Eager promotion forces every run through the batched frontend:
+		// steady-state buffered increments must ride pooled delta slots
+		// (the Home free list) and allocate nothing per async beyond the
+		// shared budget; the per-run promotion machinery is fixed
+		// overhead, not per-op.
+		{"adaptive:0:16-eager-batched", counter.Adaptive{Eager: true, Batch: 16, Threshold: 25, Stats: new(counter.AdaptiveStats)}},
 		{"dyn", counter.Dynamic{Threshold: 25}},
 	}
 	for _, a := range algos {

@@ -112,7 +112,8 @@ type Config struct {
 	// birth, as the pre-adaptive default did.
 	Algorithm counter.Algorithm
 	// CounterSpec selects the algorithm by its artifact-style spec
-	// string ("adaptive[:K]", "dyn", "fetchadd", "snzi-D") instead;
+	// string ("adaptive[:K[:batch]]", "dyn", "fetchadd", "snzi-D")
+	// instead;
 	// it is resolved by New, against the resolved worker count, so
 	// the paper-default grow threshold (25·Workers) is computed from
 	// the actual worker count regardless of field or option order.

@@ -111,6 +111,7 @@ func (w *worker) respond() {
 func (w *worker) runPrivate() {
 	defer w.s.wg.Done()
 	idleRounds := 0
+	sinceFlush := 0
 	for !w.s.stop.Load() {
 		w.respond()
 		v := w.popPrivate()
@@ -118,6 +119,14 @@ func (w *worker) runPrivate() {
 			v = w.findWorkPrivate()
 		}
 		if v == nil {
+			// Flush pending counter deltas before backing off; see run()
+			// — under private deques this is load-bearing for liveness,
+			// since a parked owner's queue is unreachable to thieves.
+			if w.ctx.FlushCounters() > 0 {
+				idleRounds = 0
+				sinceFlush = 0
+				continue
+			}
 			idleRounds++
 			woken, retired := w.backoff(idleRounds)
 			if retired {
@@ -134,6 +143,10 @@ func (w *worker) runPrivate() {
 		v.Execute(&w.ctx)
 		w.doneExec()
 		w.stats.executed.Add(1)
+		if sinceFlush++; sinceFlush >= flushEvery {
+			sinceFlush = 0
+			w.ctx.FlushCounters() // staleness cap, see run()
+		}
 	}
 	// Shutdown: release any thief still waiting on us.
 	w.respond()

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/counter"
 	"repro/internal/deque"
 	"repro/internal/rng"
 	"repro/internal/spdag"
@@ -347,7 +348,8 @@ func New(p int, opts ...Option) *Scheduler {
 		if cfg.policy == PrivateDeques {
 			push = w.pushPrivate
 		}
-		w.ctx = spdag.ExecContext{G: w.g, Push: push, Pool: s.pools, Node: w.node}
+		w.ctx = spdag.ExecContext{G: w.g, Push: push, Pool: s.pools, Node: w.node,
+			Home: counter.NewHome()}
 		if i < p {
 			w.state.Store(wsLive)
 		}
@@ -685,6 +687,13 @@ type Stats struct {
 	RemoteSteals uint64 // steals from remote-node victims
 	Executed     uint64 // vertices executed
 	Stalls       uint64 // watchdog stall detections (0 with the watchdog off)
+
+	// The batched counter frontend's coalescing ledger, summed over the
+	// workers' Homes — the counter analogue of the sink's
+	// logical_writes/backend_calls split. Both are zero unless the
+	// counter algorithm batches (adaptive:K:batch).
+	CounterFlushes   uint64 // shared RMWs issued by the frontend (anchors + flushes)
+	CounterLocalIncs uint64 // counter units buffered worker-locally
 }
 
 // Stats sums the per-worker counters. It is exact when the scheduler
@@ -696,6 +705,8 @@ func (s *Scheduler) Stats() Stats {
 		st.LocalSteals += w.stats.localSteals.Load()
 		st.RemoteSteals += w.stats.remoteSteals.Load()
 		st.Executed += w.stats.executed.Load()
+		st.CounterFlushes += w.ctx.Home.Flushes()
+		st.CounterLocalIncs += w.ctx.Home.LocalIncs()
 	}
 	st.Steals = st.LocalSteals + st.RemoteSteals
 	st.Stalls = s.wdStalls.Load()
@@ -727,6 +738,13 @@ func (w *worker) push(v *spdag.Vertex) {
 	w.s.signalWork()
 }
 
+// flushEvery is the counter-flush staleness cap: a worker flushes its
+// pending counter deltas (batched adaptive frontend) at least once per
+// this many vertex executions, in addition to every out-of-work
+// boundary. Flushing per execution would defeat decrement batching —
+// the cap only bounds how long a busy worker can sit on a delta.
+const flushEvery = 64
+
 // Worker lifecycle: run ↔ findWork, then spin → yield → park as
 // idleness persists, and possibly retire out of a long park (see
 // backoff/park for the protocol, doc.go for the diagram, and DESIGN.md
@@ -734,12 +752,25 @@ func (w *worker) push(v *spdag.Vertex) {
 func (w *worker) run() {
 	defer w.s.wg.Done()
 	idleRounds := 0
+	sinceFlush := 0
 	for !w.s.stop.Load() {
 		v := w.dq.PopBottom()
 		if v == nil {
 			v = w.findWork()
 		}
 		if v == nil {
+			// Out of local and stealable work: flush pending counter
+			// deltas before backing off. A flush that readies vertices
+			// pushed them onto our own deque, so rescan instead of
+			// idling — parking on top of a productive flush would
+			// strand that work (no thief reaches a parked owner's
+			// deque under private deques, and the park heuristics
+			// assume empty deques under ChaseLev).
+			if w.ctx.FlushCounters() > 0 {
+				idleRounds = 0
+				sinceFlush = 0
+				continue
+			}
 			idleRounds++
 			woken, retired := w.backoff(idleRounds)
 			if retired {
@@ -756,6 +787,14 @@ func (w *worker) run() {
 		v.Execute(&w.ctx)
 		w.doneExec()
 		w.stats.executed.Add(1)
+		// Staleness cap: a worker that never runs dry must still
+		// publish its buffered counter deltas eventually, or a hot
+		// server-style worker could delay another computation's zero
+		// report unboundedly.
+		if sinceFlush++; sinceFlush >= flushEvery {
+			sinceFlush = 0
+			w.ctx.FlushCounters()
+		}
 	}
 }
 
@@ -938,6 +977,12 @@ func (w *worker) parkTimed() (woken, retired bool) {
 // slot so Stats() remains exact. The caller exits the worker loop
 // immediately after.
 func (w *worker) retire() {
+	// Retire is only reached out of a park, and the idle path flushed
+	// the worker's counter deltas before the first backoff — nothing
+	// executed since, so the Home must be empty. Flush defensively
+	// anyway (mirroring the freelist's DrainFree discipline): a vertex
+	// readied here would land in a deque the panics below would catch.
+	w.ctx.FlushCounters()
 	w.state.Store(wsRetiring)
 	if w.s.policy == PrivateDeques {
 		// Release a thief that posted before the state store landed; a

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/counter"
 	"repro/internal/rng"
@@ -37,6 +38,16 @@ type Config struct {
 	// PromoteContention is the adaptive-counter promotion threshold fed
 	// to counter.ContentionStep (0 = counter.DefaultContention).
 	PromoteContention uint64
+	// Batch models the batched counter frontend (counter spec
+	// adaptive:K:batch): once a computation's counter has promoted,
+	// each worker buffers its touches on that counter and only every
+	// Batch-th one registers as a shared-counter touch — the same-tick
+	// collision set (and therefore the contention cliff) shrinks by the
+	// batch factor. Buffered touches flush when the worker goes idle,
+	// as the real scheduler's boundary flush does. 0 or 1 disables
+	// batching and leaves every run byte-identical to the unbatched
+	// simulator (the exact-gate baseline).
+	Batch uint64
 	// MaxTicks bounds the run; hitting it sets Result.Truncated
 	// (0 = 1<<20).
 	MaxTicks int
@@ -76,6 +87,23 @@ type Result struct {
 	MaxBacklog   int
 	Timeline     []TickStats
 	Truncated    bool // hit MaxTicks before quiescing
+
+	// Batched-frontend model outcome. CounterRMWs counts registered
+	// shared-counter touches, LocalIncs touches buffered worker-locally
+	// (0 unless Config.Batch ≥ 2), and MaxColliders the largest
+	// same-tick collision set any counter saw — the contention cliff
+	// the batch threshold exists to move. New outcome fields only: the
+	// timeline and every pre-batch field are unchanged at any Batch.
+	CounterRMWs  uint64
+	LocalIncs    uint64
+	MaxColliders int
+	// CounterMisses is the total modeled CAS-miss charge across all
+	// counters (Σ colliders−1 per same-tick collision window, the
+	// ContentionStep accounting) — the cliff statistic MaxColliders
+	// alone cannot show, because a batched run's one residual
+	// drain-boundary flush burst can dominate the max while the
+	// sustained per-tick collision load has collapsed.
+	CounterMisses uint64
 }
 
 // RenderTimeline formats the timeline as a fixed-width table, one line
@@ -128,6 +156,12 @@ type simWorker struct {
 	executed     uint64
 	localSteals  uint64
 	remoteSteals uint64
+
+	// pend is the worker's buffered touches per promoted computation
+	// (the batched-frontend delta slots, Config.Batch ≥ 2). Keyed by
+	// comp index; only ever read by key, so map order cannot leak into
+	// the deterministic trace.
+	pend map[int]uint64
 
 	// Private-deques protocol state. request is the id of a thief
 	// awaiting our answer (−1 none). A thief that posted a request
@@ -250,6 +284,9 @@ func Run(cfg Config) (Result, error) {
 		// computation's counter within this tick are concurrent.
 		for _, ci := range s.touched {
 			c := s.comps[ci]
+			if c.touches > s.res.MaxColliders {
+				s.res.MaxColliders = c.touches
+			}
 			var promote bool
 			c.misses, promote = counter.ContentionStep(c.misses, c.touches, cfg.PromoteContention)
 			if promote && !c.promoted {
@@ -292,10 +329,32 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 
+	// Terminal drain: the simulator's quiesce condition is vertex
+	// counts, so a run can end with touches still buffered in worker
+	// slots. The real runtime cannot — a finish block's zero report is
+	// delivered BY those flushes — so model the final FlushAll burst
+	// here: one more same-instant collision window, in worker id and
+	// comp order (no-op at Batch ≤ 1, where nothing ever buffers).
+	for _, w := range s.workers {
+		s.flushPend(w)
+	}
+	for _, ci := range s.touched {
+		c := s.comps[ci]
+		if c.touches > s.res.MaxColliders {
+			s.res.MaxColliders = c.touches
+		}
+		c.misses, _ = counter.ContentionStep(c.misses, c.touches, cfg.PromoteContention)
+		c.touches = 0
+	}
+	s.touched = s.touched[:0]
+
 	for _, w := range s.workers {
 		s.res.Executed += w.executed
 		s.res.LocalSteals += w.localSteals
 		s.res.RemoteSteals += w.remoteSteals
+	}
+	for _, c := range s.comps {
+		s.res.CounterMisses += c.misses
 	}
 	s.res.Steals = s.res.LocalSteals + s.res.RemoteSteals
 	s.res.SteadyLive = s.nlive
@@ -457,10 +516,23 @@ func (s *state) execute(w *simWorker, v vtx, tick int) {
 	w.executed++
 	s.tick.Executed++
 	c := s.comps[v.comp]
-	if c.touches == 0 {
-		s.touched = append(s.touched, v.comp)
+	if s.cfg.Batch > 1 && c.promoted {
+		// Batched frontend: the touch lands in the worker's delta slot;
+		// only the Batch-th buffered touch registers on the shared
+		// counter. Pre-promotion touches always register — the batch
+		// tier only exists behind a promoted counter.
+		if w.pend == nil {
+			w.pend = make(map[int]uint64)
+		}
+		w.pend[v.comp]++
+		s.res.LocalIncs++
+		if w.pend[v.comp] >= s.cfg.Batch {
+			w.pend[v.comp] = 0
+			s.registerTouch(v.comp)
+		}
+	} else {
+		s.registerTouch(v.comp)
 	}
-	c.touches++
 	if v.final {
 		c.done = true
 		s.liveComps--
@@ -481,11 +553,45 @@ func (s *state) execute(w *simWorker, v vtx, tick int) {
 	}
 }
 
+// registerTouch records one shared-RMW touch on a computation's
+// counter: the unit the same-tick contention resolution counts.
+func (s *state) registerTouch(ci int) {
+	c := s.comps[ci]
+	if c.touches == 0 {
+		s.touched = append(s.touched, ci)
+	}
+	c.touches++
+	s.res.CounterRMWs++
+}
+
+// flushPend drains the worker's buffered counter touches — the
+// scheduler's out-of-work boundary flush. Each non-empty slot costs
+// one shared RMW regardless of how many touches it coalesced. Slots
+// flush in comp order, not map order: the trace's byte-identity
+// promise must survive batching.
+func (s *state) flushPend(w *simWorker) {
+	if len(w.pend) == 0 {
+		return
+	}
+	var keys []int
+	for ci, n := range w.pend {
+		if n > 0 {
+			keys = append(keys, ci)
+		}
+	}
+	sort.Ints(keys)
+	for _, ci := range keys {
+		w.pend[ci] = 0
+		s.registerTouch(ci)
+	}
+}
+
 // idle is one failed find-work round: climb the spin→yield→park
 // ladder. A worker parking on an elastic pool withdraws the pegged
 // signal, as sched.park does — idleness is direct evidence the backlog
 // is not saturating the pool.
 func (s *state) idle(w *simWorker, tick int) {
+	s.flushPend(w)
 	w.idleRounds++
 	if sched.IdleStep(w.idleRounds) == sched.IdlePark {
 		w.parked = true

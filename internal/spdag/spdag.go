@@ -62,7 +62,39 @@ type ExecContext struct {
 	Pool *NodePools
 	Node int
 
-	free []*Vertex // recycled vertices, owner-only (see pool.go)
+	// Home, when set by a scheduler, holds this worker's pending
+	// counter delta slots (the batched frontend of counter.Adaptive):
+	// Spawn and Signal route batch-capable counter states through it so
+	// increments and decrements coalesce worker-locally, and the
+	// scheduler flushes it at idle boundaries via FlushCounters. A nil
+	// Home keeps every counter on its unbuffered path.
+	Home *counter.Home
+
+	free       []*Vertex     // recycled vertices, owner-only (see pool.go)
+	flushReady func(tag any) // cached FlushCounters callback (one alloc per worker)
+	flushedRdy int           // vertices readied by the current FlushAll, owner-only
+}
+
+// FlushCounters drains every pending counter delta this context's Home
+// holds, scheduling any finish vertices whose counters reached zero,
+// and returns how many vertices that readied. Schedulers must call it
+// before backing off when out of local work — a buffered decrement's
+// zero report only surfaces at a flush, and under private deques a
+// parked owner's deque is unreachable, so parking with a productive
+// flush pending would strand the readied vertex.
+func (ec *ExecContext) FlushCounters() int {
+	if ec.Home == nil || !ec.Home.Active() {
+		return 0
+	}
+	if ec.flushReady == nil {
+		ec.flushReady = func(tag any) {
+			ec.flushedRdy++
+			tag.(*Vertex).markReady(ec)
+		}
+	}
+	ec.flushedRdy = 0
+	ec.Home.FlushAll(ec.flushReady)
+	return ec.flushedRdy
 }
 
 // Recorder observes dag construction and execution. It is meant for
@@ -266,7 +298,16 @@ func (u *Vertex) Chain() (v, w *Vertex) {
 func (u *Vertex) Spawn() (v, w *Vertex) {
 	u.die("Spawn")
 	d := u.dag
-	l, r := u.st.Increment(u.rng())
+	var l, r counter.State
+	if u.ctx != nil && u.ctx.Home != nil {
+		if hs, ok := u.st.(counter.HomedState); ok {
+			l, r = hs.IncrementHomed(u.rng(), u.ctx.Home, u.fin)
+		} else {
+			l, r = u.st.Increment(u.rng())
+		}
+	} else {
+		l, r = u.st.Increment(u.rng())
+	}
 	u.releaseState() // Increment was u's final use of its State
 	v = d.newVertex(u.ctx, u.fin, l, 0)
 	w = d.newVertex(u.ctx, u.fin, r, 0)
@@ -305,7 +346,18 @@ func (u *Vertex) Signal() {
 	if u.dag.rec != nil {
 		u.dag.rec.OnEdge(u, u.fin)
 	}
-	zero := u.st.Decrement()
+	var zero bool
+	if u.ctx != nil && u.ctx.Home != nil {
+		if hs, ok := u.st.(counter.HomedState); ok {
+			// The tag identifies the finish vertex a later flush's zero
+			// report belongs to; every state of one counter shares it.
+			zero = hs.DecrementHomed(u.ctx.Home, u.fin)
+		} else {
+			zero = u.st.Decrement()
+		}
+	} else {
+		zero = u.st.Decrement()
+	}
 	u.releaseState() // Decrement was u's final use of its State
 	if zero {
 		u.fin.markReady(u.ctx)

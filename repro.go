@@ -123,8 +123,11 @@ func WithAlgorithm(a CounterAlgorithm) Option {
 
 // WithCounter selects the dependency-counter algorithm by its
 // artifact-style spec string: "adaptive" (the default), "adaptive:K"
-// (promote after K observed collisions), "dyn", "fetchadd", or
-// "snzi-D". The spec is resolved at construction, after every option
+// (promote after K observed collisions), "adaptive:K:batch" (also
+// batch post-promotion traffic in per-worker delta slots flushed every
+// `batch` units — the amortized frontend for fan-in storms), "dyn",
+// "fetchadd", or "snzi-D". The spec is resolved at construction, after
+// every option
 // has applied, so the paper-default dynamic grow threshold
 // (25·workers) always uses the configured worker count regardless of
 // option order. WithCounter panics on a malformed spec — the spec is
@@ -291,6 +294,21 @@ type Stats struct {
 	// settled on fetch-and-add, Promotions > 0 that contention pushed
 	// some onto the in-counter.
 	Promotions uint64
+	// Demotions counts promoted counters that migrated back to the
+	// fetch-and-add cell after their contention burst passed. Always 0
+	// unless the adaptive algorithm's batched frontend is enabled
+	// (counter spec "adaptive:K:batch"), which is the only
+	// configuration with a demotion path.
+	Demotions uint64
+	// CounterFlushes and CounterLocalIncs are the batched counter
+	// frontend's coalescing ledger, the counter analogue of the result
+	// sink's logical_writes/backend_calls split: units buffered in
+	// per-worker delta slots versus shared RMWs actually issued
+	// (slot-anchor acquisitions plus weighted flushes). Both are 0
+	// unless the counter spec batches; their ratio is the frontend's
+	// amortization factor.
+	CounterFlushes   uint64
+	CounterLocalIncs uint64
 	// Stalls counts watchdog detections (WithWatchdog): windows in
 	// which a computation was in flight but no vertex executed and no
 	// worker was inside a task body. Always 0 without a watchdog. A
@@ -306,21 +324,26 @@ func (r *Runtime) Stats() Stats {
 	sc := r.n.Scheduler()
 	st := sc.Stats()
 	s := Stats{
-		Workers:        r.n.Workers(),
-		Parked:         sc.ParkedWorkers(),
-		Vertices:       r.n.Dag().VertexCount(),
-		Steals:         st.Steals,
-		LocalSteals:    st.LocalSteals,
-		RemoteSteals:   st.RemoteSteals,
-		Executed:       st.Executed,
-		SpawnedWorkers: sc.SpawnedWorkers(),
-		RetiredWorkers: sc.RetiredWorkers(),
-		InjectorDepth:  sc.InjectorDepth(),
-		PeggedFor:      sc.PeggedFor(),
-		Stalls:         st.Stalls,
+		Workers:          r.n.Workers(),
+		Parked:           sc.ParkedWorkers(),
+		Vertices:         r.n.Dag().VertexCount(),
+		Steals:           st.Steals,
+		LocalSteals:      st.LocalSteals,
+		RemoteSteals:     st.RemoteSteals,
+		Executed:         st.Executed,
+		SpawnedWorkers:   sc.SpawnedWorkers(),
+		RetiredWorkers:   sc.RetiredWorkers(),
+		InjectorDepth:    sc.InjectorDepth(),
+		PeggedFor:        sc.PeggedFor(),
+		Stalls:           st.Stalls,
+		CounterFlushes:   st.CounterFlushes,
+		CounterLocalIncs: st.CounterLocalIncs,
 	}
 	if pr, ok := r.n.Dag().Algorithm().(counter.PromotionReporter); ok {
 		s.Promotions = pr.Promotions()
+	}
+	if dr, ok := r.n.Dag().Algorithm().(counter.DemotionReporter); ok {
+		s.Demotions = dr.Demotions()
 	}
 	return s
 }
@@ -416,7 +439,7 @@ func NewAdaptiveAlgorithm(contention, grow uint64) AdaptiveAlgorithm {
 }
 
 // ParseAlgorithm resolves an artifact-style algorithm name
-// ("fetchadd", "dyn", "adaptive[:K]", "snzi-D").
+// ("fetchadd", "dyn", "adaptive[:K[:batch]]", "snzi-D").
 func ParseAlgorithm(name string, threshold uint64) (CounterAlgorithm, error) {
 	return counter.Parse(name, threshold)
 }

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Full-size batch-threshold sweep of the batched counter frontend
+# (ppopp17bench -fig zipf): the real-runtime ledger table sweeps the
+# batch threshold 1→128 on eager-promoted counters (adaptive:0:batch),
+# and the 1024-worker sim table shows the modeled contention cliff
+# moving with the threshold. Writes the per-figure artifact file too.
+#
+# Usage: scripts/threshold_sweep.sh [outdir]   (default: bench_out)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-bench_out}"
+mkdir -p "$OUT"
+go run ./cmd/ppopp17bench -fig zipf -format both -out "$OUT"
+echo "artifact written under $OUT/"

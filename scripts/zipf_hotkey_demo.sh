@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Demo of the batched counter frontend on the zipf hot-key workload:
+# a quick ppopp17bench sweep (real runtime + 256-worker sim model)
+# followed by the gated benchmark cells comparing the promoted
+# unbatched spec (adaptive:0) against the batched frontend
+# (adaptive:0:16). See EXPERIMENTS.md ("Zipf hot-key") for how to read
+# the tables and scripts/threshold_sweep.sh for the full-size sweep.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== quick batch-threshold sweep (table) =="
+go run ./cmd/ppopp17bench -fig zipf -quick
+
+echo
+echo "== gated benchmark cells (shared-rmws/op is the ledger quotient) =="
+go test -run=NONE -bench='BenchmarkZipfHotKey' -benchtime=10x -benchmem .
